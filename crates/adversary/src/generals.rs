@@ -1,0 +1,264 @@
+//! Byzantine *General* strategies.
+//!
+//! A faulty General has more power in this protocol family than a faulty
+//! follower: "a faulty General has more power in trying to fool the
+//! correct nodes by sending its values at completely different times to
+//! whichever nodes it chooses" (paper §4). The strategies here realize the
+//! classic attacks the proofs defend against.
+
+use ssbyz_core::{IaKind, Msg, Params};
+use ssbyz_simnet::{Ctx, Process};
+use ssbyz_types::{Duration, NodeId, Value};
+
+/// Timer tokens used by the general strategies.
+const T_PHASE: u64 = 1;
+
+/// A two-faced General: initiates value `value_a` toward one subset of the
+/// nodes and `value_b` toward the rest, then keeps feeding each side
+/// supporting traffic for "its" value.
+///
+/// The Agreement property demands that despite this, either no correct
+/// node decides, or all correct nodes decide the *same* value.
+pub struct TwoFacedGeneral<V> {
+    value_a: V,
+    value_b: V,
+    /// Nodes that receive the `value_a` face.
+    side_a: Vec<NodeId>,
+    /// Local-time delay before striking.
+    strike_after: Duration,
+    /// How many reinforcement phases to run (spaced `phase_gap` apart).
+    phases: u32,
+    phase_gap: Duration,
+    fired: u32,
+}
+
+impl<V: Value> TwoFacedGeneral<V> {
+    /// Creates the strategy. `side_a` receives `value_a`; everyone else
+    /// receives `value_b`.
+    #[must_use]
+    pub fn new(value_a: V, value_b: V, side_a: Vec<NodeId>, params: &Params) -> Self {
+        TwoFacedGeneral {
+            value_a,
+            value_b,
+            side_a,
+            strike_after: params.d() * 2u64,
+            phases: 6,
+            phase_gap: params.d(),
+            fired: 0,
+        }
+    }
+
+    fn face_of(&self, node: NodeId) -> &V {
+        if self.side_a.contains(&node) {
+            &self.value_a
+        } else {
+            &self.value_b
+        }
+    }
+}
+
+impl<V: Value, O> Process<Msg<V>, O> for TwoFacedGeneral<V> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg<V>, O>) {
+        ctx.set_timer_after(self.strike_after, T_PHASE);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg<V>, O>, _from: NodeId, _msg: Msg<V>) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<V>, O>, token: u64) {
+        if token != T_PHASE {
+            return;
+        }
+        let me = ctx.me();
+        let n = ctx.n();
+        if self.fired == 0 {
+            // Split initiation.
+            for node in NodeId::all(n) {
+                ctx.send(
+                    node,
+                    Msg::Initiator {
+                        general: me,
+                        value: self.face_of(node).clone(),
+                    },
+                );
+            }
+        } else {
+            // Reinforce each side with equivocating stage messages.
+            let kind = match self.fired % 3 {
+                1 => IaKind::Support,
+                2 => IaKind::Approve,
+                _ => IaKind::Ready,
+            };
+            for node in NodeId::all(n) {
+                ctx.send(
+                    node,
+                    Msg::Ia {
+                        kind,
+                        general: me,
+                        value: self.face_of(node).clone(),
+                    },
+                );
+            }
+        }
+        self.fired += 1;
+        if self.fired < self.phases {
+            ctx.set_timer_after(self.phase_gap, T_PHASE);
+        }
+    }
+}
+
+/// A spamming General: initiates a fresh value every `period`, flagrantly
+/// violating the Sending Validity Criteria ``[IG1]``/``[IG2]``. The Uniqueness
+/// property [IA-4] must still hold: any two I-accepted anchors for
+/// distinct values are more than `4d` apart.
+pub struct SpamGeneral<V> {
+    values: Vec<V>,
+    period: Duration,
+    next: usize,
+}
+
+impl<V: Value> SpamGeneral<V> {
+    /// Spams `values` cyclically with the given local-time period.
+    #[must_use]
+    pub fn new(values: Vec<V>, period: Duration) -> Self {
+        assert!(!values.is_empty(), "need at least one value to spam");
+        SpamGeneral {
+            values,
+            period,
+            next: 0,
+        }
+    }
+}
+
+impl<V: Value, O> Process<Msg<V>, O> for SpamGeneral<V> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg<V>, O>) {
+        ctx.set_timer_after(self.period, T_PHASE);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg<V>, O>, _from: NodeId, _msg: Msg<V>) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<V>, O>, token: u64) {
+        if token != T_PHASE {
+            return;
+        }
+        let value = self.values[self.next % self.values.len()].clone();
+        self.next += 1;
+        let me = ctx.me();
+        ctx.broadcast(Msg::Initiator { general: me, value });
+        ctx.set_timer_after(self.period, T_PHASE);
+    }
+}
+
+/// A staggering General: sends the *same* value to different nodes at very
+/// different times (up to `spread` apart), attacking the interval tests of
+/// blocks K/L. Correct nodes must still converge on anchors within the
+/// `6d` skew bound or not accept at all.
+pub struct StaggeredGeneral<V> {
+    value: V,
+    strike_after: Duration,
+    spread: Duration,
+    sent_to: usize,
+}
+
+impl<V: Value> StaggeredGeneral<V> {
+    /// Sends `value` to node `i` at `strike_after + i·spread/n`.
+    #[must_use]
+    pub fn new(value: V, strike_after: Duration, spread: Duration) -> Self {
+        StaggeredGeneral {
+            value,
+            strike_after,
+            spread,
+            sent_to: 0,
+        }
+    }
+}
+
+impl<V: Value, O> Process<Msg<V>, O> for StaggeredGeneral<V> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg<V>, O>) {
+        ctx.set_timer_after(self.strike_after, T_PHASE);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg<V>, O>, _from: NodeId, _msg: Msg<V>) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<V>, O>, token: u64) {
+        if token != T_PHASE {
+            return;
+        }
+        let n = ctx.n();
+        if self.sent_to >= n {
+            return;
+        }
+        let me = ctx.me();
+        ctx.send(
+            NodeId::new(self.sent_to as u32),
+            Msg::Initiator {
+                general: me,
+                value: self.value.clone(),
+            },
+        );
+        self.sent_to += 1;
+        if self.sent_to < n {
+            let gap = Duration::from_nanos(self.spread.as_nanos() / n as u64);
+            ctx.set_timer_after(gap, T_PHASE);
+        }
+    }
+}
+
+/// A completely silent node (crashed, or a Byzantine node choosing to do
+/// nothing). Used to realize `f′ < f` actual-fault sweeps (experiment E4).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SilentNode;
+
+impl<M, O> Process<M, O> for SilentNode {
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, M, O>) {}
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, M, O>, _from: NodeId, _msg: M) {}
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, M, O>, _token: u64) {}
+}
+
+/// A General that sends its initiation to only a subset of the nodes and
+/// then falls silent — probing the quorum boundaries of block K/L: with
+/// fewer than `n − f` receivers no approve quorum can form and the
+/// initiation must fizzle everywhere; with at least `n − f` it completes.
+pub struct PartialGeneral<V> {
+    value: V,
+    targets: Vec<NodeId>,
+    strike_after: Duration,
+    fired: bool,
+}
+
+impl<V: Value> PartialGeneral<V> {
+    /// Sends `value` to exactly `targets` after `strike_after`.
+    #[must_use]
+    pub fn new(value: V, targets: Vec<NodeId>, strike_after: Duration) -> Self {
+        PartialGeneral {
+            value,
+            targets,
+            strike_after,
+            fired: false,
+        }
+    }
+}
+
+impl<V: Value, O> Process<Msg<V>, O> for PartialGeneral<V> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg<V>, O>) {
+        ctx.set_timer_after(self.strike_after, T_PHASE);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg<V>, O>, _from: NodeId, _msg: Msg<V>) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<V>, O>, token: u64) {
+        if token != T_PHASE || self.fired {
+            return;
+        }
+        self.fired = true;
+        let me = ctx.me();
+        for target in &self.targets {
+            ctx.send(
+                *target,
+                Msg::Initiator {
+                    general: me,
+                    value: self.value.clone(),
+                },
+            );
+        }
+    }
+}

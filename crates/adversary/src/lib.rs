@@ -1,0 +1,27 @@
+//! # `ssbyz-adversary` — Byzantine strategies and transient-fault tooling
+//!
+//! Everything needed to attack `ss-Byz-Agree` the way the paper's fault
+//! model allows:
+//!
+//! * **Byzantine Generals** — [`TwoFacedGeneral`] (split values),
+//!   [`SpamGeneral`] (rate-violating initiations), [`StaggeredGeneral`]
+//!   (same value at wildly different times), [`SilentNode`].
+//! * **Byzantine followers** — [`GarbageNode`] (random well-formed junk),
+//!   [`EchoForger`] / [`IaForger`] (forged relay stages, the attacks
+//!   against unforgeability [IA-2]/[TPS-2]).
+//! * **Transient faults** — message [`u64_corruptor`]s and spurious
+//!   [`u64_injector`]s for the simulator's storm phase, plus
+//!   [`RngEntropy`] to drive the core crate's engine-state scrambler.
+//!
+//! All strategies are deterministic given the simulation seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generals;
+mod nodes;
+mod storm;
+
+pub use generals::{PartialGeneral, SilentNode, SpamGeneral, StaggeredGeneral, TwoFacedGeneral};
+pub use nodes::{EchoForger, GarbageNode, IaForger};
+pub use storm::{u64_corruptor, u64_injector, RngEntropy};

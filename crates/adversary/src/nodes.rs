@@ -1,0 +1,214 @@
+//! Byzantine *follower* strategies: nodes that disrupt other Generals'
+//! agreements without being the General themselves.
+
+use ssbyz_core::{BcastKind, IaKind, Msg};
+use ssbyz_simnet::{Ctx, Process};
+use ssbyz_types::{Duration, NodeId, Value};
+
+const T_NOISE: u64 = 7;
+
+/// Emits a stream of syntactically valid but semantically bogus protocol
+/// messages: random stages, random values, random broadcasters and rounds,
+/// addressed to random subsets. Exercises every "ignore garbage" path and
+/// the unforgeability properties ([IA-2], [TPS-2]).
+pub struct GarbageNode<V> {
+    period: Duration,
+    values: Vec<V>,
+    max_round: u32,
+    /// Stop after this many bursts (0 = forever).
+    bursts: u32,
+    fired: u32,
+}
+
+impl<V: Value> GarbageNode<V> {
+    /// Creates a garbage generator drawing from `values`.
+    #[must_use]
+    pub fn new(period: Duration, values: Vec<V>, max_round: u32) -> Self {
+        assert!(!values.is_empty());
+        GarbageNode {
+            period,
+            values,
+            max_round: max_round.max(1),
+            bursts: 0,
+            fired: 0,
+        }
+    }
+
+    /// Limits the number of bursts.
+    #[must_use]
+    pub fn with_bursts(mut self, bursts: u32) -> Self {
+        self.bursts = bursts;
+        self
+    }
+
+    fn random_msg<O>(&self, ctx: &mut Ctx<'_, Msg<V>, O>, n: usize) -> Msg<V> {
+        let me = ctx.me();
+        let value = self.values[ctx.rand_below(self.values.len() as u64) as usize].clone();
+        match ctx.rand_below(8) {
+            0 => Msg::Initiator { general: me, value },
+            1..=3 => {
+                let kind = match ctx.rand_below(3) {
+                    0 => IaKind::Support,
+                    1 => IaKind::Approve,
+                    _ => IaKind::Ready,
+                };
+                let general = NodeId::new(ctx.rand_below(n as u64) as u32);
+                Msg::Ia {
+                    kind,
+                    general,
+                    value,
+                }
+            }
+            _ => {
+                let kind = match ctx.rand_below(4) {
+                    0 => BcastKind::Init,
+                    1 => BcastKind::Echo,
+                    2 => BcastKind::InitPrime,
+                    _ => BcastKind::EchoPrime,
+                };
+                let general = NodeId::new(ctx.rand_below(n as u64) as u32);
+                let broadcaster = NodeId::new(ctx.rand_below(n as u64) as u32);
+                Msg::Bcast {
+                    kind,
+                    general,
+                    broadcaster,
+                    value,
+                    round: ctx.rand_below(u64::from(self.max_round)) as u32 + 1,
+                }
+            }
+        }
+    }
+}
+
+impl<V: Value, O> Process<Msg<V>, O> for GarbageNode<V> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg<V>, O>) {
+        ctx.set_timer_after(self.period, T_NOISE);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg<V>, O>, _from: NodeId, _msg: Msg<V>) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<V>, O>, token: u64) {
+        if token != T_NOISE {
+            return;
+        }
+        let n = ctx.n();
+        // A burst of up to 4 messages to random destinations.
+        let burst = ctx.rand_below(4) + 1;
+        for _ in 0..burst {
+            let msg = self.random_msg(ctx, n);
+            let to = NodeId::new(ctx.rand_below(n as u64) as u32);
+            ctx.send(to, msg);
+        }
+        self.fired += 1;
+        if self.bursts == 0 || self.fired < self.bursts {
+            ctx.set_timer_after(self.period, T_NOISE);
+        }
+    }
+}
+
+/// Forges the *relay* stages of `msgd-broadcast` for a broadcast that was
+/// never made: sends `echo`/`init′`/`echo′` claiming that `victim`
+/// broadcast `value` at round `round`. Unforgeability ([TPS-2]) demands
+/// that no correct node ever accepts `(victim, value, round)` from the
+/// ≤ f such forgers alone.
+pub struct EchoForger<V> {
+    general: NodeId,
+    victim: NodeId,
+    value: V,
+    round: u32,
+    period: Duration,
+    bursts: u32,
+    fired: u32,
+}
+
+impl<V: Value> EchoForger<V> {
+    /// Creates a forger targeting the agreement instance of `general`.
+    #[must_use]
+    pub fn new(general: NodeId, victim: NodeId, value: V, round: u32, period: Duration) -> Self {
+        EchoForger {
+            general,
+            victim,
+            value,
+            round,
+            period,
+            bursts: 40,
+            fired: 0,
+        }
+    }
+}
+
+impl<V: Value, O> Process<Msg<V>, O> for EchoForger<V> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg<V>, O>) {
+        ctx.set_timer_after(self.period, T_NOISE);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg<V>, O>, _from: NodeId, _msg: Msg<V>) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<V>, O>, token: u64) {
+        if token != T_NOISE {
+            return;
+        }
+        for kind in [BcastKind::Echo, BcastKind::InitPrime, BcastKind::EchoPrime] {
+            ctx.broadcast(Msg::Bcast {
+                kind,
+                general: self.general,
+                broadcaster: self.victim,
+                value: self.value.clone(),
+                round: self.round,
+            });
+        }
+        self.fired += 1;
+        if self.fired < self.bursts {
+            ctx.set_timer_after(self.period, T_NOISE);
+        }
+    }
+}
+
+/// Forges `Initiator-Accept` stage traffic for a given (General, value)
+/// pair without the General ever initiating — the attack against [IA-2].
+pub struct IaForger<V> {
+    general: NodeId,
+    value: V,
+    period: Duration,
+    bursts: u32,
+    fired: u32,
+}
+
+impl<V: Value> IaForger<V> {
+    /// Creates a forger for the `(general, value)` instance.
+    #[must_use]
+    pub fn new(general: NodeId, value: V, period: Duration) -> Self {
+        IaForger {
+            general,
+            value,
+            period,
+            bursts: 40,
+            fired: 0,
+        }
+    }
+}
+
+impl<V: Value, O> Process<Msg<V>, O> for IaForger<V> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg<V>, O>) {
+        ctx.set_timer_after(self.period, T_NOISE);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg<V>, O>, _from: NodeId, _msg: Msg<V>) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<V>, O>, token: u64) {
+        if token != T_NOISE {
+            return;
+        }
+        for kind in IaKind::ALL {
+            ctx.broadcast(Msg::Ia {
+                kind,
+                general: self.general,
+                value: self.value.clone(),
+            });
+        }
+        self.fired += 1;
+        if self.fired < self.bursts {
+            ctx.set_timer_after(self.period, T_NOISE);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # `ssbyz-baseline` — the time-driven comparator
+//!
+//! A lock-step, synchronous-round Byzantine agreement in the style of
+//! Toueg–Perry–Srikanth (the paper's reference `[14]` and structural
+//! template). It *assumes* what `ss-Byz-Agree` proves it can live
+//! without — a synchronized start and consistent initial state — and pays
+//! the worst-case phase length `Φ` on every step no matter how fast the
+//! actual network is.
+//!
+//! The experiment suite uses it to reproduce the paper's two comparative
+//! claims: message-driven rounds track actual delivery speed (E5), and
+//! both protocols early-stop in `O(f′)` (E4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod node;
+mod runner;
+
+pub use node::{BaselineEvent, BaselineNode};
+pub use runner::{run_baseline, BaselineResult};

@@ -1,0 +1,342 @@
+//! The lock-step baseline node.
+//!
+//! This is the *time-driven* agreement that `ss-Byz-Agree` is modeled on
+//! (Toueg, Perry & Srikanth, "Fast Distributed Agreement", SIAM J.
+//! Computing 1987 — reference `[14]` of the paper): nodes advance in rounds
+//! of fixed length `Φ` from an **assumed common start**, and every
+//! protocol step executes at a phase boundary regardless of how fast
+//! messages actually arrived. The paper's key performance claim is that
+//! its message-driven rounds beat exactly this structure whenever the
+//! actual network is faster than the worst-case bound; the baseline exists
+//! so the benches can measure that gap (experiment E5) and the shared
+//! `O(f′)` early-stopping shape (E4).
+//!
+//! Structure (per broadcast triplet `(p, m, k)`):
+//!
+//! * phase `2k`   — `p` sends `init`;
+//! * phase `2k+1` — nodes holding the `init` send `echo`; at the phase's
+//!   *end*, `≥ n−f` echoes ⇒ accept;
+//! * phase `2k+2` — `≥ n−2f` echoes ⇒ `init′`; at end, `≥ n−2f` init′ ⇒
+//!   broadcaster detected;
+//! * phase `2k+3` — `≥ n−f` init′ ⇒ `echo′`; any later phase end with
+//!   `≥ n−f` echo′ ⇒ (late) accept.
+//!
+//! The General's own value is broadcast with `k = 0`. Decision mirrors
+//! `ss-Byz-Agree`: accept of `(G, m, 0)` decides directly (validity path);
+//! otherwise a chain of `r` distinct broadcasters `(p_i, m, i)`,
+//! `i = 1..r`, by the end of phase `2r+1`. Early abort when broadcaster
+//! detection stalls; hard abort at the end of phase `2f+1`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ssbyz_core::{BcastKind, Msg, Params};
+use ssbyz_simnet::{Ctx, Process};
+use ssbyz_types::{Duration, NodeId, Value};
+
+/// Observations emitted by a [`BaselineNode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineEvent<V> {
+    /// The node decided `value` at the end of `phase`.
+    Decided {
+        /// Decided value.
+        value: V,
+        /// Phase at whose boundary the decision happened.
+        phase: u64,
+    },
+    /// The node aborted (⊥) at the end of `phase`.
+    Aborted {
+        /// Phase at whose boundary the abort happened.
+        phase: u64,
+    },
+}
+
+const T_PHASE: u64 = 11;
+
+#[derive(Debug, Clone, Default)]
+struct TripletLog {
+    init_seen: bool,
+    echo: BTreeSet<NodeId>,
+    init_prime: BTreeSet<NodeId>,
+    echo_prime: BTreeSet<NodeId>,
+    sent_echo: bool,
+    sent_init_prime: bool,
+    sent_echo_prime: bool,
+    accepted: bool,
+}
+
+/// One lock-step baseline node.
+pub struct BaselineNode<V: Value> {
+    params: Params,
+    general: NodeId,
+    /// `Some(m)` when this node *is* the General and will broadcast `m`.
+    proposal: Option<V>,
+    phase: u64,
+    triplets: BTreeMap<(NodeId, u32, V), TripletLog>,
+    broadcasters: BTreeSet<NodeId>,
+    /// Accepted `(p, m, k)` per value and round.
+    chains: BTreeMap<V, BTreeMap<u32, BTreeSet<NodeId>>>,
+    /// Accepted General value (round 0), if any.
+    general_value: Option<V>,
+    returned: bool,
+}
+
+impl<V: Value> BaselineNode<V> {
+    /// Creates a node for the instance of `general`. Pass the proposal
+    /// value iff this node is the General.
+    #[must_use]
+    pub fn new(params: Params, general: NodeId, proposal: Option<V>) -> Self {
+        BaselineNode {
+            params,
+            general,
+            proposal,
+            phase: 0,
+            triplets: BTreeMap::new(),
+            broadcasters: BTreeSet::new(),
+            chains: BTreeMap::new(),
+            general_value: None,
+            returned: false,
+        }
+    }
+
+    fn phi(&self) -> Duration {
+        self.params.phi()
+    }
+
+    fn accept(&mut self, p: NodeId, k: u32, v: &V) {
+        if k == 0 {
+            if p == self.general && self.general_value.is_none() {
+                self.general_value = Some(v.clone());
+            }
+            return;
+        }
+        self.chains
+            .entry(v.clone())
+            .or_default()
+            .entry(k)
+            .or_default()
+            .insert(p);
+    }
+
+    /// Longest chain prefix for `v` (distinct broadcasters, rounds 1..r).
+    fn chain_len(&self, v: &V) -> usize {
+        let Some(rounds) = self.chains.get(v) else {
+            return 0;
+        };
+        let mut used: BTreeSet<NodeId> = BTreeSet::new();
+        let mut r = 0u32;
+        loop {
+            let Some(senders) = rounds.get(&(r + 1)) else {
+                break;
+            };
+            // Greedy distinct pick (senders ≠ G).
+            let Some(p) = senders
+                .iter()
+                .find(|p| **p != self.general && !used.contains(p))
+            else {
+                break;
+            };
+            used.insert(*p);
+            r += 1;
+        }
+        r as usize
+    }
+
+    fn end_of_phase(&mut self, ctx: &mut Ctx<'_, Msg<V>, BaselineEvent<V>>) {
+        let ending = self.phase;
+        let weak = self.params.weak_quorum();
+        let strong = self.params.quorum();
+        let me = ctx.me();
+        // 1. Per-triplet sends & accepts whose deadline is this boundary.
+        let keys: Vec<(NodeId, u32, V)> = self.triplets.keys().cloned().collect();
+        let mut accepts: Vec<(NodeId, u32, V)> = Vec::new();
+        for key in keys {
+            let (p, k, v) = key.clone();
+            let k64 = u64::from(k);
+            let st = self.triplets.get_mut(&key).expect("exists");
+            // Phase 2k+1 begins now (ending == 2k): send echo.
+            if ending == 2 * k64 && st.init_seen && !st.sent_echo {
+                st.sent_echo = true;
+                ctx.broadcast(Msg::Bcast {
+                    kind: BcastKind::Echo,
+                    general: self.general,
+                    broadcaster: p,
+                    value: v.clone(),
+                    round: k,
+                });
+            }
+            // End of phase 2k+1: strong echo quorum ⇒ accept.
+            if ending == 2 * k64 + 1 && st.echo.len() >= strong && !st.accepted {
+                st.accepted = true;
+                accepts.push((p, k, v.clone()));
+            }
+            // Phase 2k+2 begins: weak echo quorum ⇒ init′.
+            if ending == 2 * k64 + 1 && st.echo.len() >= weak && !st.sent_init_prime {
+                st.sent_init_prime = true;
+                ctx.broadcast(Msg::Bcast {
+                    kind: BcastKind::InitPrime,
+                    general: self.general,
+                    broadcaster: p,
+                    value: v.clone(),
+                    round: k,
+                });
+            }
+            // End of phase 2k+2: weak init′ quorum ⇒ broadcaster.
+            if ending == 2 * k64 + 2 && st.init_prime.len() >= weak {
+                self.broadcasters.insert(p);
+            }
+            // Phase 2k+3 begins: strong init′ quorum ⇒ echo′.
+            let st = self.triplets.get_mut(&key).expect("exists");
+            if ending == 2 * k64 + 2 && st.init_prime.len() >= strong && !st.sent_echo_prime {
+                st.sent_echo_prime = true;
+                ctx.broadcast(Msg::Bcast {
+                    kind: BcastKind::EchoPrime,
+                    general: self.general,
+                    broadcaster: p,
+                    value: v.clone(),
+                    round: k,
+                });
+            }
+            // Any boundary ≥ 2k+3: echo′ amplification and late accepts.
+            if ending >= 2 * k64 + 3 {
+                if st.echo_prime.len() >= weak && !st.sent_echo_prime {
+                    st.sent_echo_prime = true;
+                    ctx.broadcast(Msg::Bcast {
+                        kind: BcastKind::EchoPrime,
+                        general: self.general,
+                        broadcaster: p,
+                        value: v.clone(),
+                        round: k,
+                    });
+                }
+                if st.echo_prime.len() >= strong && !st.accepted {
+                    st.accepted = true;
+                    accepts.push((p, k, v.clone()));
+                }
+            }
+        }
+        for (p, k, v) in accepts {
+            self.accept(p, k, &v);
+        }
+        if self.returned {
+            return;
+        }
+        // 2. Decision rules at this boundary.
+        // Validity path: accepted the General's round-0 value by end of
+        // phase 1 (or any later boundary before abort).
+        if let Some(v) = self.general_value.clone() {
+            self.returned = true;
+            ctx.observe(BaselineEvent::Decided {
+                value: v.clone(),
+                phase: ending,
+            });
+            // Relay at round 1.
+            ctx.broadcast(Msg::Bcast {
+                kind: BcastKind::Init,
+                general: self.general,
+                broadcaster: me,
+                value: v,
+                round: 1,
+            });
+            return;
+        }
+        // Chain path: r-chain by end of phase 2r+1.
+        let candidates: Vec<V> = self.chains.keys().cloned().collect();
+        for v in candidates {
+            let r = self.chain_len(&v);
+            if r >= 1 && ending <= 2 * r as u64 + 1 {
+                self.returned = true;
+                ctx.observe(BaselineEvent::Decided {
+                    value: v.clone(),
+                    phase: ending,
+                });
+                ctx.broadcast(Msg::Bcast {
+                    kind: BcastKind::Init,
+                    general: self.general,
+                    broadcaster: me,
+                    value: v,
+                    round: r as u32 + 1,
+                });
+                return;
+            }
+        }
+        // Early abort: at end of phase 2r+1 with fewer than r−1
+        // broadcasters no chain can complete.
+        for r in 2..=self.params.f() as u64 {
+            if ending > 2 * r && self.broadcasters.len() + 1 < r as usize {
+                self.returned = true;
+                ctx.observe(BaselineEvent::Aborted { phase: ending });
+                return;
+            }
+        }
+        // Hard abort at end of phase 2f+1.
+        if ending > 2 * self.params.f() as u64 {
+            self.returned = true;
+            ctx.observe(BaselineEvent::Aborted { phase: ending });
+        }
+    }
+}
+
+impl<V: Value> Process<Msg<V>, BaselineEvent<V>> for BaselineNode<V> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg<V>, BaselineEvent<V>>) {
+        // Assumed synchronized start: phase 0 begins now.
+        if let Some(v) = self.proposal.clone() {
+            let me = ctx.me();
+            ctx.broadcast(Msg::Bcast {
+                kind: BcastKind::Init,
+                general: self.general,
+                broadcaster: me,
+                value: v,
+                round: 0,
+            });
+        }
+        ctx.set_timer_after(self.phi(), T_PHASE);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg<V>, BaselineEvent<V>>, from: NodeId, msg: Msg<V>) {
+        let Msg::Bcast {
+            kind,
+            general,
+            broadcaster,
+            value,
+            round,
+        } = msg
+        else {
+            return; // the baseline speaks only broadcast messages
+        };
+        if general != self.general || round > self.params.max_round() {
+            return;
+        }
+        let st = self
+            .triplets
+            .entry((broadcaster, round, value))
+            .or_default();
+        match kind {
+            BcastKind::Init => {
+                if from == broadcaster {
+                    st.init_seen = true;
+                }
+            }
+            BcastKind::Echo => {
+                st.echo.insert(from);
+            }
+            BcastKind::InitPrime => {
+                st.init_prime.insert(from);
+            }
+            BcastKind::EchoPrime => {
+                st.echo_prime.insert(from);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<V>, BaselineEvent<V>>, token: u64) {
+        if token != T_PHASE {
+            return;
+        }
+        self.end_of_phase(ctx);
+        self.phase += 1;
+        // Keep ticking until well past the hard abort boundary.
+        if self.phase <= 2 * self.params.f() as u64 + 4 {
+            ctx.set_timer_after(self.phi(), T_PHASE);
+        }
+    }
+}

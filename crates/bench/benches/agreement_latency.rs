@@ -1,0 +1,33 @@
+//! E1 companion bench: wall-clock cost of simulating one full fault-free
+//! agreement, by membership size. Tracks simulator + protocol throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssbyz_harness::experiments::run_correct_general;
+use ssbyz_types::Duration;
+
+fn bench_agreement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("agreement_latency");
+    g.sample_size(10);
+    for (n, f) in [(4usize, 1usize), (7, 2), (13, 4), (19, 6)] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(n, f), |b, &(n, f)| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let (res, _) = run_correct_general(
+                    n,
+                    f,
+                    seed,
+                    Duration::from_micros(500),
+                    Duration::from_millis(9),
+                    1,
+                );
+                assert_eq!(res.decides_for(ssbyz_types::NodeId::new(0)).len(), n);
+                res.metrics.sent
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_agreement);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E6 companion bench: full convergence-from-arbitrary-state runs
+//! (scrambled engines + network storm + probe agreement).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssbyz_harness::experiments::e6_convergence;
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("convergence");
+    g.sample_size(10);
+    g.bench_function("n4_f1_storm_and_probe", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let row = e6_convergence(4, 1, 1, 90);
+            assert_eq!(row.converged, 1, "{:?}", row.violations);
+            row.converged
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

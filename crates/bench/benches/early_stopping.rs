@@ -1,0 +1,28 @@
+//! E4 companion bench: simulation cost as the number of *actual* faults
+//! grows (n=13, f=4). The protocol-level completion times are printed by
+//! `experiments e4`; this bench tracks the computational shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssbyz_harness::experiments::e4_early_stopping;
+
+fn bench_early_stopping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("early_stopping");
+    g.sample_size(10);
+    for f_actual in [0usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(f_actual),
+            &f_actual,
+            |b, &fa| {
+                b.iter(|| {
+                    let row = e4_early_stopping(13, 4, fa, 1);
+                    assert!(!row.ours.is_zero());
+                    row.ours
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_early_stopping);
+criterion_main!(benches);

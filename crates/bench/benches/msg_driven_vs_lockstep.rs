@@ -1,0 +1,46 @@
+//! E5 companion bench: ours vs the lock-step baseline on a fast network
+//! (actual delay 5% of δ). The protocol-level latency table is printed by
+//! `experiments e5`; here Criterion compares the cost of simulating each.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssbyz_baseline::run_baseline;
+use ssbyz_harness::experiments::run_correct_general;
+use ssbyz_types::Duration;
+
+fn bench_comparison(c: &mut Criterion) {
+    let mut g = c.benchmark_group("msg_driven_vs_lockstep");
+    g.sample_size(10);
+    let actual_min = Duration::from_micros(45);
+    let actual_max = Duration::from_micros(450); // 5% of δ = 9ms
+    g.bench_function("ss_byz_agree", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let (res, _) = run_correct_general(7, 2, seed, actual_min, actual_max, 1);
+            assert!(!res.decisions.is_empty());
+            res.metrics.sent
+        });
+    });
+    g.bench_function("lockstep_baseline", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let res = run_baseline(
+                7,
+                2,
+                Duration::from_micros(10_001),
+                actual_min,
+                actual_max,
+                0,
+                1,
+                seed,
+            );
+            assert!(!res.decisions.is_empty());
+            res.messages
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_comparison);
+criterion_main!(benches);

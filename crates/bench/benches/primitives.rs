@@ -1,0 +1,89 @@
+//! Micro-benchmarks of the core data structures and state machines:
+//! the windowed arrival log, the timed variable, the SDR chain matcher
+//! (via agreement message processing) and raw engine message throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssbyz_core::store::{ArrivalLog, TimedVar};
+use ssbyz_core::{Engine, IaKind, Msg, Params};
+use ssbyz_types::{Duration, LocalTime, NodeId};
+
+fn bench_arrival_log(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arrival_log");
+    g.bench_function("record_and_window_query_32_senders", |b| {
+        let mut log = ArrivalLog::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_000;
+            log.record(LocalTime::from_nanos(t), NodeId::new((t % 32) as u32));
+            let count =
+                log.distinct_in_window(LocalTime::from_nanos(t), Duration::from_nanos(40_000));
+            if t % 64_000 == 0 {
+                log.prune(LocalTime::from_nanos(t), Duration::from_nanos(100_000));
+            }
+            count
+        });
+    });
+    g.bench_function("kth_latest_32_senders", |b| {
+        let mut log = ArrivalLog::new();
+        for i in 0..32u64 {
+            log.record(LocalTime::from_nanos(1_000 + i * 7), NodeId::new(i as u32));
+        }
+        b.iter(|| {
+            log.kth_latest_in_window(
+                LocalTime::from_nanos(2_000),
+                Duration::from_nanos(1_500),
+                21,
+            )
+        });
+    });
+    g.finish();
+}
+
+fn bench_timed_var(c: &mut Criterion) {
+    c.bench_function("timed_var_set_and_query", |b| {
+        let mut v: TimedVar<u64> = TimedVar::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 500;
+            v.set(LocalTime::from_nanos(t), t);
+            let q = v.at(LocalTime::from_nanos(t.saturating_sub(10_000))).copied();
+            if t % 50_000 == 0 {
+                v.prune(LocalTime::from_nanos(t), Duration::from_nanos(20_000));
+            }
+            q
+        });
+    });
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("ia_support_message_throughput_n7", |b| {
+        let params = Params::from_d(7, 2, Duration::from_millis(10), 0).unwrap();
+        let mut engine: Engine<u64> = Engine::new(NodeId::new(0), params);
+        let mut t = 1_000_000_000u64;
+        let mut sender = 0u32;
+        b.iter(|| {
+            t += 10_000;
+            sender = (sender + 1) % 7;
+            let outs = engine.on_message(
+                LocalTime::from_nanos(t),
+                NodeId::new(sender),
+                Msg::Ia {
+                    kind: IaKind::Support,
+                    general: NodeId::new(1),
+                    value: 7u64,
+                },
+            );
+            outs.len()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_arrival_log,
+    bench_timed_var,
+    bench_engine_throughput
+);
+criterion_main!(benches);

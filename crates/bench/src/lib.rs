@@ -1,0 +1,37 @@
+//! # `ssbyz-bench` — benchmark harness and experiment tables
+//!
+//! Two entry points:
+//!
+//! * `cargo run -p ssbyz-bench --bin experiments --release -- all` prints
+//!   the reproduction tables E1–E11 (paper bounds vs measured values);
+//! * `cargo bench` runs the Criterion benchmarks (simulation throughput,
+//!   protocol latency shapes, primitive micro-benchmarks, ablations).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ssbyz_types::Duration;
+
+/// Formats a duration as a multiple of `d` plus absolute value.
+#[must_use]
+pub fn in_d(x: Duration, d: Duration) -> String {
+    if d.is_zero() {
+        return format!("{x}");
+    }
+    let ratio = x.as_nanos() as f64 / d.as_nanos() as f64;
+    format!("{ratio:.2}d ({x})")
+}
+
+/// Renders one markdown table row.
+#[must_use]
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+/// Renders a markdown header + separator.
+#[must_use]
+pub fn header(cells: &[&str]) -> String {
+    let head = format!("| {} |", cells.join(" | "));
+    let sep = format!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    format!("{head}\n{sep}")
+}

@@ -1,0 +1,269 @@
+//! Transient-fault state corruption.
+//!
+//! The paper's fault model allows a transient failure to leave every node
+//! in an **arbitrary state**: any variable may hold any value, including
+//! timestamps in the future, fabricated quorum evidence, fake anchors and
+//! phantom pending decisions. [`Engine::scramble`] produces exactly such a
+//! state, driven by a caller-supplied [`Entropy`] source so the core crate
+//! stays free of RNG dependencies.
+//!
+//! The convergence experiments (E6) start every node from a scrambled
+//! engine plus a scrambled clock and a network storm, and measure how long
+//! until the protocol's properties hold again — the paper's Corollary 5
+//! bounds this by `Δ_stb = 2·Δ_reset` after the system turns coherent.
+
+use ssbyz_types::{Duration, LocalTime, NodeId, Value};
+
+use crate::engine::Engine;
+use crate::message::{BcastKind, IaKind};
+
+/// A deterministic entropy source (adapters live in `ssbyz-adversary`).
+pub trait Entropy {
+    /// The next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value in `0..n` (`n > 0`).
+    fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        self.next_u64() % n
+    }
+
+    /// `true` with probability `num / den`.
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+impl<F: FnMut() -> u64> Entropy for F {
+    fn next_u64(&mut self) -> u64 {
+        self()
+    }
+}
+
+/// Scramble intensity knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ScrambleConfig {
+    /// How many Generals' instances to corrupt (clamped to `n`).
+    pub generals: usize,
+    /// How many bogus values per corrupted instance.
+    pub values_per_general: usize,
+    /// Whether to plant fake anchors / returned states in agreements.
+    pub corrupt_agreements: bool,
+    /// Whether to plant fake quorum evidence in message logs.
+    pub corrupt_logs: bool,
+}
+
+impl Default for ScrambleConfig {
+    fn default() -> Self {
+        ScrambleConfig {
+            generals: 3,
+            values_per_general: 3,
+            corrupt_agreements: true,
+            corrupt_logs: true,
+        }
+    }
+}
+
+impl<V: Value> Engine<V> {
+    /// Overwrites protocol state with adversarially random garbage, as a
+    /// transient fault would. `now` is the node's (already arbitrary)
+    /// current local time; planted timestamps range over
+    /// `[now − 2Δ_rmv, now + 2Δ_rmv]` — both "plausible" and "clearly
+    /// wrong" stamps, so the decay rules are exercised in full.
+    ///
+    /// `gen_value` fabricates arbitrary values of the payload type.
+    pub fn scramble(
+        &mut self,
+        now: LocalTime,
+        cfg: &ScrambleConfig,
+        entropy: &mut dyn Entropy,
+        gen_value: &mut dyn FnMut(&mut dyn Entropy) -> V,
+    ) {
+        let n = self.params().n();
+        let f = self.params().f();
+        let rmv = self.params().delta_rmv();
+        let span = rmv * 4u64;
+        let stamp = |e: &mut dyn Entropy| -> LocalTime {
+            let off = Duration::from_nanos(e.below(span.as_nanos().max(1)));
+            (now - rmv * 2u64) + off
+        };
+        let generals = cfg.generals.min(n);
+        for _ in 0..generals {
+            let g = NodeId::new(entropy.below(n as u64) as u32);
+            // --- Initiator-Accept corruption ---
+            for _ in 0..cfg.values_per_general {
+                let v = gen_value(entropy);
+                let ia = self.ia_raw(g);
+                if entropy.chance(1, 2) {
+                    let s = stamp(entropy);
+                    ia.corrupt_i_value(v.clone(), s);
+                }
+                if entropy.chance(1, 2) {
+                    let s = stamp(entropy);
+                    ia.corrupt_ready(v.clone(), s);
+                }
+                if entropy.chance(1, 2) {
+                    let (a, b) = (stamp(entropy), stamp(entropy));
+                    ia.corrupt_guards(v.clone(), a, b);
+                }
+                if cfg.corrupt_logs {
+                    for kind in IaKind::ALL {
+                        let count = entropy.below(n as u64 + 1);
+                        for _ in 0..count {
+                            let sender = NodeId::new(entropy.below(n as u64) as u32);
+                            let s = stamp(entropy);
+                            self.ia_raw(g).corrupt_log(kind, v.clone(), sender, s);
+                        }
+                    }
+                }
+            }
+            // --- Agreement / msgd-broadcast corruption ---
+            if cfg.corrupt_agreements {
+                let v = gen_value(entropy);
+                if entropy.chance(1, 2) {
+                    let s = stamp(entropy);
+                    self.agreement_raw(g).corrupt_anchor(s);
+                }
+                if entropy.chance(1, 3) {
+                    let s = stamp(entropy);
+                    let decided = entropy.chance(1, 2);
+                    let dv = if decided { Some(gen_value(entropy)) } else { None };
+                    self.agreement_raw(g).corrupt_returned(dv, s);
+                }
+                let fake_accepts = entropy.below(f as u64 + 2);
+                for _ in 0..fake_accepts {
+                    let round = entropy.below(f as u64 + 1) as u32 + 1;
+                    let p = NodeId::new(entropy.below(n as u64) as u32);
+                    let s = stamp(entropy);
+                    self.agreement_raw(g)
+                        .corrupt_accepted(v.clone(), round, p, s);
+                }
+                if cfg.corrupt_logs {
+                    let triplets = entropy.below(4);
+                    for _ in 0..triplets {
+                        let p = NodeId::new(entropy.below(n as u64) as u32);
+                        let round = entropy.below(f as u64 + 1) as u32 + 1;
+                        let kind = BcastKind::ALL[entropy.below(4) as usize];
+                        let sender = NodeId::new(entropy.below(n as u64) as u32);
+                        let s = stamp(entropy);
+                        self.agreement_raw(g).msgd_mut().corrupt_triplet(
+                            p,
+                            round,
+                            v.clone(),
+                            kind,
+                            sender,
+                            s,
+                        );
+                    }
+                    if entropy.chance(1, 2) {
+                        let p = NodeId::new(entropy.below(n as u64) as u32);
+                        let s = stamp(entropy);
+                        self.agreement_raw(g).msgd_mut().corrupt_broadcaster(p, s);
+                    }
+                }
+            }
+        }
+        // --- General-role corruption ---
+        let li = if entropy.chance(1, 2) {
+            Some(stamp(entropy))
+        } else {
+            None
+        };
+        let fa = if entropy.chance(1, 4) {
+            Some(stamp(entropy))
+        } else {
+            None
+        };
+        self.corrupt_general_ctl(li, fa);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+
+    fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed.max(1);
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        }
+    }
+
+    #[test]
+    fn entropy_helpers() {
+        let mut e = xorshift(42);
+        for _ in 0..100 {
+            let v = Entropy::below(&mut e, 10);
+            assert!(v < 10);
+        }
+        // chance(1, 1) is always true; chance(0, 2) never.
+        assert!(Entropy::chance(&mut e, 1, 1));
+        assert!(!Entropy::chance(&mut e, 0, 2));
+    }
+
+    #[test]
+    fn scramble_plants_state() {
+        let params = Params::from_d(4, 1, Duration::from_millis(10), 0).unwrap();
+        let mut engine: Engine<u64> = Engine::new(NodeId::new(0), params);
+        let mut e = xorshift(7);
+        let now = LocalTime::from_nanos(123_456_789_000);
+        let cfg = ScrambleConfig {
+            generals: 4,
+            values_per_general: 4,
+            ..ScrambleConfig::default()
+        };
+        engine.scramble(now, &cfg, &mut e, &mut |e| e.next_u64() % 8);
+        // Some instance must exist now.
+        let any = (0..4).any(|i| engine.ia(NodeId::new(i)).is_some())
+            || (0..4).any(|i| engine.agreement(NodeId::new(i)).is_some());
+        assert!(any, "scramble must plant at least one instance");
+    }
+
+    #[test]
+    fn scramble_is_deterministic_per_seed() {
+        let params = Params::from_d(4, 1, Duration::from_millis(10), 0).unwrap();
+        let now = LocalTime::from_nanos(5_000_000_000);
+        let build = |seed| {
+            let mut engine: Engine<u64> = Engine::new(NodeId::new(1), params);
+            let mut e = xorshift(seed);
+            engine.scramble(now, &ScrambleConfig::default(), &mut e, &mut |e| {
+                e.next_u64() % 4
+            });
+            format!("{engine:?}")
+        };
+        assert_eq!(build(9), build(9));
+        assert_ne!(build(9), build(10));
+    }
+
+    #[test]
+    fn scrambled_engine_still_processes_events() {
+        // A scrambled engine must not panic on subsequent inputs.
+        let params = Params::from_d(4, 1, Duration::from_millis(10), 0).unwrap();
+        let mut engine: Engine<u64> = Engine::new(NodeId::new(2), params);
+        let mut e = xorshift(99);
+        let now = LocalTime::from_nanos(77_000_000_000);
+        engine.scramble(now, &ScrambleConfig::default(), &mut e, &mut |e| {
+            e.next_u64() % 4
+        });
+        let later = now + Duration::from_millis(1);
+        engine.on_tick(later);
+        engine.on_message(
+            later + Duration::from_millis(1),
+            NodeId::new(0),
+            crate::message::Msg::Initiator {
+                general: NodeId::new(0),
+                value: 3,
+            },
+        );
+        // Decay must eventually clean everything (ticks over 2Δ_rmv).
+        let mut t = later;
+        for _ in 0..200 {
+            t = t + Duration::from_millis(20);
+            engine.on_tick(t);
+        }
+    }
+}

@@ -1,0 +1,795 @@
+//! The per-node protocol engine.
+//!
+//! [`Engine`] multiplexes one `Initiator-Accept` instance and one
+//! `ss-Byz-Agree` instance per General, routes authenticated wire messages
+//! to them, runs the periodic cleanup that every self-stabilizing data
+//! structure requires, and — when this node acts as General — enforces the
+//! Sending Validity Criteria ``[IG1]``–``[IG3]`` of paper §3/§4.
+//!
+//! The engine is **sans-io**: it never touches a network or a clock. A
+//! harness (the deterministic simulator in `ssbyz-simnet`, or the threaded
+//! runtime in `ssbyz-runtime`) feeds it `(local-time, event)` pairs and
+//! executes the returned [`Output`]s.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ssbyz_types::{Duration, LocalTime, NodeId, Value};
+
+use crate::agreement::{AgrAction, Agreement};
+use crate::initiator_accept::{IaAction, InitiatorAccept};
+use crate::message::Msg;
+use crate::params::Params;
+
+/// An instruction from the engine to its harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Output<V> {
+    /// Broadcast `msg` to **all** nodes (including this one — the paper's
+    /// "send to all" is uniform, and the node's own copy travels through
+    /// the same network path as everyone else's).
+    Broadcast(Msg<V>),
+    /// Schedule a call to [`Engine::on_tick`] at this local time (in
+    /// addition to the harness's own periodic tick).
+    WakeAt(LocalTime),
+    /// An observable protocol event.
+    Event(Event<V>),
+}
+
+/// Observable protocol events, consumed by harnesses and property checkers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event<V> {
+    /// `Initiator-Accept` issued an I-accept `⟨G, m, τ_G⟩`.
+    IAccepted {
+        /// The General.
+        general: NodeId,
+        /// The accepted candidate value.
+        value: V,
+        /// The local-time anchor.
+        tau_g: LocalTime,
+    },
+    /// `ss-Byz-Agree(G)` decided a value.
+    Decided {
+        /// The General.
+        general: NodeId,
+        /// The decided value `m`.
+        value: V,
+        /// The anchor of the execution.
+        tau_g: LocalTime,
+        /// Local decision time.
+        at: LocalTime,
+    },
+    /// `ss-Byz-Agree(G)` returned ⊥.
+    Aborted {
+        /// The General.
+        general: NodeId,
+        /// The anchor of the execution.
+        tau_g: LocalTime,
+        /// Local abort time.
+        at: LocalTime,
+    },
+    /// Acting as General, this node detected a failed initiation
+    /// (criterion ``[IG3]``) and is backing off for `Δ_reset`.
+    InitiationFailed {
+        /// The value whose initiation failed.
+        value: V,
+        /// When the failure was detected.
+        at: LocalTime,
+    },
+}
+
+/// Why [`Engine::initiate`] refused to start an agreement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InitiateError {
+    /// ``[IG1]``: less than `Δ0` since the previous initiation.
+    TooSoon {
+        /// Remaining wait.
+        wait: Duration,
+    },
+    /// ``[IG2]``: less than `Δ_v` since the previous initiation of this value.
+    SameValueTooSoon {
+        /// Remaining wait.
+        wait: Duration,
+    },
+    /// ``[IG3]``: a previous initiation failed less than `Δ_reset` ago.
+    BackingOff {
+        /// Remaining wait.
+        wait: Duration,
+    },
+}
+
+impl fmt::Display for InitiateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InitiateError::TooSoon { wait } => {
+                write!(f, "initiation violates IG1, wait {wait}")
+            }
+            InitiateError::SameValueTooSoon { wait } => {
+                write!(f, "initiation violates IG2, wait {wait}")
+            }
+            InitiateError::BackingOff { wait } => {
+                write!(f, "initiation violates IG3, backing off for {wait}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InitiateError {}
+
+/// State for this node's own role as General: the Sending Validity
+/// Criteria and the ``[IG3]`` failure monitor.
+#[derive(Debug, Clone)]
+struct GeneralControl<V> {
+    /// Last initiation of any value (``[IG1]``).
+    last_initiation: Option<LocalTime>,
+    /// Last initiation per value (``[IG2]``); pruned at `Δ_v`.
+    last_per_value: BTreeMap<V, LocalTime>,
+    /// Set when ``[IG3]`` failed; blocks initiations until `+ Δ_reset`.
+    failed_at: Option<LocalTime>,
+    /// Outstanding progress checks.
+    pending_checks: Vec<PendingCheck<V>>,
+}
+
+/// One ``[IG3]`` progress monitor. Stage completion is latched *stickily* at
+/// every tick: the post-return reset of the Initiator-Accept instance may
+/// erase the raw progress stamps (3d after an early decision) before the
+/// final `+4d` deadline check runs, so the monitor must not re-read them
+/// at the deadline.
+#[derive(Debug, Clone)]
+struct PendingCheck<V> {
+    value: V,
+    invoked_at: LocalTime,
+    approve_ok: bool,
+    ready_ok: bool,
+    accept_ok: bool,
+}
+
+impl<V: Value> Default for GeneralControl<V> {
+    fn default() -> Self {
+        GeneralControl {
+            last_initiation: None,
+            last_per_value: BTreeMap::new(),
+            failed_at: None,
+            pending_checks: Vec::new(),
+        }
+    }
+}
+
+/// The complete protocol state of one node.
+///
+/// # Example
+///
+/// ```
+/// use ssbyz_core::{Engine, Output, Params};
+/// use ssbyz_types::{Duration, LocalTime, NodeId};
+///
+/// let params = Params::from_d(4, 1, Duration::from_millis(10), 0)?;
+/// let mut engine: Engine<u64> = Engine::new(NodeId::new(0), params);
+/// let now = LocalTime::from_nanos(1_000_000_000);
+/// let outputs = engine.initiate(now, 42).expect("fresh engine may initiate");
+/// assert!(matches!(outputs[0], Output::Broadcast(_)));
+/// # Ok::<(), ssbyz_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine<V: Value> {
+    me: NodeId,
+    params: Params,
+    ia: BTreeMap<NodeId, InitiatorAccept<V>>,
+    agr: BTreeMap<NodeId, Agreement<V>>,
+    general_ctl: GeneralControl<V>,
+    last_cleanup: Option<LocalTime>,
+}
+
+impl<V: Value> Engine<V> {
+    /// Creates a node engine with entirely fresh state.
+    #[must_use]
+    pub fn new(me: NodeId, params: Params) -> Self {
+        Engine {
+            me,
+            params,
+            ia: BTreeMap::new(),
+            agr: BTreeMap::new(),
+            general_ctl: GeneralControl::default(),
+            last_cleanup: None,
+        }
+    }
+
+    /// This node's identity.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// The protocol constants in force.
+    #[must_use]
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Acting as General: initiate agreement on `value` (block Q0),
+    /// subject to the Sending Validity Criteria.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InitiateError`] when any of ``[IG1]``–``[IG3]`` would be
+    /// violated; a *correct* General must respect the refusal (a Byzantine
+    /// one bypasses the engine entirely and speaks raw messages).
+    pub fn initiate(&mut self, now: LocalTime, value: V) -> Result<Vec<Output<V>>, InitiateError> {
+        let p = self.params;
+        if let Some(failed) = self.general_ctl.failed_at {
+            let elapsed = now.since_or_zero(failed);
+            if failed.is_after(now) || elapsed < p.delta_reset() {
+                return Err(InitiateError::BackingOff {
+                    wait: p.delta_reset().saturating_sub(elapsed),
+                });
+            }
+        }
+        if let Some(last) = self.general_ctl.last_initiation {
+            let elapsed = now.since_or_zero(last);
+            if last.is_after(now) || elapsed < p.delta_0() {
+                return Err(InitiateError::TooSoon {
+                    wait: p.delta_0().saturating_sub(elapsed),
+                });
+            }
+        }
+        if let Some(last) = self.general_ctl.last_per_value.get(&value) {
+            let elapsed = now.since_or_zero(*last);
+            if last.is_after(now) || elapsed < p.delta_v() {
+                return Err(InitiateError::SameValueTooSoon {
+                    wait: p.delta_v().saturating_sub(elapsed),
+                });
+            }
+        }
+        // "The General, before initiating the primitive, removes from its
+        // memory all previously received messages associated with any
+        // previous invocation of the primitive with him as a General."
+        let me = self.me;
+        self.ia_entry(me).clear_messages_before_initiation();
+        self.general_ctl.last_initiation = Some(now);
+        self.general_ctl
+            .last_per_value
+            .insert(value.clone(), now);
+        self.general_ctl.pending_checks.push(PendingCheck {
+            value: value.clone(),
+            invoked_at: now,
+            approve_ok: false,
+            ready_ok: false,
+            accept_ok: false,
+        });
+        let d = p.d();
+        Ok(vec![
+            Output::Broadcast(Msg::Initiator {
+                general: self.me,
+                value,
+            }),
+            // [IG3] progress checks at +2d, +3d, +4d (lines L4/M4/N4).
+            Output::WakeAt(now + d * 2u64 + Duration::from_nanos(1)),
+            Output::WakeAt(now + d * 3u64 + Duration::from_nanos(1)),
+            Output::WakeAt(now + d * 4u64 + Duration::from_nanos(1)),
+        ])
+    }
+
+    /// Feeds an authenticated wire message.
+    pub fn on_message(&mut self, now: LocalTime, sender: NodeId, msg: Msg<V>) -> Vec<Output<V>> {
+        let mut out = Vec::new();
+        self.cleanup_if_due(now);
+        match msg {
+            Msg::Initiator { general, value } => {
+                if sender != general {
+                    return out; // forged initiation — identity is authenticated
+                }
+                let mut ia_out = Vec::new();
+                self.ia_entry(general).on_initiator(now, value, &mut ia_out);
+                self.absorb_ia(now, general, ia_out, &mut out);
+            }
+            Msg::Ia {
+                kind,
+                general,
+                value,
+            } => {
+                let mut ia_out = Vec::new();
+                self.ia_entry(general)
+                    .on_message(now, sender, kind, value, &mut ia_out);
+                self.absorb_ia(now, general, ia_out, &mut out);
+            }
+            Msg::Bcast {
+                kind,
+                general,
+                broadcaster,
+                value,
+                round,
+            } => {
+                let mut agr_out = Vec::new();
+                self.agr_entry(general)
+                    .on_bcast(now, sender, kind, broadcaster, value, round, &mut agr_out);
+                self.absorb_agr(now, general, agr_out, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Periodic / scheduled tick: deadline blocks (T/U), post-return
+    /// resets, ``[IG3]`` checks, stalled-send recovery and state decay.
+    pub fn on_tick(&mut self, now: LocalTime) -> Vec<Output<V>> {
+        let mut out = Vec::new();
+        self.cleanup_if_due(now);
+        // Agreement deadlines & resets.
+        let generals: Vec<NodeId> = self.agr.keys().copied().collect();
+        for g in generals {
+            let mut agr_out = Vec::new();
+            if let Some(agr) = self.agr.get_mut(&g) {
+                agr.on_tick(now, &mut agr_out);
+            }
+            self.absorb_agr(now, g, agr_out, &mut out);
+        }
+        // [IG3] failure detection for our own pending initiations.
+        self.check_own_initiations(now, &mut out);
+        out
+    }
+
+    fn check_own_initiations(&mut self, now: LocalTime, out: &mut Vec<Output<V>>) {
+        let d = self.params.d();
+        let me = self.me;
+        let mut checks = std::mem::take(&mut self.general_ctl.pending_checks);
+        let mut keep = Vec::new();
+        for mut check in checks.drain(..) {
+            if check.invoked_at.is_after(now) {
+                continue; // corrupted stamp — drop
+            }
+            let elapsed = now.since(check.invoked_at);
+            // Latch freshly observed progress.
+            let prog = self
+                .ia
+                .get(&me)
+                .map(|ia| ia.own_progress(&check.value))
+                .unwrap_or_default();
+            let ok_since =
+                |t: Option<LocalTime>| t.is_some_and(|t| t.is_at_or_after(check.invoked_at));
+            check.approve_ok |= ok_since(prog.approve_sent);
+            check.ready_ok |= ok_since(prog.ready_sent);
+            check.accept_ok |= ok_since(prog.accepted_at);
+            if check.accept_ok && check.ready_ok && check.approve_ok {
+                continue; // all stages satisfied — done
+            }
+            let failed = (elapsed > d * 2u64 && !check.approve_ok)
+                || (elapsed > d * 3u64 && !check.ready_ok)
+                || (elapsed > d * 4u64 && !check.accept_ok);
+            if failed {
+                self.general_ctl.failed_at = Some(now);
+                out.push(Output::Event(Event::InitiationFailed {
+                    value: check.value,
+                    at: now,
+                }));
+            } else if elapsed <= d * 4u64 {
+                keep.push(check);
+            }
+        }
+        self.general_ctl.pending_checks = keep;
+    }
+
+    fn absorb_ia(
+        &mut self,
+        now: LocalTime,
+        general: NodeId,
+        ia_out: Vec<IaAction<V>>,
+        out: &mut Vec<Output<V>>,
+    ) {
+        for act in ia_out {
+            match act {
+                IaAction::Send { kind, value } => out.push(Output::Broadcast(Msg::Ia {
+                    kind,
+                    general,
+                    value,
+                })),
+                IaAction::Accepted { value, tau_g } => {
+                    out.push(Output::Event(Event::IAccepted {
+                        general,
+                        value: value.clone(),
+                        tau_g,
+                    }));
+                    let mut agr_out = Vec::new();
+                    self.agr_entry(general)
+                        .on_i_accept(now, value, tau_g, &mut agr_out);
+                    self.absorb_agr(now, general, agr_out, out);
+                }
+            }
+        }
+    }
+
+    fn absorb_agr(
+        &mut self,
+        now: LocalTime,
+        general: NodeId,
+        agr_out: Vec<AgrAction<V>>,
+        out: &mut Vec<Output<V>>,
+    ) {
+        for act in agr_out {
+            match act {
+                AgrAction::SendBcast {
+                    kind,
+                    broadcaster,
+                    value,
+                    round,
+                } => out.push(Output::Broadcast(Msg::Bcast {
+                    kind,
+                    general,
+                    broadcaster,
+                    value,
+                    round,
+                })),
+                AgrAction::WakeAt(t) => out.push(Output::WakeAt(t)),
+                AgrAction::Returned { decision, tau_g } => {
+                    let event = match decision {
+                        Some(value) => Event::Decided {
+                            general,
+                            value,
+                            tau_g,
+                            at: now,
+                        },
+                        None => Event::Aborted {
+                            general,
+                            tau_g,
+                            at: now,
+                        },
+                    };
+                    out.push(Output::Event(event));
+                }
+                AgrAction::ExecutionReset => {
+                    // Fig. 1 cleanup: "3d after returning a value reset
+                    // Initiator-Accept, τ_G, and msgd-broadcast."
+                    if let Some(ia) = self.ia.get_mut(&general) {
+                        ia.reset_for_next_execution(now);
+                    }
+                }
+            }
+        }
+    }
+
+    fn cleanup_if_due(&mut self, now: LocalTime) {
+        let cadence = self.params.d();
+        if let Some(last) = self.last_cleanup {
+            if !last.is_after(now) && now.since(last) < cadence {
+                return;
+            }
+        }
+        self.last_cleanup = Some(now);
+        for ia in self.ia.values_mut() {
+            ia.cleanup(now);
+        }
+        for agr in self.agr.values_mut() {
+            agr.cleanup(now);
+        }
+        // General-side guards decay too.
+        let p = self.params;
+        if let Some(t) = self.general_ctl.last_initiation {
+            if t.is_after(now) || now.since(t) > p.delta_0() {
+                self.general_ctl.last_initiation = None;
+            }
+        }
+        self.general_ctl
+            .last_per_value
+            .retain(|_, t| !t.is_after(now) && now.since(*t) <= p.delta_v());
+        if let Some(t) = self.general_ctl.failed_at {
+            if t.is_after(now) || now.since(t) > p.delta_reset() {
+                self.general_ctl.failed_at = None;
+            }
+        }
+        self.general_ctl.pending_checks.retain(|c| {
+            !c.invoked_at.is_after(now) && now.since(c.invoked_at) <= p.d() * 8u64
+        });
+        // Drop instances that have fully decayed. Buffered pre-anchor
+        // messages (triplets) keep an instance alive: "nodes log messages
+        // until they are able to process them."
+        self.agr.retain(|_, a| {
+            a.tau_g().is_some()
+                || a.has_returned()
+                || a.broadcaster_count() > 0
+                || a.msgd().triplet_count() > 0
+        });
+    }
+
+    fn ia_entry(&mut self, general: NodeId) -> &mut InitiatorAccept<V> {
+        let me = self.me;
+        let params = self.params;
+        self.ia
+            .entry(general)
+            .or_insert_with(|| InitiatorAccept::new(me, general, params))
+    }
+
+    fn agr_entry(&mut self, general: NodeId) -> &mut Agreement<V> {
+        let me = self.me;
+        let params = self.params;
+        self.agr
+            .entry(general)
+            .or_insert_with(|| Agreement::new(me, general, params))
+    }
+
+    /// Read access to the `Initiator-Accept` instance for `general`.
+    #[must_use]
+    pub fn ia(&self, general: NodeId) -> Option<&InitiatorAccept<V>> {
+        self.ia.get(&general)
+    }
+
+    /// Read access to the agreement instance for `general`.
+    #[must_use]
+    pub fn agreement(&self, general: NodeId) -> Option<&Agreement<V>> {
+        self.agr.get(&general)
+    }
+
+    /// Mutable handles for the corruption harness (`ssbyz-adversary`).
+    #[doc(hidden)]
+    pub fn ia_raw(&mut self, general: NodeId) -> &mut InitiatorAccept<V> {
+        self.ia_entry(general)
+    }
+
+    /// Mutable handle for the corruption harness.
+    #[doc(hidden)]
+    pub fn agreement_raw(&mut self, general: NodeId) -> &mut Agreement<V> {
+        self.agr_entry(general)
+    }
+
+    /// Plants a bogus General-side state (corruption harness).
+    #[doc(hidden)]
+    pub fn corrupt_general_ctl(
+        &mut self,
+        last_initiation: Option<LocalTime>,
+        failed_at: Option<LocalTime>,
+    ) {
+        self.general_ctl.last_initiation = last_initiation;
+        self.general_ctl.failed_at = failed_at;
+    }
+
+    /// Wipes all protocol state (but not identity/params). Used by tests
+    /// to model a node reboot; self-stabilization must work *without* this
+    /// being called, via decay alone.
+    pub fn hard_reset(&mut self) {
+        self.ia.clear();
+        self.agr.clear();
+        self.general_ctl = GeneralControl::default();
+        self.last_cleanup = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{BcastKind, IaKind};
+
+    const D: u64 = 10_000_000;
+
+    fn params4() -> Params {
+        Params::from_d(4, 1, Duration::from_nanos(D), 0).unwrap()
+    }
+
+    fn t(n: u64) -> LocalTime {
+        LocalTime::from_nanos(100_000 * D + n)
+    }
+
+    fn id(n: u32) -> NodeId {
+        NodeId::new(n)
+    }
+
+    fn d() -> Duration {
+        Duration::from_nanos(D)
+    }
+
+    /// Delivers `msg` from `sender` to every engine at its own local time
+    /// (all clocks identical here), gathering each engine's broadcasts.
+    fn deliver_all(
+        engines: &mut [Engine<u64>],
+        now: LocalTime,
+        sender: NodeId,
+        msg: &Msg<u64>,
+        events: &mut Vec<(NodeId, Event<u64>)>,
+    ) -> Vec<(NodeId, Msg<u64>)> {
+        let mut sends = Vec::new();
+        for e in engines.iter_mut() {
+            for o in e.on_message(now, sender, msg.clone()) {
+                match o {
+                    Output::Broadcast(m) => sends.push((e.id(), m)),
+                    Output::Event(ev) => events.push((e.id(), ev)),
+                    Output::WakeAt(_) => {}
+                }
+            }
+        }
+        sends
+    }
+
+    /// Runs a full fault-free agreement among 4 engines with a shared
+    /// clock, advancing time by `step` per delivery wave.
+    fn run_fault_free() -> Vec<(NodeId, Event<u64>)> {
+        let p = params4();
+        let mut engines: Vec<Engine<u64>> =
+            (0..4).map(|i| Engine::new(id(i), p)).collect();
+        let mut events = Vec::new();
+        let t0 = t(0);
+        let init_out = engines[0].initiate(t0, 7).unwrap();
+        let mut wave: Vec<(NodeId, Msg<u64>)> = init_out
+            .into_iter()
+            .filter_map(|o| match o {
+                Output::Broadcast(m) => Some((id(0), m)),
+                _ => None,
+            })
+            .collect();
+        let mut now = t0;
+        // Fixed-point delivery: each wave arrives step later.
+        let step = d() / 2;
+        for _ in 0..40 {
+            if wave.is_empty() {
+                break;
+            }
+            now = now + step;
+            let mut next = Vec::new();
+            for (sender, msg) in &wave {
+                next.extend(deliver_all(&mut engines, now, *sender, msg, &mut events));
+            }
+            // Dedup identical sends within the wave (engines already
+            // de-duplicate, but initiators double-send across waves).
+            next.sort();
+            next.dedup();
+            wave = next;
+        }
+        events
+    }
+
+    #[test]
+    fn fault_free_agreement_all_decide() {
+        let events = run_fault_free();
+        let decisions: Vec<_> = events
+            .iter()
+            .filter_map(|(n, e)| match e {
+                Event::Decided { value, general, .. } => Some((*n, *general, *value)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(decisions.len(), 4, "all four nodes decide: {events:?}");
+        assert!(decisions.iter().all(|(_, g, v)| *g == id(0) && *v == 7));
+        // All four also I-accepted first.
+        let iaccepts = events
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::IAccepted { .. }))
+            .count();
+        assert_eq!(iaccepts, 4);
+    }
+
+    #[test]
+    fn initiate_respects_ig1() {
+        let p = params4();
+        let mut e: Engine<u64> = Engine::new(id(0), p);
+        e.initiate(t(0), 7).unwrap();
+        let err = e.initiate(t(1), 8).unwrap_err();
+        assert!(matches!(err, InitiateError::TooSoon { .. }));
+        // After Δ0 it works again.
+        assert!(e.initiate(t(0) + p.delta_0(), 8).is_ok());
+    }
+
+    #[test]
+    fn initiate_respects_ig2() {
+        let p = params4();
+        let mut e: Engine<u64> = Engine::new(id(0), p);
+        e.initiate(t(0), 7).unwrap();
+        let err = e.initiate(t(0) + p.delta_0(), 7).unwrap_err();
+        assert!(matches!(err, InitiateError::SameValueTooSoon { .. }));
+        assert!(e.initiate(t(0) + p.delta_v(), 7).is_ok());
+    }
+
+    #[test]
+    fn initiate_respects_ig3_backoff() {
+        let p = params4();
+        let mut e: Engine<u64> = Engine::new(id(0), p);
+        e.initiate(t(0), 7).unwrap();
+        // No support/approve ever arrives → the +2d check fails.
+        let outs = e.on_tick(t(0) + d() * 2u64 + Duration::from_nanos(2));
+        assert!(
+            outs.iter()
+                .any(|o| matches!(o, Output::Event(Event::InitiationFailed { .. }))),
+            "stalled initiation must be detected: {outs:?}"
+        );
+        let err = e.initiate(t(0) + p.delta_0() * 2u64, 9).unwrap_err();
+        assert!(matches!(err, InitiateError::BackingOff { .. }));
+        // After Δ_reset the backoff lifts.
+        assert!(e
+            .initiate(t(0) + d() * 2u64 + p.delta_reset() + d(), 9)
+            .is_ok());
+    }
+
+    #[test]
+    fn forged_initiator_ignored() {
+        let p = params4();
+        let mut e: Engine<u64> = Engine::new(id(1), p);
+        let out = e.on_message(
+            t(0),
+            id(2), // claims to be from General 0 but sent by 2
+            Msg::Initiator {
+                general: id(0),
+                value: 7,
+            },
+        );
+        assert!(out.is_empty());
+        assert!(e.ia(id(0)).is_none());
+    }
+
+    #[test]
+    fn ia_send_routes_to_broadcast() {
+        let p = params4();
+        let mut e: Engine<u64> = Engine::new(id(1), p);
+        let out = e.on_message(
+            t(0),
+            id(0),
+            Msg::Initiator {
+                general: id(0),
+                value: 7,
+            },
+        );
+        assert!(out.iter().any(|o| matches!(
+            o,
+            Output::Broadcast(Msg::Ia {
+                kind: IaKind::Support,
+                ..
+            })
+        )));
+    }
+
+    #[test]
+    fn bcast_routes_to_agreement() {
+        let p = params4();
+        let mut e: Engine<u64> = Engine::new(id(1), p);
+        // Echo messages buffer without an anchor, then a late anchor picks
+        // them up via the agreement instance.
+        for s in [0u32, 2, 3] {
+            e.on_message(
+                t(0),
+                id(s),
+                Msg::Bcast {
+                    kind: BcastKind::Echo,
+                    general: id(0),
+                    broadcaster: id(2),
+                    value: 7,
+                    round: 1,
+                },
+            );
+        }
+        assert!(e.agreement(id(0)).is_some());
+    }
+
+    #[test]
+    fn tick_aborts_at_hard_deadline() {
+        let p = params4();
+        let mut e: Engine<u64> = Engine::new(id(1), p);
+        // Plant an anchor via corruption to simulate a late I-accept.
+        e.agreement_raw(id(0)).corrupt_anchor(t(0));
+        let out = e.on_tick(t(0) + p.delta_agr() + Duration::from_nanos(2));
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, Output::Event(Event::Aborted { .. }))));
+    }
+
+    #[test]
+    fn hard_reset_wipes_state() {
+        let p = params4();
+        let mut e: Engine<u64> = Engine::new(id(0), p);
+        e.initiate(t(0), 7).unwrap();
+        e.hard_reset();
+        assert!(e.ia(id(0)).is_none());
+        assert!(e.initiate(t(1), 7).is_ok(), "guards wiped");
+    }
+
+    #[test]
+    fn cleanup_decays_general_guards() {
+        let p = params4();
+        let mut e: Engine<u64> = Engine::new(id(0), p);
+        e.initiate(t(0), 7).unwrap();
+        // Force cleanup far in the future: IG1 guard decays after Δ0 and
+        // IG2 after Δ_v, so an initiation of the same value succeeds.
+        let later = t(0) + p.delta_v() + d() * 2u64;
+        e.on_tick(later);
+        assert!(e.initiate(later, 7).is_ok());
+    }
+
+    #[test]
+    fn initiate_error_display() {
+        let e = InitiateError::TooSoon {
+            wait: Duration::from_millis(5),
+        };
+        assert!(e.to_string().contains("IG1"));
+    }
+}

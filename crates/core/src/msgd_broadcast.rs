@@ -1,0 +1,609 @@
+//! The `msgd-broadcast` primitive (paper Fig. 3, §5).
+//!
+//! A message-driven re-formulation of the Toueg–Perry–Srikanth reliable
+//! broadcast: instead of lock-step rounds, every round is *anchored* at the
+//! local-time estimate `τ_G` produced by `Initiator-Accept`, and each block
+//! only carries a **deadline** (`τq ≤ τ_G + c·Φ`) — conditions may be
+//! satisfied as soon as the necessary messages arrive, so the primitive
+//! progresses at actual network speed (the paper's headline performance
+//! property).
+//!
+//! Blocks (for a triplet `(p, m, k)`):
+//!
+//! * **V** — the broadcaster `p` sends `(init, p, m, k)`.
+//! * **W** (by `τ_G + 2kΦ`) — a direct `init` from `p` triggers `echo`.
+//! * **X** (by `τ_G + (2k+1)Φ`) — weak quorum of `echo` ⇒ `init′`; strong
+//!   quorum of `echo` ⇒ **accept**.
+//! * **Y** (by `τ_G + (2k+2)Φ`) — weak quorum of `init′` ⇒ `p` is recorded
+//!   in `broadcasters`; strong quorum of `init′` ⇒ `echo′`.
+//! * **Z** (untimed) — weak quorum of `echo′` ⇒ relay `echo′`; strong
+//!   quorum of `echo′` ⇒ **accept** (late path, powers the Relay
+//!   property [TPS-3]).
+//!
+//! Messages are logged even before the anchor exists ("nodes log messages
+//! until they are able to process them") and evaluated once it does.
+
+use std::collections::BTreeMap;
+
+use ssbyz_types::{LocalTime, NodeId, Value};
+
+use crate::message::BcastKind;
+use crate::params::Params;
+use crate::store::ArrivalLog;
+
+/// Actions produced by the primitive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MsgdAction<V> {
+    /// Broadcast a primitive message to all nodes.
+    Send {
+        /// Stage to send.
+        kind: BcastKind,
+        /// The original broadcaster `p` of the triplet.
+        broadcaster: NodeId,
+        /// The value `m`.
+        value: V,
+        /// The round `k`.
+        round: u32,
+    },
+    /// The triplet `(p, m, k)` was accepted (blocks X5/Z5).
+    Accepted {
+        /// The broadcaster `p`.
+        broadcaster: NodeId,
+        /// The value `m`.
+        value: V,
+        /// The round `k`.
+        round: u32,
+    },
+    /// `p` entered the `broadcasters` set (block Y3, [TPS-4]).
+    BroadcasterDetected(NodeId),
+}
+
+/// Per-triplet message state.
+#[derive(Debug, Clone, Default)]
+struct TripletState {
+    /// Arrival of `(init, p, m, k)` from `p` itself.
+    init_from_p: Option<LocalTime>,
+    echo: ArrivalLog,
+    init_prime: ArrivalLog,
+    echo_prime: ArrivalLog,
+    /// "Nodes send specific messages only once."
+    sent: [bool; 4],
+    accepted_at: Option<LocalTime>,
+    /// Most recent arrival, for decay.
+    touched: Option<LocalTime>,
+}
+
+impl TripletState {
+    fn is_dormant(&self) -> bool {
+        self.init_from_p.is_none()
+            && self.echo.is_empty()
+            && self.init_prime.is_empty()
+            && self.echo_prime.is_empty()
+            && self.accepted_at.is_none()
+            && !self.sent.iter().any(|b| *b)
+    }
+}
+
+/// Cap on tracked triplets per agreement instance (Byzantine nodes can mint
+/// triplets; the legitimate count is ≤ n·(f+1) per value in play).
+pub const MAX_TRACKED_TRIPLETS: usize = 4096;
+
+/// One node's `msgd-broadcast` machinery inside the agreement instance of
+/// one General.
+///
+/// # Example
+///
+/// ```
+/// use ssbyz_core::{MsgdBroadcast, MsgdAction, BcastKind, Params};
+/// use ssbyz_types::{Duration, LocalTime, NodeId};
+///
+/// let params = Params::from_d(4, 1, Duration::from_millis(10), 0)?;
+/// let mut bc = MsgdBroadcast::<u64>::new(NodeId::new(1), NodeId::new(0), params);
+/// let mut out = Vec::new();
+/// bc.invoke(LocalTime::from_nanos(0), 7, 1, &mut out); // block V
+/// assert!(matches!(out[0], MsgdAction::Send { kind: BcastKind::Init, .. }));
+/// # Ok::<(), ssbyz_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MsgdBroadcast<V: Value> {
+    me: NodeId,
+    #[allow(dead_code)]
+    general: NodeId,
+    params: Params,
+    triplets: BTreeMap<(NodeId, u32, V), TripletState>,
+    broadcasters: BTreeMap<NodeId, LocalTime>,
+}
+
+impl<V: Value> MsgdBroadcast<V> {
+    /// Creates fresh (empty) broadcast state.
+    #[must_use]
+    pub fn new(me: NodeId, general: NodeId, params: Params) -> Self {
+        MsgdBroadcast {
+            me,
+            general,
+            params,
+            triplets: BTreeMap::new(),
+            broadcasters: BTreeMap::new(),
+        }
+    }
+
+    /// Block V: this node invokes `msgd-broadcast(me, value, round)`.
+    pub fn invoke(&mut self, now: LocalTime, value: V, round: u32, out: &mut Vec<MsgdAction<V>>) {
+        let key = (self.me, round, value.clone());
+        let st = self.triplets.entry(key).or_default();
+        if st.sent[BcastKind::Init as usize] {
+            return;
+        }
+        st.sent[BcastKind::Init as usize] = true;
+        st.touched = Some(now);
+        out.push(MsgdAction::Send {
+            kind: BcastKind::Init,
+            broadcaster: self.me,
+            value,
+            round,
+        });
+    }
+
+    /// Feeds a primitive message from authenticated `sender`. `anchor` is
+    /// the node's `τ_G` if already set; without it the message is only
+    /// logged.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_message(
+        &mut self,
+        now: LocalTime,
+        sender: NodeId,
+        kind: BcastKind,
+        broadcaster: NodeId,
+        value: V,
+        round: u32,
+        anchor: Option<LocalTime>,
+        out: &mut Vec<MsgdAction<V>>,
+    ) {
+        if round == 0 || round > self.params.max_round() {
+            return; // bogus round — no legitimate broadcast uses it
+        }
+        if self.triplets.len() >= MAX_TRACKED_TRIPLETS
+            && !self.triplets.contains_key(&(broadcaster, round, value.clone()))
+        {
+            return; // bound memory against triplet-minting adversaries
+        }
+        let st = self
+            .triplets
+            .entry((broadcaster, round, value.clone()))
+            .or_default();
+        st.touched = Some(now);
+        match kind {
+            BcastKind::Init => {
+                // Only an init from the broadcaster itself counts (W2).
+                if sender == broadcaster && st.init_from_p.is_none() {
+                    st.init_from_p = Some(now);
+                }
+            }
+            BcastKind::Echo => st.echo.record(now, sender),
+            BcastKind::InitPrime => st.init_prime.record(now, sender),
+            BcastKind::EchoPrime => st.echo_prime.record(now, sender),
+        }
+        if let Some(anchor) = anchor {
+            self.evaluate_triplet(now, anchor, broadcaster, round, &value, out);
+        }
+    }
+
+    /// Called when the anchor `τ_G` becomes known: evaluates every logged
+    /// triplet against it.
+    pub fn on_anchor(&mut self, now: LocalTime, anchor: LocalTime, out: &mut Vec<MsgdAction<V>>) {
+        let keys: Vec<(NodeId, u32, V)> = self.triplets.keys().cloned().collect();
+        for (p, k, v) in keys {
+            self.evaluate_triplet(now, anchor, p, k, &v, out);
+        }
+    }
+
+    /// Runs blocks W–Z for one triplet.
+    fn evaluate_triplet(
+        &mut self,
+        now: LocalTime,
+        anchor: LocalTime,
+        broadcaster: NodeId,
+        round: u32,
+        value: &V,
+        out: &mut Vec<MsgdAction<V>>,
+    ) {
+        let phi = self.params.phi();
+        let weak = self.params.weak_quorum();
+        let strong = self.params.quorum();
+        // Elapsed local time since the anchor; a (bogus) future anchor
+        // behaves as "just set".
+        let elapsed = now.since_or_zero(anchor);
+        let k = u64::from(round);
+        let Some(st) = self.triplets.get_mut(&(broadcaster, round, value.clone())) else {
+            return;
+        };
+        let mut send: Vec<BcastKind> = Vec::new();
+        let mut accepted = false;
+        let mut detected = false;
+
+        // Block W — by τ_G + 2kΦ.
+        if elapsed <= phi * (2 * k)
+            && st.init_from_p.is_some()
+            && !st.sent[BcastKind::Echo as usize]
+        {
+            st.sent[BcastKind::Echo as usize] = true;
+            send.push(BcastKind::Echo);
+        }
+        // Block X — by τ_G + (2k+1)Φ.
+        if elapsed <= phi * (2 * k + 1) {
+            if st.echo.distinct_total() >= weak && !st.sent[BcastKind::InitPrime as usize] {
+                st.sent[BcastKind::InitPrime as usize] = true;
+                send.push(BcastKind::InitPrime);
+            }
+            if st.echo.distinct_total() >= strong && st.accepted_at.is_none() {
+                st.accepted_at = Some(now);
+                accepted = true;
+            }
+        }
+        // Block Y — by τ_G + (2k+2)Φ.
+        if elapsed <= phi * (2 * k + 2) {
+            if st.init_prime.distinct_total() >= weak
+                && !self.broadcasters.contains_key(&broadcaster)
+            {
+                detected = true;
+            }
+            if st.init_prime.distinct_total() >= strong && !st.sent[BcastKind::EchoPrime as usize]
+            {
+                st.sent[BcastKind::EchoPrime as usize] = true;
+                send.push(BcastKind::EchoPrime);
+            }
+        }
+        // Block Z — untimed.
+        if st.echo_prime.distinct_total() >= weak && !st.sent[BcastKind::EchoPrime as usize] {
+            st.sent[BcastKind::EchoPrime as usize] = true;
+            send.push(BcastKind::EchoPrime);
+        }
+        if st.echo_prime.distinct_total() >= strong && st.accepted_at.is_none() {
+            st.accepted_at = Some(now);
+            accepted = true;
+        }
+
+        for kind in send {
+            out.push(MsgdAction::Send {
+                kind,
+                broadcaster,
+                value: value.clone(),
+                round,
+            });
+        }
+        if detected {
+            self.broadcasters.insert(broadcaster, now);
+            out.push(MsgdAction::BroadcasterDetected(broadcaster));
+        }
+        if accepted {
+            out.push(MsgdAction::Accepted {
+                broadcaster,
+                value: value.clone(),
+                round,
+            });
+        }
+    }
+
+    /// Number of detected broadcasters (block T of the agreement).
+    #[must_use]
+    pub fn broadcaster_count(&self) -> usize {
+        self.broadcasters.len()
+    }
+
+    /// Number of triplets with live (logged) state — includes messages
+    /// buffered before the anchor exists.
+    #[must_use]
+    pub fn triplet_count(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// Whether `p` has been detected as a broadcaster.
+    #[must_use]
+    pub fn is_broadcaster(&self, p: NodeId) -> bool {
+        self.broadcasters.contains_key(&p)
+    }
+
+    /// Fig. 3 cleanup: messages older than `(2f + 3)Φ` decay, as do
+    /// future-stamped residues.
+    pub fn cleanup(&mut self, now: LocalTime) {
+        let horizon = self.params.msgd_horizon();
+        let stale = |t: Option<LocalTime>| {
+            t.is_some_and(|t| t.is_after(now) || now.since(t) > horizon)
+        };
+        for st in self.triplets.values_mut() {
+            st.echo.prune(now, horizon);
+            st.init_prime.prune(now, horizon);
+            st.echo_prime.prune(now, horizon);
+            if stale(st.init_from_p) {
+                st.init_from_p = None;
+            }
+            if stale(st.accepted_at) {
+                st.accepted_at = None;
+            }
+            if stale(st.touched) {
+                st.touched = None;
+                st.sent = [false; 4];
+            }
+        }
+        self.triplets.retain(|_, st| !st.is_dormant());
+        self.broadcasters
+            .retain(|_, t| !t.is_after(now) && now.since(*t) <= horizon);
+    }
+
+    /// Drops all state (3d after the surrounding agreement returned).
+    pub fn reset(&mut self) {
+        self.triplets.clear();
+        self.broadcasters.clear();
+    }
+
+    /// Introspection: whether the triplet has been accepted.
+    #[must_use]
+    pub fn accepted(&self, broadcaster: NodeId, round: u32, value: &V) -> bool {
+        self.triplets
+            .get(&(broadcaster, round, value.clone()))
+            .is_some_and(|st| st.accepted_at.is_some())
+    }
+
+    /// Corruption hooks for the transient-fault harness.
+    pub fn corrupt_triplet(
+        &mut self,
+        broadcaster: NodeId,
+        round: u32,
+        value: V,
+        kind: BcastKind,
+        sender: NodeId,
+        stamp: LocalTime,
+    ) {
+        let st = self.triplets.entry((broadcaster, round, value)).or_default();
+        match kind {
+            BcastKind::Init => st.init_from_p = Some(stamp),
+            BcastKind::Echo => st.echo.inject_raw(sender, stamp),
+            BcastKind::InitPrime => st.init_prime.inject_raw(sender, stamp),
+            BcastKind::EchoPrime => st.echo_prime.inject_raw(sender, stamp),
+        }
+        st.touched = Some(stamp);
+    }
+
+    /// Corruption hook: plants a fake broadcaster entry.
+    pub fn corrupt_broadcaster(&mut self, p: NodeId, stamp: LocalTime) {
+        self.broadcasters.insert(p, stamp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssbyz_types::Duration;
+
+    const D: u64 = 10_000_000;
+
+    fn params4() -> Params {
+        Params::from_d(4, 1, Duration::from_nanos(D), 0).unwrap()
+    }
+
+    fn t(n: u64) -> LocalTime {
+        LocalTime::from_nanos(1_000 * D + n)
+    }
+
+    fn id(n: u32) -> NodeId {
+        NodeId::new(n)
+    }
+
+    fn bc() -> MsgdBroadcast<u64> {
+        MsgdBroadcast::new(id(1), id(0), params4())
+    }
+
+    fn sends(out: &[MsgdAction<u64>]) -> Vec<BcastKind> {
+        out.iter()
+            .filter_map(|a| match a {
+                MsgdAction::Send { kind, .. } => Some(*kind),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn accepts(out: &[MsgdAction<u64>]) -> usize {
+        out.iter()
+            .filter(|a| matches!(a, MsgdAction::Accepted { .. }))
+            .count()
+    }
+
+    #[test]
+    fn invoke_sends_init_once() {
+        let mut b = bc();
+        let mut out = Vec::new();
+        b.invoke(t(0), 7, 1, &mut out);
+        b.invoke(t(1), 7, 1, &mut out);
+        assert_eq!(sends(&out), vec![BcastKind::Init]);
+    }
+
+    #[test]
+    fn echo_only_for_direct_init() {
+        let mut b = bc();
+        let anchor = t(0);
+        let mut out = Vec::new();
+        // init claimed for broadcaster 2 but sent by 3: ignored by W.
+        b.on_message(t(5), id(3), BcastKind::Init, id(2), 7, 1, Some(anchor), &mut out);
+        assert!(sends(&out).is_empty());
+        // Direct init from 2: echo.
+        b.on_message(t(6), id(2), BcastKind::Init, id(2), 7, 1, Some(anchor), &mut out);
+        assert_eq!(sends(&out), vec![BcastKind::Echo]);
+    }
+
+    #[test]
+    fn echo_deadline_enforced() {
+        let p = params4();
+        let mut b = bc();
+        let anchor = t(0);
+        let mut out = Vec::new();
+        // k = 1 ⇒ W deadline at anchor + 2Φ.
+        let late = anchor + p.phi() * 2u64 + Duration::from_nanos(1);
+        b.on_message(late, id(2), BcastKind::Init, id(2), 7, 1, Some(anchor), &mut out);
+        assert!(sends(&out).is_empty(), "past the W deadline no echo");
+    }
+
+    #[test]
+    fn weak_quorum_of_echo_sends_init_prime() {
+        let mut b = bc();
+        let anchor = t(0);
+        let mut out = Vec::new();
+        b.on_message(t(1), id(0), BcastKind::Echo, id(2), 7, 1, Some(anchor), &mut out);
+        assert!(sends(&out).is_empty());
+        b.on_message(t(2), id(3), BcastKind::Echo, id(2), 7, 1, Some(anchor), &mut out);
+        assert_eq!(sends(&out), vec![BcastKind::InitPrime]);
+    }
+
+    #[test]
+    fn strong_quorum_of_echo_accepts() {
+        let mut b = bc();
+        let anchor = t(0);
+        let mut out = Vec::new();
+        for s in [0u32, 2, 3] {
+            b.on_message(t(s as u64), id(s), BcastKind::Echo, id(2), 7, 1, Some(anchor), &mut out);
+        }
+        assert_eq!(accepts(&out), 1);
+        assert!(b.accepted(id(2), 1, &7));
+        // Replays never re-accept.
+        b.on_message(t(10), id(0), BcastKind::Echo, id(2), 7, 1, Some(anchor), &mut out);
+        assert_eq!(accepts(&out), 1);
+    }
+
+    #[test]
+    fn x_deadline_pushes_accept_to_z() {
+        let p = params4();
+        let mut b = bc();
+        let anchor = t(0);
+        let mut out = Vec::new();
+        let late = anchor + p.phi() * 3u64 + Duration::from_nanos(5); // past (2k+1)Φ for k=1
+        for s in [0u32, 2, 3] {
+            b.on_message(late, id(s), BcastKind::Echo, id(2), 7, 1, Some(anchor), &mut out);
+        }
+        assert_eq!(accepts(&out), 0, "X accept disabled after deadline");
+        // But echo′ path (block Z) still works at any time.
+        for s in [0u32, 2, 3] {
+            b.on_message(
+                late + Duration::from_nanos(10),
+                id(s),
+                BcastKind::EchoPrime,
+                id(2),
+                7,
+                1,
+                Some(anchor),
+                &mut out,
+            );
+        }
+        assert_eq!(accepts(&out), 1, "Z accept is untimed");
+    }
+
+    #[test]
+    fn broadcaster_detection() {
+        let mut b = bc();
+        let anchor = t(0);
+        let mut out = Vec::new();
+        b.on_message(t(1), id(0), BcastKind::InitPrime, id(2), 7, 1, Some(anchor), &mut out);
+        assert_eq!(b.broadcaster_count(), 0);
+        b.on_message(t(2), id(3), BcastKind::InitPrime, id(2), 7, 1, Some(anchor), &mut out);
+        assert_eq!(b.broadcaster_count(), 1);
+        assert!(b.is_broadcaster(id(2)));
+        assert!(out.contains(&MsgdAction::BroadcasterDetected(id(2))));
+        // Strong quorum sends echo′.
+        b.on_message(t(3), id(1), BcastKind::InitPrime, id(2), 7, 1, Some(anchor), &mut out);
+        assert!(sends(&out).contains(&BcastKind::EchoPrime));
+    }
+
+    #[test]
+    fn echo_prime_relay() {
+        let mut b = bc();
+        let anchor = t(0);
+        let mut out = Vec::new();
+        // Weak quorum of echo′ makes the node relay echo′ (Z3).
+        b.on_message(t(1), id(0), BcastKind::EchoPrime, id(2), 7, 1, Some(anchor), &mut out);
+        b.on_message(t(2), id(3), BcastKind::EchoPrime, id(2), 7, 1, Some(anchor), &mut out);
+        assert_eq!(sends(&out), vec![BcastKind::EchoPrime]);
+    }
+
+    #[test]
+    fn buffered_messages_processed_on_anchor() {
+        let mut b = bc();
+        let mut out = Vec::new();
+        // No anchor: messages only logged.
+        for s in [0u32, 2, 3] {
+            b.on_message(t(s as u64), id(s), BcastKind::Echo, id(2), 7, 1, None, &mut out);
+        }
+        assert!(out.is_empty());
+        // Anchor arrives: the triplet is evaluated and accepted.
+        b.on_anchor(t(10), t(0), &mut out);
+        assert_eq!(accepts(&out), 1);
+        assert!(sends(&out).contains(&BcastKind::InitPrime));
+    }
+
+    #[test]
+    fn bogus_rounds_rejected() {
+        let p = params4();
+        let mut b = bc();
+        let mut out = Vec::new();
+        b.on_message(t(0), id(2), BcastKind::Echo, id(2), 7, 0, Some(t(0)), &mut out);
+        b.on_message(
+            t(0),
+            id(2),
+            BcastKind::Echo,
+            id(2),
+            7,
+            p.max_round() + 1,
+            Some(t(0)),
+            &mut out,
+        );
+        assert!(out.is_empty());
+        assert!(!b.accepted(id(2), 0, &7));
+    }
+
+    #[test]
+    fn cleanup_decays_triplets() {
+        let p = params4();
+        let mut b = bc();
+        let mut out = Vec::new();
+        b.on_message(t(0), id(2), BcastKind::Echo, id(2), 7, 1, None, &mut out);
+        b.cleanup(t(0) + p.msgd_horizon() + Duration::from_nanos(1));
+        // Everything decayed; a fresh echo starts from zero.
+        b.on_message(
+            t(0) + p.msgd_horizon() + Duration::from_nanos(2),
+            id(3),
+            BcastKind::Echo,
+            id(2),
+            7,
+            1,
+            Some(t(0) + p.msgd_horizon()),
+            &mut out,
+        );
+        assert!(sends(&out).is_empty(), "old echo must not count");
+    }
+
+    #[test]
+    fn cleanup_drops_future_residue() {
+        let mut b = bc();
+        b.corrupt_triplet(id(2), 1, 7, BcastKind::Echo, id(0), t(999_999_999));
+        b.corrupt_broadcaster(id(3), t(999_999_999));
+        b.cleanup(t(0));
+        assert_eq!(b.broadcaster_count(), 0);
+        let mut out = Vec::new();
+        // Two fresh echoes should now be exactly a weak quorum (the bogus
+        // future echo from id(0) is gone).
+        b.on_message(t(1), id(1), BcastKind::Echo, id(2), 7, 1, Some(t(0)), &mut out);
+        assert!(sends(&out).is_empty());
+        b.on_message(t(2), id(3), BcastKind::Echo, id(2), 7, 1, Some(t(0)), &mut out);
+        assert_eq!(sends(&out), vec![BcastKind::InitPrime]);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut b = bc();
+        let mut out = Vec::new();
+        for s in [0u32, 2, 3] {
+            b.on_message(t(1), id(s), BcastKind::InitPrime, id(2), 7, 1, Some(t(0)), &mut out);
+        }
+        assert_eq!(b.broadcaster_count(), 1);
+        b.reset();
+        assert_eq!(b.broadcaster_count(), 0);
+        assert!(!b.accepted(id(2), 1, &7));
+    }
+}

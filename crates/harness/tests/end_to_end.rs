@@ -1,0 +1,45 @@
+//! End-to-end smoke tests of the full stack: engine ↔ adapter ↔ simulator.
+
+use ssbyz_harness::experiments::{e1_validity, run_correct_general, slack};
+use ssbyz_harness::{checks, ScenarioBuilder, ScenarioConfig};
+use ssbyz_types::{Duration, NodeId, RealTime};
+
+#[test]
+fn correct_general_four_nodes() {
+    let (res, t0) = run_correct_general(
+        4,
+        1,
+        1,
+        Duration::from_micros(500),
+        Duration::from_millis(9),
+        42,
+    );
+    assert_eq!(res.decides_for(NodeId::new(0)).len(), 4, "{res:?}");
+    checks::check_correct_general_run(&res, NodeId::new(0), 42, t0, slack(res.params.d()))
+        .assert_ok("correct general n=4");
+}
+
+#[test]
+fn correct_general_seven_nodes_many_seeds() {
+    let row = e1_validity(7, 2, 5);
+    assert!(row.violations.is_empty(), "{:?}", row.violations);
+    assert!(row.max_latency <= row.latency_bound + Duration::from_millis(3));
+}
+
+#[test]
+fn ideal_clocks_scenario() {
+    let cfg = ScenarioConfig::new(4, 1).with_seed(9);
+    let params = cfg.params().unwrap();
+    let off = params.d() * 4u64;
+    let mut sc = ScenarioBuilder::new(cfg)
+        .correct_general(off, 5)
+        .correct()
+        .correct()
+        .correct()
+        .ideal_clocks()
+        .build();
+    sc.run_until(RealTime::ZERO + params.delta_agr() + params.d() * 20u64);
+    let res = sc.result();
+    assert_eq!(res.decided_values(NodeId::new(0)), vec![5]);
+    assert_eq!(res.decides_for(NodeId::new(0)).len(), 4);
+}

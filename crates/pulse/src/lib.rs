@@ -1,0 +1,21 @@
+//! # `ssbyz-pulse` — pulse synchronization atop `ss-Byz-Agree`
+//!
+//! The paper's stated extension (§1, reference `[6]`): once self-stabilizing
+//! Byzantine agreement exists, *synchronized pulses* — a common periodic
+//! beat at all correct nodes — can be produced on top of it, which in turn
+//! lets any classic Byzantine algorithm be made self-stabilizing. This
+//! crate implements the construction: cycle-driven recurrent agreements,
+//! a quorum-of-decided-Generals pulse trigger, and a weak-quorum "hurry"
+//! rule that collapses arbitrary cycle phases after a transient fault.
+//!
+//! Experiment E10 measures the resulting pulse skew (a small multiple of
+//! `d`) and the convergence of scattered boots into full waves.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod node;
+mod runner;
+
+pub use node::{PulseConfig, PulseEvent, PulseNode};
+pub use runner::{run_pulse, run_pulse_with_faults, PulseRunResult, Wave};

@@ -1,0 +1,244 @@
+//! The pulse-synchronization node.
+//!
+//! The paper argues (§1, reference `[6]`) that synchronized pulses "can
+//! actually be produced more efficiently atop the protocol in the current
+//! paper": recurring `ss-Byz-Agree` decisions provide the common events
+//! from which all correct nodes derive a shared beat. This module
+//! implements that construction in its simplest robust form:
+//!
+//! * every node keeps a **cycle timer** of length `C ≫ Δ_agr`; on expiry
+//!   it initiates `ss-Byz-Agree` as General on a fresh sequence number;
+//! * decisions are timed by the protocol's Timeliness property to land
+//!   within `3d` of each other at all correct nodes, so "the `(n−f)`-th
+//!   distinct General decided within the collection window" is itself a
+//!   synchronized event — that event **is the pulse**;
+//! * a weak quorum (`f+1`, hence ≥ 1 correct) of recent decisions makes a
+//!   lagging node *hurry* (initiate immediately), which is what pulls
+//!   scattered cycle phases together after a transient fault;
+//! * after firing, a refractory period of `C/2` ignores further triggers,
+//!   bounding the pulse rate against Byzantine acceleration.
+//!
+//! Self-stabilization is inherited: the underlying agreement converges
+//! from arbitrary state, and the hurry rule collapses arbitrary cycle
+//! phases into one wave within a cycle or two.
+
+use std::collections::BTreeMap;
+
+use ssbyz_core::{Duration, Engine, Event, LocalTime, Msg, NodeId, Output, Params};
+use ssbyz_simnet::{Ctx, Process};
+
+/// Observations emitted by a [`PulseNode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PulseEvent {
+    /// The node fired a pulse (its `k`-th since boot).
+    Fired {
+        /// Monotone per-node pulse counter.
+        seq: u64,
+    },
+    /// The node initiated its own agreement (cycle expiry or hurry).
+    Initiated {
+        /// The value used (sequence number).
+        value: u64,
+        /// Whether this was a hurry (weak-quorum pull-in) rather than a
+        /// natural cycle expiry.
+        hurried: bool,
+    },
+}
+
+/// Tuning of the pulse layer.
+#[derive(Debug, Clone, Copy)]
+pub struct PulseConfig {
+    /// Cycle length `C` (must exceed `Δ_agr + Δ0`).
+    pub cycle: Duration,
+    /// Window within which decided Generals are counted toward a pulse.
+    pub window: Duration,
+    /// Post-pulse refractory period.
+    pub refractory: Duration,
+}
+
+impl PulseConfig {
+    /// Defaults derived from the protocol constants: `C = 4·Δ_agr`,
+    /// window `= Δ_agr`, refractory `= C/2`.
+    #[must_use]
+    pub fn from_params(params: &Params) -> Self {
+        let cycle = params.delta_agr() * 4u64;
+        PulseConfig {
+            cycle,
+            window: params.delta_agr(),
+            refractory: cycle / 2,
+        }
+    }
+}
+
+const T_TICK: u64 = 0;
+const T_WAKE: u64 = 1;
+/// Cycle timers carry a generation in the low bits so that re-arming
+/// invalidates stale ones (the simulator cannot cancel timers).
+const T_CYCLE_BASE: u64 = 1 << 32;
+
+/// A node running the pulse construction over an embedded [`Engine`].
+pub struct PulseNode {
+    engine: Engine<u64>,
+    cfg: PulseConfig,
+    tick: Duration,
+    /// Latest decision time per General.
+    decided: BTreeMap<NodeId, LocalTime>,
+    last_pulse: Option<LocalTime>,
+    pulse_seq: u64,
+    init_seq: u64,
+    cycle_gen: u64,
+    last_initiation: Option<LocalTime>,
+}
+
+impl PulseNode {
+    /// Creates a pulse node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cycle is not comfortably longer than `Δ_agr + Δ0`.
+    #[must_use]
+    pub fn new(engine: Engine<u64>, cfg: PulseConfig) -> Self {
+        let p = *engine.params();
+        assert!(
+            cfg.cycle > p.delta_agr() + p.delta_0(),
+            "cycle must exceed Δ_agr + Δ0"
+        );
+        let tick = p.d();
+        PulseNode {
+            engine,
+            cfg,
+            tick,
+            decided: BTreeMap::new(),
+            last_pulse: None,
+            pulse_seq: 0,
+            init_seq: 0,
+            cycle_gen: 0,
+            last_initiation: None,
+        }
+    }
+
+    fn arm_cycle(&mut self, ctx: &mut Ctx<'_, Msg<u64>, PulseEvent>, after: Duration) {
+        self.cycle_gen += 1;
+        ctx.set_timer_after(after, T_CYCLE_BASE + self.cycle_gen);
+    }
+
+    fn in_refractory(&self, now: LocalTime) -> bool {
+        self.last_pulse
+            .is_some_and(|t| !t.is_after(now) && now.since(t) < self.cfg.refractory)
+    }
+
+    fn initiate(&mut self, ctx: &mut Ctx<'_, Msg<u64>, PulseEvent>, hurried: bool) {
+        let now = ctx.now();
+        // Respect IG1 locally (the engine enforces it anyway).
+        if self
+            .last_initiation
+            .is_some_and(|t| !t.is_after(now) && now.since(t) < self.engine.params().delta_0())
+        {
+            return;
+        }
+        let value = self.init_seq;
+        self.init_seq += 1;
+        match self.engine.initiate(now, value) {
+            Ok(outputs) => {
+                self.last_initiation = Some(now);
+                ctx.observe(PulseEvent::Initiated { value, hurried });
+                self.apply(ctx, outputs);
+            }
+            Err(_) => { /* spacing criteria refused — try next cycle */ }
+        }
+    }
+
+    fn apply(&mut self, ctx: &mut Ctx<'_, Msg<u64>, PulseEvent>, outputs: Vec<Output<u64>>) {
+        let mut fire = false;
+        let mut hurry = false;
+        {
+            let now = ctx.now();
+            for o in &outputs {
+                if let Output::Event(Event::Decided { general, .. }) = o {
+                    self.decided.insert(*general, now);
+                }
+            }
+            // Prune the decision window.
+            let window = self.cfg.window;
+            self.decided
+                .retain(|_, t| !t.is_after(now) && now.since(*t) <= window);
+            let params = self.engine.params();
+            if !self.in_refractory(now) {
+                if self.decided.len() >= params.quorum() {
+                    fire = true;
+                } else if self.decided.len() > params.f() {
+                    hurry = true;
+                }
+            }
+        }
+        for o in outputs {
+            match o {
+                Output::Broadcast(msg) => ctx.broadcast(msg),
+                Output::WakeAt(t) => ctx.set_timer_at(t, T_WAKE),
+                Output::Event(_) => {}
+            }
+        }
+        if fire {
+            let now = ctx.now();
+            self.last_pulse = Some(now);
+            self.pulse_seq += 1;
+            ctx.observe(PulseEvent::Fired {
+                seq: self.pulse_seq,
+            });
+            self.decided.clear();
+            self.arm_cycle(ctx, self.cfg.cycle);
+        } else if hurry {
+            self.initiate(ctx, true);
+        }
+    }
+
+    /// Read access to the embedded engine.
+    #[must_use]
+    pub fn engine(&self) -> &Engine<u64> {
+        &self.engine
+    }
+
+    /// Mutable access (e.g. to scramble before the run).
+    pub fn engine_mut(&mut self) -> &mut Engine<u64> {
+        &mut self.engine
+    }
+}
+
+impl Process<Msg<u64>, PulseEvent> for PulseNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg<u64>, PulseEvent>) {
+        ctx.set_timer_after(self.tick, T_TICK);
+        // Desynchronized first cycle: stagger by identity so a cold boot
+        // doesn't accidentally look synchronized.
+        let stagger = Duration::from_nanos(
+            self.cfg.cycle.as_nanos() / (ctx.n() as u64 + 1) * (ctx.me().index() as u64 + 1),
+        );
+        self.arm_cycle(ctx, stagger);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg<u64>, PulseEvent>, from: NodeId, msg: Msg<u64>) {
+        let outputs = self.engine.on_message(ctx.now(), from, msg);
+        self.apply(ctx, outputs);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<u64>, PulseEvent>, token: u64) {
+        match token {
+            T_TICK => {
+                let outputs = self.engine.on_tick(ctx.now());
+                self.apply(ctx, outputs);
+                ctx.set_timer_after(self.tick, T_TICK);
+            }
+            T_WAKE => {
+                let outputs = self.engine.on_tick(ctx.now());
+                self.apply(ctx, outputs);
+            }
+            t if t > T_CYCLE_BASE => {
+                if t - T_CYCLE_BASE != self.cycle_gen {
+                    return; // stale cycle timer from before a pulse reset
+                }
+                self.initiate(ctx, false);
+                self.arm_cycle(ctx, self.cfg.cycle);
+            }
+            _ => {}
+        }
+    }
+}

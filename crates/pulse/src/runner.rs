@@ -1,0 +1,192 @@
+//! Pulse-scenario runner and wave analysis.
+
+use ssbyz_core::{Duration, Engine, Msg, NodeId, Params, RealTime};
+use ssbyz_simnet::{DriftClock, LinkConfig, SimBuilder};
+
+use crate::node::{PulseConfig, PulseEvent, PulseNode};
+
+/// One synchronized pulse wave: the firing times of the nodes that
+/// participated.
+#[derive(Debug, Clone)]
+pub struct Wave {
+    /// `(node, real firing time)`.
+    pub firings: Vec<(NodeId, RealTime)>,
+}
+
+impl Wave {
+    /// Spread between the first and last firing of the wave.
+    #[must_use]
+    pub fn skew(&self) -> Duration {
+        let min = self.firings.iter().map(|(_, t)| *t).min();
+        let max = self.firings.iter().map(|(_, t)| *t).max();
+        match (min, max) {
+            (Some(a), Some(b)) => b.since(a),
+            _ => Duration::ZERO,
+        }
+    }
+
+    /// Number of distinct nodes in the wave.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        let mut ids: Vec<NodeId> = self.firings.iter().map(|(n, _)| *n).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+}
+
+/// Result of a pulse run.
+#[derive(Debug, Clone)]
+pub struct PulseRunResult {
+    /// Pulse waves in time order (firings closer than half a cycle are
+    /// grouped).
+    pub waves: Vec<Wave>,
+    /// The protocol constants used.
+    pub params: Params,
+}
+
+impl PulseRunResult {
+    /// Waves in which at least `min_size` distinct nodes fired.
+    #[must_use]
+    pub fn full_waves(&self, min_size: usize) -> Vec<&Wave> {
+        self.waves.iter().filter(|w| w.size() >= min_size).collect()
+    }
+
+    /// Maximum skew across full waves.
+    #[must_use]
+    pub fn max_skew(&self, min_size: usize) -> Duration {
+        self.full_waves(min_size)
+            .iter()
+            .map(|w| w.skew())
+            .fold(Duration::ZERO, Duration::max)
+    }
+}
+
+/// Runs `n` pulse nodes (all correct) for `cycles` pulse cycles and
+/// groups the firings into waves.
+///
+/// # Panics
+///
+/// Panics on invalid `(n, f)`.
+#[must_use]
+pub fn run_pulse(n: usize, f: usize, d: Duration, cycles: u64, seed: u64) -> PulseRunResult {
+    run_pulse_with_faults(n, f, d, cycles, seed, 0)
+}
+
+/// Like [`run_pulse`] but with the top `silent` node ids crashed for the
+/// whole run — the surviving `n − silent ≥ n − f` correct nodes must
+/// still converge onto full-for-them waves.
+///
+/// # Panics
+///
+/// Panics on invalid `(n, f)` or `silent > f`.
+#[must_use]
+pub fn run_pulse_with_faults(
+    n: usize,
+    f: usize,
+    d: Duration,
+    cycles: u64,
+    seed: u64,
+    silent: usize,
+) -> PulseRunResult {
+    assert!(silent <= f, "silent nodes count against the fault budget");
+    let params = Params::from_d(n, f, d, 100).expect("valid n/f/d");
+    let cfg = PulseConfig::from_params(&params);
+    let mut builder = SimBuilder::<Msg<u64>, PulseEvent>::new(seed)
+        .link(LinkConfig::uniform(d / 20, d.scale(8, 10)));
+    for i in 0..n {
+        let id = NodeId::new(i as u32);
+        let node = PulseNode::new(Engine::new(id, params), cfg);
+        // Arbitrary boot readings, bounded drift.
+        let offset =
+            ssbyz_core::LocalTime::from_nanos((seed.wrapping_mul(i as u64 + 1)) % 1_000_000_000);
+        let clock = DriftClock::new(RealTime::ZERO, offset, ((i as i32) % 201) - 100);
+        builder = builder.node(Box::new(node), clock);
+    }
+    let mut sim = builder.build();
+    for i in 0..silent {
+        sim.set_down_until(
+            NodeId::new((n - 1 - i) as u32),
+            RealTime::from_nanos(u64::MAX),
+        );
+    }
+    let horizon = RealTime::ZERO + cfg.cycle * (cycles + 2);
+    sim.run_until(horizon);
+    // Group firings into waves.
+    let mut firings: Vec<(NodeId, RealTime)> = sim
+        .observations()
+        .iter()
+        .filter_map(|o| match o.event {
+            PulseEvent::Fired { .. } => Some((o.node, o.real)),
+            _ => None,
+        })
+        .collect();
+    firings.sort_by_key(|(_, t)| *t);
+    let gap = cfg.cycle / 2;
+    let mut waves: Vec<Wave> = Vec::new();
+    for (node, t) in firings {
+        match waves.last_mut() {
+            Some(w)
+                if t.since(w.firings.last().expect("non-empty").1) <= gap =>
+            {
+                w.firings.push((node, t));
+            }
+            _ => waves.push(Wave {
+                firings: vec![(node, t)],
+            }),
+        }
+    }
+    PulseRunResult { waves, params }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pulses_synchronize_and_repeat() {
+        let d = Duration::from_millis(10);
+        let res = run_pulse(4, 1, d, 4, 7);
+        let full = res.full_waves(4);
+        assert!(
+            full.len() >= 2,
+            "expected repeated full waves, got {} waves ({:?} total)",
+            full.len(),
+            res.waves.len()
+        );
+        // Pulse skew within a wave should be a small multiple of d —
+        // decisions land within 3d of each other, plus delivery jitter.
+        let skew = res.max_skew(4);
+        assert!(
+            skew <= d * 8u64,
+            "pulse skew {skew} too large (d = {d})"
+        );
+    }
+
+    #[test]
+    fn pulses_survive_silent_faults() {
+        // n=7, f=2, both faults silent: the 5 live nodes still form waves.
+        let d = Duration::from_millis(10);
+        let res = run_pulse_with_faults(7, 2, d, 4, 11, 2);
+        let full = res.full_waves(5);
+        assert!(
+            full.len() >= 2,
+            "live nodes must keep pulsing: {} waves",
+            res.waves.len()
+        );
+        assert!(res.max_skew(5) <= d * 8u64);
+    }
+
+    #[test]
+    fn wave_helpers() {
+        let w = Wave {
+            firings: vec![
+                (NodeId::new(0), RealTime::from_nanos(100)),
+                (NodeId::new(1), RealTime::from_nanos(150)),
+                (NodeId::new(0), RealTime::from_nanos(120)),
+            ],
+        };
+        assert_eq!(w.size(), 2);
+        assert_eq!(w.skew(), Duration::from_nanos(50));
+    }
+}

@@ -1,0 +1,401 @@
+//! # `ssbyz-runtime` — threaded wall-clock execution
+//!
+//! Runs the *same* sans-io [`Engine`] that the deterministic simulator
+//! exercises, but on real threads with real clocks: one OS thread per
+//! node, crossbeam channels as the authenticated transport, and a router
+//! thread that injects configurable link delays. This demonstrates that
+//! the protocol library is directly adoptable outside the simulator — the
+//! engine code is byte-for-byte identical.
+//!
+//! ```no_run
+//! use ssbyz_core::Params;
+//! use ssbyz_runtime::{Cluster, RuntimeConfig};
+//! use ssbyz_types::Duration;
+//!
+//! let params = Params::from_d(4, 1, Duration::from_millis(20), 0)?;
+//! let cluster: Cluster<u64> = Cluster::spawn(params, RuntimeConfig::default());
+//! cluster.initiate(ssbyz_types::NodeId::new(0), 42)?;
+//! std::thread::sleep(std::time::Duration::from_millis(300));
+//! let decisions = cluster.decisions();
+//! cluster.shutdown();
+//! assert_eq!(decisions.len(), 4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssbyz_core::{Engine, Event, LocalTime, Msg, Output, Params};
+use ssbyz_types::{Duration, NodeId, Value};
+
+/// Wall-clock runtime knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Engine tick period.
+    pub tick: Duration,
+    /// Injected link delay range.
+    pub delay_min: Duration,
+    /// Upper end of the injected link delay.
+    pub delay_max: Duration,
+    /// Seed for delay sampling.
+    pub seed: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            tick: Duration::from_millis(5),
+            delay_min: Duration::from_micros(200),
+            delay_max: Duration::from_millis(2),
+            seed: 0,
+        }
+    }
+}
+
+/// Commands accepted by a node thread.
+enum NodeCmd<V> {
+    Deliver { from: NodeId, msg: Msg<V> },
+    Initiate(V),
+    Shutdown,
+}
+
+/// A timestamped protocol event observed on the cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterEvent<V> {
+    /// The node that emitted the event.
+    pub node: NodeId,
+    /// The protocol event.
+    pub event: Event<V>,
+    /// Wall-clock time since cluster start.
+    pub elapsed: std::time::Duration,
+}
+
+struct RouterMsg<V> {
+    due: Instant,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    msg: Msg<V>,
+}
+
+impl<V> PartialEq for RouterMsg<V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<V> Eq for RouterMsg<V> {}
+impl<V> PartialOrd for RouterMsg<V> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<V> Ord for RouterMsg<V> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed so the BinaryHeap acts as a min-heap on (due, seq).
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+/// A live cluster of engine threads.
+pub struct Cluster<V: Value> {
+    cmd_txs: Vec<Sender<NodeCmd<V>>>,
+    router_tx: Sender<RouterMsg<V>>,
+    events: Arc<Mutex<Vec<ClusterEvent<V>>>>,
+    threads: Vec<JoinHandle<()>>,
+    start: Instant,
+    n: usize,
+}
+
+impl<V: Value> Cluster<V> {
+    /// Spawns `params.n()` node threads plus the delay router.
+    #[must_use]
+    pub fn spawn(params: Params, cfg: RuntimeConfig) -> Self {
+        let n = params.n();
+        let start = Instant::now();
+        let events: Arc<Mutex<Vec<ClusterEvent<V>>>> = Arc::new(Mutex::new(Vec::new()));
+        let (router_tx, router_rx) = unbounded::<RouterMsg<V>>();
+        let mut cmd_txs = Vec::with_capacity(n);
+        let mut cmd_rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = bounded::<NodeCmd<V>>(4096);
+            cmd_txs.push(tx);
+            cmd_rxs.push(rx);
+        }
+        let mut threads = Vec::new();
+        {
+            let cmd_txs = cmd_txs.clone();
+            threads.push(std::thread::spawn(move || {
+                router_loop(router_rx, cmd_txs);
+            }));
+        }
+        for (i, rx) in cmd_rxs.into_iter().enumerate() {
+            let id = NodeId::new(i as u32);
+            let router_tx = router_tx.clone();
+            let events = Arc::clone(&events);
+            let cfg_i = cfg;
+            threads.push(std::thread::spawn(move || {
+                node_loop(id, params, cfg_i, rx, router_tx, events, start);
+            }));
+        }
+        Cluster {
+            cmd_txs,
+            router_tx,
+            events,
+            threads,
+            start,
+            n,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Asks `node` to initiate agreement on `value` (as General).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the node thread has shut down.
+    pub fn initiate(&self, node: NodeId, value: V) -> Result<(), &'static str> {
+        self.cmd_txs[node.index()]
+            .send(NodeCmd::Initiate(value))
+            .map_err(|_| "node thread is gone")
+    }
+
+    /// Injects a raw message with a forged sender (adversary testing).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the router has shut down.
+    pub fn inject(&self, from: NodeId, to: NodeId, msg: Msg<V>) -> Result<(), &'static str> {
+        self.router_tx
+            .send(RouterMsg {
+                due: Instant::now(),
+                seq: 0,
+                from,
+                to,
+                msg,
+            })
+            .map_err(|_| "router is gone")
+    }
+
+    /// Snapshot of all events so far.
+    #[must_use]
+    pub fn events(&self) -> Vec<ClusterEvent<V>> {
+        self.events.lock().clone()
+    }
+
+    /// Convenience: all `Decided` events so far as `(node, value)`.
+    #[must_use]
+    pub fn decisions(&self) -> Vec<(NodeId, V)> {
+        self.events()
+            .into_iter()
+            .filter_map(|e| match e.event {
+                Event::Decided { value, .. } => Some((e.node, value)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Wall-clock time since the cluster started.
+    #[must_use]
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+
+    /// Waits (up to `timeout`) until `count` decisions exist.
+    #[must_use]
+    pub fn wait_for_decisions(&self, count: usize, timeout: std::time::Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.decisions().len() >= count {
+                return true;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        self.decisions().len() >= count
+    }
+
+    /// Stops all threads and joins them.
+    pub fn shutdown(self) {
+        for tx in &self.cmd_txs {
+            let _ = tx.send(NodeCmd::Shutdown);
+        }
+        drop(self.router_tx);
+        drop(self.cmd_txs);
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn router_loop<V: Value>(rx: Receiver<RouterMsg<V>>, cmd_txs: Vec<Sender<NodeCmd<V>>>) {
+    let mut heap: BinaryHeap<RouterMsg<V>> = BinaryHeap::new();
+    loop {
+        let timeout = heap
+            .peek()
+            .map(|m| m.due.saturating_duration_since(Instant::now()))
+            .unwrap_or(std::time::Duration::from_millis(50));
+        match rx.recv_timeout(timeout) {
+            Ok(m) => heap.push(m),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+        while heap.peek().is_some_and(|m| m.due <= Instant::now()) {
+            let m = heap.pop().expect("peeked");
+            let _ = cmd_txs[m.to.index()].send(NodeCmd::Deliver {
+                from: m.from,
+                msg: m.msg,
+            });
+        }
+    }
+}
+
+fn node_loop<V: Value>(
+    id: NodeId,
+    params: Params,
+    cfg: RuntimeConfig,
+    rx: Receiver<NodeCmd<V>>,
+    router_tx: Sender<RouterMsg<V>>,
+    events: Arc<Mutex<Vec<ClusterEvent<V>>>>,
+    start: Instant,
+) {
+    let mut engine: Engine<V> = Engine::new(id, params);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (u64::from(id.as_u32()) << 32));
+    let mut seq: u64 = 1;
+    let n = params.n();
+    let now_local =
+        |start: Instant| LocalTime::from_nanos(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    let tick: std::time::Duration = cfg.tick.into();
+    let mut next_tick = Instant::now() + tick;
+    loop {
+        let timeout = next_tick.saturating_duration_since(Instant::now());
+        let cmd = rx.recv_timeout(timeout);
+        let now = now_local(start);
+        let outputs = match cmd {
+            Ok(NodeCmd::Deliver { from, msg }) => engine.on_message(now, from, msg),
+            Ok(NodeCmd::Initiate(value)) => engine.initiate(now, value).unwrap_or_default(),
+            Ok(NodeCmd::Shutdown) => return,
+            Err(RecvTimeoutError::Timeout) => {
+                next_tick = Instant::now() + tick;
+                engine.on_tick(now)
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        for o in outputs {
+            match o {
+                Output::Broadcast(msg) => {
+                    for dst in 0..n {
+                        let delay_ns = if cfg.delay_min == cfg.delay_max {
+                            cfg.delay_min.as_nanos()
+                        } else {
+                            rng.gen_range(cfg.delay_min.as_nanos()..=cfg.delay_max.as_nanos())
+                        };
+                        seq += 1;
+                        let _ = router_tx.send(RouterMsg {
+                            due: Instant::now() + std::time::Duration::from_nanos(delay_ns),
+                            seq,
+                            from: id,
+                            to: NodeId::new(dst as u32),
+                            msg: msg.clone(),
+                        });
+                    }
+                }
+                Output::WakeAt(at) => {
+                    // Honor the precise wake-up by shortening the tick.
+                    let wait = at.since_or_zero(now);
+                    let due = Instant::now() + std::time::Duration::from(wait);
+                    if due < next_tick {
+                        next_tick = due;
+                    }
+                }
+                Output::Event(event) => {
+                    events.lock().push(ClusterEvent {
+                        node: id,
+                        event,
+                        elapsed: start.elapsed(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_node_cluster_agrees() {
+        let params = Params::from_d(4, 1, Duration::from_millis(20), 0).unwrap();
+        let cluster: Cluster<u64> = Cluster::spawn(params, RuntimeConfig::default());
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        cluster.initiate(NodeId::new(0), 42).unwrap();
+        assert!(
+            cluster.wait_for_decisions(4, std::time::Duration::from_secs(5)),
+            "decisions: {:?}",
+            cluster.decisions()
+        );
+        let decisions = cluster.decisions();
+        assert!(decisions.iter().all(|(_, v)| *v == 42));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_clean_without_traffic() {
+        let params = Params::from_d(4, 1, Duration::from_millis(20), 0).unwrap();
+        let cluster: Cluster<u64> = Cluster::spawn(params, RuntimeConfig::default());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(cluster.decisions().is_empty());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn injected_forged_initiator_is_ignored() {
+        let params = Params::from_d(4, 1, Duration::from_millis(20), 0).unwrap();
+        let cluster: Cluster<u64> = Cluster::spawn(params, RuntimeConfig::default());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cluster
+            .inject(
+                NodeId::new(2),
+                NodeId::new(3),
+                Msg::Initiator {
+                    general: NodeId::new(1),
+                    value: 9,
+                },
+            )
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        assert!(cluster.decisions().is_empty());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn recurrent_initiations_in_wall_clock() {
+        // d = 20ms ⇒ Δ0 = 260ms. Two initiations spaced ≥ Δ0 both decide.
+        let params = Params::from_d(4, 1, Duration::from_millis(20), 0).unwrap();
+        let cluster: Cluster<u64> = Cluster::spawn(params, RuntimeConfig::default());
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        cluster.initiate(NodeId::new(0), 1).unwrap();
+        assert!(cluster.wait_for_decisions(4, std::time::Duration::from_secs(5)));
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        cluster.initiate(NodeId::new(0), 2).unwrap();
+        assert!(
+            cluster.wait_for_decisions(8, std::time::Duration::from_secs(5)),
+            "second agreement: {:?}",
+            cluster.decisions()
+        );
+        cluster.shutdown();
+    }
+}

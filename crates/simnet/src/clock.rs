@@ -1,0 +1,202 @@
+//! Per-node hardware clocks with bounded drift.
+//!
+//! The paper's model (§2): each non-faulty node has a physical timer whose
+//! rate drifts from real time by at most a global constant ρ
+//! (`(1−ρ)(v−u) ≤ timer(v) − timer(u) ≤ (1+ρ)(v−u)`), and after a
+//! transient fault the *reading* may be arbitrary (it may even wrap).
+//! [`DriftClock`] models exactly this: an arbitrary boot reading plus an
+//! integer-ppm rate deviation.
+
+use ssbyz_types::{Duration, LocalTime, RealTime};
+
+/// Parts-per-million denominator.
+pub const PPM: i64 = 1_000_000;
+
+/// A drifting local clock.
+///
+/// # Example
+///
+/// ```
+/// use ssbyz_simnet::DriftClock;
+/// use ssbyz_types::{Duration, LocalTime, RealTime};
+///
+/// // Booted at real 0 with an arbitrary reading and +100 ppm drift.
+/// let clock = DriftClock::new(RealTime::ZERO, LocalTime::from_nanos(500), 100);
+/// let real = RealTime::from_nanos(1_000_000);
+/// let local = clock.local_at(real);
+/// assert_eq!(local.since(LocalTime::from_nanos(500)).as_nanos(), 1_000_100);
+/// // The inverse maps back (within rounding):
+/// assert_eq!(clock.real_of_local(local), real);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriftClock {
+    boot_real: RealTime,
+    boot_local: LocalTime,
+    /// Rate deviation in ppm, within `[-ρ, +ρ]`.
+    rate_ppm: i32,
+}
+
+impl DriftClock {
+    /// Creates a clock that read `boot_local` at real time `boot_real` and
+    /// advances at `(1 + rate_ppm/10⁶)` of real-time rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|rate_ppm| ≥ 10⁶` (the paper requires `ρ < 1`).
+    #[must_use]
+    pub fn new(boot_real: RealTime, boot_local: LocalTime, rate_ppm: i32) -> Self {
+        assert!(
+            (i64::from(rate_ppm)).abs() < PPM,
+            "drift must satisfy |rho| < 1"
+        );
+        DriftClock {
+            boot_real,
+            boot_local,
+            rate_ppm,
+        }
+    }
+
+    /// A perfect clock reading zero at the epoch.
+    #[must_use]
+    pub fn ideal() -> Self {
+        DriftClock::new(RealTime::ZERO, LocalTime::ZERO, 0)
+    }
+
+    /// The rate deviation in ppm.
+    #[must_use]
+    pub fn rate_ppm(&self) -> i32 {
+        self.rate_ppm
+    }
+
+    /// The local reading at real time `t` (must not precede boot).
+    #[must_use]
+    pub fn local_at(&self, t: RealTime) -> LocalTime {
+        let elapsed = t.since(self.boot_real);
+        self.boot_local + self.scale_to_local(elapsed)
+    }
+
+    /// The real time at which the clock reads `local`. Inverse of
+    /// [`DriftClock::local_at`] up to rounding; always satisfies
+    /// `local_at(real_of_local(l))` ≥ `l` so timers never fire early.
+    ///
+    /// `local` readings that precede the boot reading (possible only as
+    /// transient-fault residue) wrap to far-future real times; the result
+    /// saturates rather than panics so observability paths stay total.
+    #[must_use]
+    pub fn real_of_local(&self, local: LocalTime) -> RealTime {
+        let local_elapsed = local.since(self.boot_local);
+        self.boot_real
+            .checked_add(self.scale_to_real(local_elapsed))
+            .unwrap_or(RealTime::from_nanos(u64::MAX))
+    }
+
+    /// Converts a real-time span to the span shown on this clock.
+    #[must_use]
+    pub fn scale_to_local(&self, real: Duration) -> Duration {
+        let num = (PPM + i64::from(self.rate_ppm)) as u64;
+        real.scale(num, PPM as u64)
+    }
+
+    /// Converts a span on this clock to the real-time span it covers,
+    /// rounding up (saturating on garbage inputs).
+    #[must_use]
+    pub fn scale_to_real(&self, local: Duration) -> Duration {
+        let den = (PPM + i64::from(self.rate_ppm)) as u64;
+        let num = PPM as u64;
+        let down = local.saturating_scale(num, den);
+        // Round up so that re-scaling covers at least `local`.
+        if down.saturating_scale(den, num) < local {
+            down.saturating_add(Duration::from_nanos(1))
+        } else {
+            down
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_clock_is_identity() {
+        let c = DriftClock::ideal();
+        let t = RealTime::from_nanos(123_456);
+        assert_eq!(c.local_at(t).as_nanos(), 123_456);
+        assert_eq!(c.real_of_local(LocalTime::from_nanos(123_456)), t);
+    }
+
+    #[test]
+    fn positive_drift_runs_fast() {
+        let c = DriftClock::new(RealTime::ZERO, LocalTime::ZERO, 1_000); // +0.1%
+        let local = c.local_at(RealTime::from_nanos(1_000_000));
+        assert_eq!(local.as_nanos(), 1_001_000);
+    }
+
+    #[test]
+    fn negative_drift_runs_slow() {
+        let c = DriftClock::new(RealTime::ZERO, LocalTime::ZERO, -1_000);
+        let local = c.local_at(RealTime::from_nanos(1_000_000));
+        assert_eq!(local.as_nanos(), 999_000);
+    }
+
+    #[test]
+    fn inverse_never_fires_early() {
+        for rate in [-999_999, -101, -1, 0, 1, 7, 101, 999_999] {
+            let c = DriftClock::new(
+                RealTime::from_nanos(77),
+                LocalTime::from_nanos(123_456_789),
+                rate,
+            );
+            for l in [0u64, 1, 13, 1_000, 999_999_937] {
+                let local = LocalTime::from_nanos(123_456_789 + l);
+                let real = c.real_of_local(local);
+                assert!(
+                    c.local_at(real).is_at_or_after(local),
+                    "rate={rate}, l={l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pre_boot_reading_saturates() {
+        // A local reading "before" boot (transient residue) maps to a
+        // far-future real time instead of panicking.
+        let c = DriftClock::new(RealTime::from_nanos(50), LocalTime::from_nanos(1_000), -100);
+        let bogus = LocalTime::from_nanos(500);
+        let mapped = c.real_of_local(bogus);
+        assert!(mapped > RealTime::from_nanos(1 << 60));
+    }
+
+    #[test]
+    fn arbitrary_boot_reading_wraps() {
+        let c = DriftClock::new(
+            RealTime::ZERO,
+            LocalTime::from_nanos(u64::MAX - 10),
+            0,
+        );
+        let local = c.local_at(RealTime::from_nanos(100));
+        assert_eq!(local.as_nanos(), 89); // wrapped
+        assert_eq!(c.real_of_local(local), RealTime::from_nanos(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "drift must satisfy")]
+    fn absurd_rate_rejected() {
+        let _ = DriftClock::new(RealTime::ZERO, LocalTime::ZERO, 1_000_000);
+    }
+
+    #[test]
+    fn drift_respects_paper_envelope() {
+        // (1−ρ)(v−u) ≤ timer(v) − timer(u) ≤ (1+ρ)(v−u)
+        let rho = 200;
+        let c = DriftClock::new(RealTime::ZERO, LocalTime::from_nanos(42), rho);
+        let u = RealTime::from_nanos(10_000);
+        let v = RealTime::from_nanos(3_010_000);
+        let span = v.since(u);
+        let shown = c.local_at(v).since(c.local_at(u));
+        let lo = span.scale((PPM - i64::from(rho)) as u64, PPM as u64);
+        let hi = span.scale((PPM + i64::from(rho)) as u64, PPM as u64);
+        assert!(shown >= lo && shown <= hi);
+    }
+}

@@ -1,0 +1,144 @@
+//! Network model: bounded-delay authenticated links + transient storms.
+
+use ssbyz_types::{Duration, NodeId, RealTime};
+
+/// Steady-state link behaviour: every message between non-faulty nodes is
+/// delivered within `[delay_min, delay_max]`, sampled uniformly. The
+/// paper's bound `δ` corresponds to `delay_max` (processing time `π` is
+/// folded into the same interval for simulation purposes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// Minimum delivery latency.
+    pub delay_min: Duration,
+    /// Maximum delivery latency (the paper's δ, with π folded in).
+    pub delay_max: Duration,
+}
+
+impl LinkConfig {
+    /// Uniform delay in `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    #[must_use]
+    pub fn uniform(min: Duration, max: Duration) -> Self {
+        assert!(min <= max, "delay_min must not exceed delay_max");
+        LinkConfig {
+            delay_min: min,
+            delay_max: max,
+        }
+    }
+
+    /// A fixed-latency link.
+    #[must_use]
+    pub fn fixed(delay: Duration) -> Self {
+        LinkConfig {
+            delay_min: delay,
+            delay_max: delay,
+        }
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig::uniform(Duration::from_micros(500), Duration::from_millis(9))
+    }
+}
+
+/// A transient-failure storm: until `until`, the network is *not* bound by
+/// any assumption — messages may be dropped, delayed arbitrarily,
+/// duplicated or corrupted, and spurious messages may appear from thin
+/// air. This models the paper's incoherent period; self-stabilization is
+/// measured from the moment the storm ends.
+#[derive(Debug, Clone, Copy)]
+pub struct StormConfig {
+    /// Real time at which the network becomes non-faulty again.
+    pub until: RealTime,
+    /// Probability (num/den) that a message is dropped outright.
+    pub drop_num: u32,
+    /// Denominator for `drop_num`.
+    pub drop_den: u32,
+    /// Probability (num/den) that a message is corrupted via the
+    /// simulation's corruptor hook.
+    pub corrupt_num: u32,
+    /// Denominator for `corrupt_num`.
+    pub corrupt_den: u32,
+    /// Probability (num/den) that a message is duplicated.
+    pub dup_num: u32,
+    /// Denominator for `dup_num`.
+    pub dup_den: u32,
+    /// Maximum (arbitrary) delivery delay during the storm.
+    pub max_delay: Duration,
+    /// If set, spurious messages are injected with this mean period.
+    pub injection_period: Option<Duration>,
+}
+
+impl StormConfig {
+    /// A heavy storm lasting until `until`: 50% drops, 25% corruption,
+    /// 12.5% duplication, delays up to `max_delay`, spurious injection.
+    #[must_use]
+    pub fn heavy(until: RealTime, max_delay: Duration, injection_period: Duration) -> Self {
+        StormConfig {
+            until,
+            drop_num: 1,
+            drop_den: 2,
+            corrupt_num: 1,
+            corrupt_den: 4,
+            dup_num: 1,
+            dup_den: 8,
+            max_delay,
+            injection_period: Some(injection_period),
+        }
+    }
+
+    /// Whether the storm is active at real time `t`.
+    #[must_use]
+    pub fn active_at(&self, t: RealTime) -> bool {
+        t < self.until
+    }
+}
+
+/// A temporarily blocked (partitioned) directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkBlock {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Block expires at this real time.
+    pub until: RealTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_validates() {
+        let l = LinkConfig::uniform(Duration::from_nanos(1), Duration::from_nanos(2));
+        assert_eq!(l.delay_min, Duration::from_nanos(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "delay_min")]
+    fn inverted_range_panics() {
+        let _ = LinkConfig::uniform(Duration::from_nanos(3), Duration::from_nanos(2));
+    }
+
+    #[test]
+    fn fixed_link() {
+        let l = LinkConfig::fixed(Duration::from_millis(1));
+        assert_eq!(l.delay_min, l.delay_max);
+    }
+
+    #[test]
+    fn storm_activity_window() {
+        let s = StormConfig::heavy(
+            RealTime::from_nanos(100),
+            Duration::from_millis(50),
+            Duration::from_micros(10),
+        );
+        assert!(s.active_at(RealTime::from_nanos(99)));
+        assert!(!s.active_at(RealTime::from_nanos(100)));
+    }
+}

@@ -1,0 +1,103 @@
+//! The process abstraction: what a simulated node can see and do.
+
+use ssbyz_types::{Duration, LocalTime, NodeId};
+
+/// Everything a process may do during one event handler invocation.
+///
+/// A process only ever sees **local time**; the simulator translates to and
+/// from real time through the node's drifting clock, exactly as the paper's
+/// model prescribes.
+pub struct Ctx<'a, M, O> {
+    pub(crate) me: NodeId,
+    pub(crate) n: usize,
+    pub(crate) now_local: LocalTime,
+    pub(crate) outbox: &'a mut Vec<Effect<M, O>>,
+    pub(crate) rng_words: &'a mut dyn FnMut() -> u64,
+}
+
+/// Side effects queued by a process, executed by the simulator after the
+/// handler returns.
+#[derive(Debug)]
+pub(crate) enum Effect<M, O> {
+    Send { to: NodeId, msg: M },
+    Broadcast { msg: M },
+    TimerAtLocal { at: LocalTime, token: u64 },
+    TimerAfter { after: Duration, token: u64 },
+    Observe(O),
+}
+
+impl<'a, M, O> Ctx<'a, M, O> {
+    /// This node's identity.
+    #[must_use]
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Number of nodes in the system.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The node's current local-clock reading.
+    #[must_use]
+    pub fn now(&self) -> LocalTime {
+        self.now_local
+    }
+
+    /// Sends `msg` to a single node (authenticated as coming from `me`).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push(Effect::Send { to, msg });
+    }
+
+    /// Sends `msg` to **all** nodes, including `me` (the paper's
+    /// "send to all").
+    pub fn broadcast(&mut self, msg: M) {
+        self.outbox.push(Effect::Broadcast { msg });
+    }
+
+    /// Schedules `on_timer(token)` at local time `at` (fires immediately
+    /// if `at` is already past).
+    pub fn set_timer_at(&mut self, at: LocalTime, token: u64) {
+        self.outbox.push(Effect::TimerAtLocal { at, token });
+    }
+
+    /// Schedules `on_timer(token)` after a local-clock span.
+    pub fn set_timer_after(&mut self, after: Duration, token: u64) {
+        self.outbox.push(Effect::TimerAfter { after, token });
+    }
+
+    /// Emits an observation record for harnesses and property checkers.
+    pub fn observe(&mut self, obs: O) {
+        self.outbox.push(Effect::Observe(obs));
+    }
+
+    /// Deterministic per-simulation entropy (used by Byzantine strategies).
+    pub fn rand_u64(&mut self) -> u64 {
+        (self.rng_words)()
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn rand_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        self.rand_u64() % bound
+    }
+}
+
+/// A simulated node.
+///
+/// Handlers are invoked with a [`Ctx`] scoped to the node's own clock.
+/// Implementations must be deterministic given the same inputs and
+/// `rand_u64` draws — the whole simulation is then reproducible from its
+/// seed.
+pub trait Process<M, O>: Send {
+    /// Called once when the simulation starts (schedule initial timers
+    /// here).
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M, O>);
+
+    /// Called when an authenticated message from `from` is delivered.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M, O>, from: NodeId, msg: M);
+
+    /// Called when a previously scheduled timer fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M, O>, token: u64);
+}

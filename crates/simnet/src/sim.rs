@@ -1,0 +1,817 @@
+//! The deterministic discrete-event simulation core.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use ssbyz_types::{Duration, LocalTime, NodeId, RealTime};
+
+use crate::clock::DriftClock;
+use crate::network::{LinkBlock, LinkConfig, StormConfig};
+use crate::process::{Ctx, Effect, Process};
+
+/// A record emitted by a process via [`Ctx::observe`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observation<O> {
+    /// The emitting node.
+    pub node: NodeId,
+    /// Real time of emission.
+    pub real: RealTime,
+    /// The node's local time at emission.
+    pub local: LocalTime,
+    /// The payload.
+    pub event: O,
+}
+
+/// Aggregate simulation counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Messages handed to the network (counted per destination).
+    pub sent: u64,
+    /// Messages delivered to a live process.
+    pub delivered: u64,
+    /// Messages dropped by the storm.
+    pub dropped: u64,
+    /// Messages corrupted by the storm.
+    pub corrupted: u64,
+    /// Messages duplicated by the storm.
+    pub duplicated: u64,
+    /// Spurious messages injected by the storm.
+    pub injected: u64,
+    /// Messages suppressed by an explicit link block.
+    pub blocked: u64,
+    /// Messages swallowed because the destination was down.
+    pub swallowed: u64,
+    /// Per-tag send counts (when a tagger is installed).
+    pub per_tag: BTreeMap<&'static str, u64>,
+}
+
+/// Corruptor hook: may rewrite a storm-hit message (or eat it).
+pub type Corruptor<M> = Box<dyn FnMut(M, &mut StdRng) -> Option<M> + Send>;
+
+/// Spurious-message generator used during storms: returns
+/// `(claimed sender, destination, payload)`. During an incoherent period
+/// the network may fabricate traffic with forged identities — exactly what
+/// a transient fault can leave in flight.
+pub type Injector<M> = Box<dyn FnMut(&mut StdRng, usize) -> (NodeId, NodeId, M) + Send>;
+
+enum EventKind<M> {
+    Deliver { to: NodeId, from: NodeId, msg: M },
+    Timer { node: NodeId, token: u64 },
+    Injection,
+}
+
+struct Scheduled<M> {
+    at: RealTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct NodeSlot<M, O> {
+    process: Box<dyn Process<M, O>>,
+    clock: DriftClock,
+    /// Down (crashed / storm-disabled) until this real time.
+    down_until: Option<RealTime>,
+}
+
+/// Builder for a [`Simulation`].
+pub struct SimBuilder<M, O> {
+    seed: u64,
+    link: LinkConfig,
+    storm: Option<StormConfig>,
+    corruptor: Option<Corruptor<M>>,
+    injector: Option<Injector<M>>,
+    tagger: Option<fn(&M) -> &'static str>,
+    nodes: Vec<NodeSlot<M, O>>,
+}
+
+impl<M, O> SimBuilder<M, O> {
+    /// Starts a builder with a deterministic seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SimBuilder {
+            seed,
+            link: LinkConfig::default(),
+            storm: None,
+            corruptor: None,
+            injector: None,
+            tagger: None,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Sets the steady-state link behaviour.
+    #[must_use]
+    pub fn link(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Installs a transient-failure storm.
+    #[must_use]
+    pub fn storm(mut self, storm: StormConfig) -> Self {
+        self.storm = Some(storm);
+        self
+    }
+
+    /// Installs the storm corruptor hook.
+    #[must_use]
+    pub fn corruptor(mut self, c: Corruptor<M>) -> Self {
+        self.corruptor = Some(c);
+        self
+    }
+
+    /// Installs the storm spurious-message generator.
+    #[must_use]
+    pub fn injector(mut self, i: Injector<M>) -> Self {
+        self.injector = Some(i);
+        self
+    }
+
+    /// Installs a per-message tag function for metrics.
+    #[must_use]
+    pub fn tagger(mut self, t: fn(&M) -> &'static str) -> Self {
+        self.tagger = Some(t);
+        self
+    }
+
+    /// Adds a node with the given process and clock. Node ids are assigned
+    /// in insertion order.
+    #[must_use]
+    pub fn node(mut self, process: Box<dyn Process<M, O>>, clock: DriftClock) -> Self {
+        self.nodes.push(NodeSlot {
+            process,
+            clock,
+            down_until: None,
+        });
+        self
+    }
+
+    /// Finalizes the simulation.
+    pub fn build(self) -> Simulation<M, O> {
+        let mut sim = Simulation {
+            now: RealTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: self.nodes,
+            link: self.link,
+            storm: self.storm,
+            blocks: Vec::new(),
+            rng: StdRng::seed_from_u64(self.seed),
+            corruptor: self.corruptor,
+            injector: self.injector,
+            tagger: self.tagger,
+            observations: Vec::new(),
+            metrics: Metrics::default(),
+            started: false,
+            events_processed: 0,
+        };
+        if sim.storm.is_some() && sim.injector.is_some() {
+            let seq = sim.seq;
+            sim.seq += 1;
+            sim.queue.push(Reverse(Scheduled {
+                at: RealTime::ZERO,
+                seq,
+                kind: EventKind::Injection,
+            }));
+        }
+        sim
+    }
+}
+
+/// A deterministic simulation of `n` nodes over a bounded-delay
+/// authenticated network with drifting clocks.
+///
+/// # Example
+///
+/// ```
+/// use ssbyz_simnet::{Ctx, DriftClock, LinkConfig, Process, SimBuilder};
+/// use ssbyz_types::{Duration, NodeId, RealTime};
+///
+/// struct Echo;
+/// impl Process<u32, u32> for Echo {
+///     fn on_start(&mut self, ctx: &mut Ctx<'_, u32, u32>) {
+///         if ctx.me() == NodeId::new(0) {
+///             ctx.broadcast(1);
+///         }
+///     }
+///     fn on_message(&mut self, ctx: &mut Ctx<'_, u32, u32>, _from: NodeId, msg: u32) {
+///         ctx.observe(msg);
+///     }
+///     fn on_timer(&mut self, _ctx: &mut Ctx<'_, u32, u32>, _token: u64) {}
+/// }
+///
+/// let mut sim = SimBuilder::new(42)
+///     .link(LinkConfig::fixed(Duration::from_millis(1)))
+///     .node(Box::new(Echo), DriftClock::ideal())
+///     .node(Box::new(Echo), DriftClock::ideal())
+///     .build();
+/// sim.run_until(RealTime::from_nanos(10_000_000));
+/// assert_eq!(sim.observations().len(), 2); // both nodes got the broadcast
+/// ```
+pub struct Simulation<M, O> {
+    now: RealTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    nodes: Vec<NodeSlot<M, O>>,
+    link: LinkConfig,
+    storm: Option<StormConfig>,
+    blocks: Vec<LinkBlock>,
+    rng: StdRng,
+    corruptor: Option<Corruptor<M>>,
+    injector: Option<Injector<M>>,
+    tagger: Option<fn(&M) -> &'static str>,
+    observations: Vec<Observation<O>>,
+    metrics: Metrics,
+    started: bool,
+    events_processed: u64,
+}
+
+impl<M: Clone, O> Simulation<M, O> {
+    /// Current real time.
+    #[must_use]
+    pub fn now(&self) -> RealTime {
+        self.now
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The clock of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn clock(&self, node: NodeId) -> &DriftClock {
+        &self.nodes[node.index()].clock
+    }
+
+    /// All observations emitted so far.
+    #[must_use]
+    pub fn observations(&self) -> &[Observation<O>] {
+        &self.observations
+    }
+
+    /// Drains the observation log.
+    pub fn take_observations(&mut self) -> Vec<Observation<O>> {
+        std::mem::take(&mut self.observations)
+    }
+
+    /// Aggregate counters.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Number of events processed so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Marks `node` down (unresponsive, losing all deliveries and timers)
+    /// until the given real time.
+    pub fn set_down_until(&mut self, node: NodeId, until: RealTime) {
+        self.nodes[node.index()].down_until = Some(until);
+    }
+
+    /// Blocks the directed link `from → to` until the given real time.
+    pub fn block_link(&mut self, from: NodeId, to: NodeId, until: RealTime) {
+        self.blocks.push(LinkBlock { from, to, until });
+    }
+
+    /// Externally injects a message with a *forged* sender identity — only
+    /// meaningful as transient-fault residue or adversary action.
+    pub fn inject_message(&mut self, at: RealTime, from: NodeId, to: NodeId, msg: M) {
+        let at = at.max(self.now);
+        self.metrics.injected += 1;
+        self.push(at, EventKind::Deliver { to, from, msg });
+    }
+
+    /// Runs until real time `t` (inclusive of events at `t`).
+    pub fn run_until(&mut self, t: RealTime) {
+        self.start_if_needed();
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > t {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            self.now = ev.at;
+            self.events_processed += 1;
+            self.dispatch(ev);
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Runs for a real-time span.
+    pub fn run_for(&mut self, span: Duration) {
+        let target = self.now + span;
+        self.run_until(target);
+    }
+
+    /// Processes a single event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.start_if_needed();
+        match self.queue.pop() {
+            Some(Reverse(ev)) => {
+                self.now = ev.at;
+                self.events_processed += 1;
+                self.dispatch(ev);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let node = NodeId::new(i as u32);
+            let mut outbox = Vec::new();
+            {
+                let n = self.nodes.len();
+                let slot = &mut self.nodes[i];
+                let local = slot.clock.local_at(self.now);
+                let rng = &mut self.rng;
+                let mut words = move || rng.next_u64();
+                let mut ctx = Ctx {
+                    me: node,
+                    n,
+                    now_local: local,
+                    outbox: &mut outbox,
+                    rng_words: &mut words,
+                };
+                slot.process.on_start(&mut ctx);
+            }
+            self.apply_effects(node, outbox);
+        }
+    }
+
+    fn push(&mut self, at: RealTime, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, kind }));
+    }
+
+    fn is_down(&self, node: NodeId, at: RealTime) -> bool {
+        self.nodes[node.index()]
+            .down_until
+            .is_some_and(|until| at < until)
+    }
+
+    fn dispatch(&mut self, ev: Scheduled<M>) {
+        let at = ev.at;
+        match ev.kind {
+            EventKind::Deliver { to, from, msg } => {
+                if self.is_down(to, at) {
+                    self.metrics.swallowed += 1;
+                    return;
+                }
+                let mut outbox = Vec::new();
+                {
+                    let n = self.nodes.len();
+                    let slot = &mut self.nodes[to.index()];
+                    let local = slot.clock.local_at(at);
+                    let rng = &mut self.rng;
+                    let mut words = move || rng.next_u64();
+                    let mut ctx = Ctx {
+                        me: to,
+                        n,
+                        now_local: local,
+                        outbox: &mut outbox,
+                        rng_words: &mut words,
+                    };
+                    slot.process.on_message(&mut ctx, from, msg);
+                }
+                self.metrics.delivered += 1;
+                self.apply_effects(to, outbox);
+            }
+            EventKind::Timer { node, token } => {
+                if self.is_down(node, at) {
+                    return;
+                }
+                let mut outbox = Vec::new();
+                {
+                    let n = self.nodes.len();
+                    let slot = &mut self.nodes[node.index()];
+                    let local = slot.clock.local_at(at);
+                    let rng = &mut self.rng;
+                    let mut words = move || rng.next_u64();
+                    let mut ctx = Ctx {
+                        me: node,
+                        n,
+                        now_local: local,
+                        outbox: &mut outbox,
+                        rng_words: &mut words,
+                    };
+                    slot.process.on_timer(&mut ctx, token);
+                }
+                self.apply_effects(node, outbox);
+            }
+            EventKind::Injection => {
+                let Some(storm) = self.storm else { return };
+                if !storm.active_at(at) {
+                    return;
+                }
+                if let (Some(injector), Some(period)) =
+                    (self.injector.as_mut(), storm.injection_period)
+                {
+                    let n = self.nodes.len();
+                    let (from, to, msg) = injector(&mut self.rng, n);
+                    self.metrics.injected += 1;
+                    self.push(at, EventKind::Deliver { to, from, msg });
+                    // Jittered re-arm (±50%).
+                    let base = period.as_nanos().max(1);
+                    let jitter = self.rng.gen_range(base / 2..=base + base / 2);
+                    self.push(at + Duration::from_nanos(jitter), EventKind::Injection);
+                }
+            }
+        }
+    }
+
+    fn apply_effects(&mut self, node: NodeId, effects: Vec<Effect<M, O>>) {
+        for e in effects {
+            match e {
+                Effect::Send { to, msg } => self.route(node, to, msg),
+                Effect::Broadcast { msg } => self.route_broadcast(node, msg),
+                Effect::TimerAtLocal { at, token } => {
+                    let clock = self.nodes[node.index()].clock;
+                    let real = clock.real_of_local(at).max(self.now);
+                    self.push(real, EventKind::Timer { node, token });
+                }
+                Effect::TimerAfter { after, token } => {
+                    let clock = self.nodes[node.index()].clock;
+                    let real = self.now + clock.scale_to_real(after);
+                    self.push(real, EventKind::Timer { node, token });
+                }
+                Effect::Observe(obs) => {
+                    let clock = self.nodes[node.index()].clock;
+                    self.observations.push(Observation {
+                        node,
+                        real: self.now,
+                        local: clock.local_at(self.now),
+                        event: obs,
+                    });
+                }
+            }
+        }
+    }
+
+    fn route_broadcast(&mut self, from: NodeId, msg: M) {
+        for i in 0..self.nodes.len() {
+            self.route(from, NodeId::new(i as u32), msg.clone());
+        }
+    }
+
+    fn route(&mut self, from: NodeId, to: NodeId, msg: M) {
+        if to.index() >= self.nodes.len() {
+            self.metrics.blocked += 1;
+            return; // destination outside the membership — drop
+        }
+        self.metrics.sent += 1;
+        if let Some(tagger) = self.tagger {
+            *self.metrics.per_tag.entry(tagger(&msg)).or_insert(0) += 1;
+        }
+        // Explicit link blocks.
+        if self
+            .blocks
+            .iter()
+            .any(|b| b.from == from && b.to == to && self.now < b.until)
+        {
+            self.metrics.blocked += 1;
+            return;
+        }
+        let storm_active = self.storm.is_some_and(|s| s.active_at(self.now));
+        let mut payload = msg;
+        let delay = if storm_active {
+            let storm = self.storm.expect("checked");
+            if storm.drop_den > 0 && self.rng.gen_ratio(storm.drop_num, storm.drop_den) {
+                self.metrics.dropped += 1;
+                return;
+            }
+            if storm.corrupt_den > 0 && self.rng.gen_ratio(storm.corrupt_num, storm.corrupt_den) {
+                if let Some(corruptor) = self.corruptor.as_mut() {
+                    match corruptor(payload, &mut self.rng) {
+                        Some(m) => {
+                            self.metrics.corrupted += 1;
+                            payload = m;
+                        }
+                        None => {
+                            self.metrics.dropped += 1;
+                            return;
+                        }
+                    }
+                } else {
+                    // No corruptor installed: corruption degenerates to loss.
+                    self.metrics.dropped += 1;
+                    return;
+                }
+            }
+            if storm.dup_den > 0 && self.rng.gen_ratio(storm.dup_num, storm.dup_den) {
+                self.metrics.duplicated += 1;
+                let d = self.sample_delay(Duration::ZERO, storm.max_delay);
+                let at = self.now + d;
+                self.push(
+                    at,
+                    EventKind::Deliver {
+                        to,
+                        from,
+                        msg: payload.clone(),
+                    },
+                );
+            }
+            self.sample_delay(Duration::ZERO, storm.max_delay)
+        } else {
+            self.sample_delay(self.link.delay_min, self.link.delay_max)
+        };
+        let at = self.now + delay;
+        self.push(at, EventKind::Deliver { to, from, msg: payload });
+    }
+
+    fn sample_delay(&mut self, min: Duration, max: Duration) -> Duration {
+        if min == max {
+            return min;
+        }
+        let lo = min.as_nanos();
+        let hi = max.as_nanos();
+        Duration::from_nanos(self.rng.gen_range(lo..=hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pings on start; pongs back every message; counts deliveries.
+    struct PingPong {
+        limit: u32,
+        count: u32,
+    }
+
+    impl Process<u32, String> for PingPong {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32, String>) {
+            if ctx.me() == NodeId::new(0) {
+                ctx.send(NodeId::new(1), 0);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u32, String>, from: NodeId, msg: u32) {
+            self.count += 1;
+            ctx.observe(format!("got {msg}"));
+            if msg < self.limit {
+                ctx.send(from, msg + 1);
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, u32, String>, _token: u64) {}
+    }
+
+    fn two_pingpong(seed: u64) -> Simulation<u32, String> {
+        SimBuilder::new(seed)
+            .link(LinkConfig::uniform(
+                Duration::from_micros(100),
+                Duration::from_millis(2),
+            ))
+            .node(
+                Box::new(PingPong { limit: 9, count: 0 }),
+                DriftClock::ideal(),
+            )
+            .node(
+                Box::new(PingPong { limit: 9, count: 0 }),
+                DriftClock::new(RealTime::ZERO, LocalTime::from_nanos(999), 50),
+            )
+            .build()
+    }
+
+    #[test]
+    fn ping_pong_delivers_in_order_per_pair() {
+        let mut sim = two_pingpong(1);
+        sim.run_until(RealTime::from_nanos(1_000_000_000));
+        // 0 → 1 → 2 → ... → 9: ten messages observed total.
+        assert_eq!(sim.observations().len(), 10);
+        assert_eq!(sim.metrics().delivered, 10);
+        let last = sim.observations().last().unwrap();
+        assert_eq!(last.event, "got 9");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let run = |seed| {
+            let mut sim = two_pingpong(seed);
+            sim.run_until(RealTime::from_nanos(1_000_000_000));
+            sim.observations()
+                .iter()
+                .map(|o| (o.node, o.real, o.event.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should differ in timing");
+    }
+
+    #[test]
+    fn delays_respect_bounds() {
+        let mut sim = two_pingpong(3);
+        sim.run_until(RealTime::from_nanos(1_000_000_000));
+        let obs = sim.observations();
+        for w in obs.windows(2) {
+            let gap = w[1].real.since(w[0].real);
+            assert!(gap >= Duration::from_micros(100));
+            assert!(gap <= Duration::from_millis(2));
+        }
+    }
+
+    struct TimerBeep;
+    impl Process<u32, u64> for TimerBeep {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32, u64>) {
+            ctx.set_timer_after(Duration::from_millis(5), 42);
+            ctx.set_timer_at(ctx.now() + Duration::from_millis(1), 43);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, u32, u64>, _from: NodeId, _msg: u32) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u32, u64>, token: u64) {
+            ctx.observe(token);
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_local_time() {
+        let mut sim: Simulation<u32, u64> = SimBuilder::new(5)
+            .node(Box::new(TimerBeep), DriftClock::new(RealTime::ZERO, LocalTime::ZERO, 1000))
+            .build();
+        sim.run_until(RealTime::from_nanos(100_000_000));
+        let tokens: Vec<u64> = sim.observations().iter().map(|o| o.event).collect();
+        assert_eq!(tokens, vec![43, 42]);
+        // The 5ms local-time timer fires slightly *earlier* in real time on
+        // a fast (+1000 ppm) clock.
+        let t42 = sim.observations()[1].real;
+        assert!(t42 < RealTime::from_nanos(5_000_000));
+        assert!(t42 > RealTime::from_nanos(4_900_000));
+    }
+
+    #[test]
+    fn down_nodes_swallow_messages() {
+        let mut sim = two_pingpong(9);
+        sim.set_down_until(NodeId::new(1), RealTime::from_nanos(1_000_000_000));
+        sim.run_until(RealTime::from_nanos(1_000_000_000));
+        assert_eq!(sim.observations().len(), 0);
+        assert_eq!(sim.metrics().swallowed, 1);
+    }
+
+    #[test]
+    fn link_blocks_suppress() {
+        let mut sim = two_pingpong(9);
+        sim.block_link(
+            NodeId::new(0),
+            NodeId::new(1),
+            RealTime::from_nanos(1_000_000_000),
+        );
+        sim.run_until(RealTime::from_nanos(1_000_000_000));
+        assert_eq!(sim.metrics().blocked, 1);
+        assert_eq!(sim.observations().len(), 0);
+    }
+
+    #[test]
+    fn storm_drops_messages() {
+        let storm = StormConfig {
+            until: RealTime::from_nanos(10_000_000_000),
+            drop_num: 1,
+            drop_den: 1, // drop everything
+            corrupt_num: 0,
+            corrupt_den: 1,
+            dup_num: 0,
+            dup_den: 1,
+            max_delay: Duration::from_millis(10),
+            injection_period: None,
+        };
+        let mut sim: Simulation<u32, String> = SimBuilder::new(2)
+            .storm(storm)
+            .node(
+                Box::new(PingPong { limit: 9, count: 0 }),
+                DriftClock::ideal(),
+            )
+            .node(
+                Box::new(PingPong { limit: 9, count: 0 }),
+                DriftClock::ideal(),
+            )
+            .build();
+        sim.run_until(RealTime::from_nanos(1_000_000_000));
+        assert_eq!(sim.metrics().dropped, 1);
+        assert_eq!(sim.observations().len(), 0);
+    }
+
+    #[test]
+    fn storm_injection_generates_traffic() {
+        let storm = StormConfig {
+            until: RealTime::from_nanos(50_000_000),
+            drop_num: 0,
+            drop_den: 1,
+            corrupt_num: 0,
+            corrupt_den: 1,
+            dup_num: 0,
+            dup_den: 1,
+            max_delay: Duration::from_millis(1),
+            injection_period: Some(Duration::from_millis(1)),
+        };
+        let mut sim: Simulation<u32, String> = SimBuilder::new(2)
+            .storm(storm)
+            .injector(Box::new(|rng, n| {
+                let from = NodeId::new((rng.next_u64() % n as u64) as u32);
+                let to = NodeId::new((rng.next_u64() % n as u64) as u32);
+                (from, to, 99)
+            }))
+            .node(
+                Box::new(PingPong { limit: 0, count: 0 }),
+                DriftClock::ideal(),
+            )
+            .node(
+                Box::new(PingPong { limit: 0, count: 0 }),
+                DriftClock::ideal(),
+            )
+            .build();
+        sim.run_until(RealTime::from_nanos(200_000_000));
+        assert!(sim.metrics().injected >= 30, "storm must inject steadily");
+        // Injection stops when the storm ends.
+        let injected_after_storm = sim
+            .observations()
+            .iter()
+            .filter(|o| o.real > RealTime::from_nanos(51_000_000))
+            .count();
+        assert_eq!(injected_after_storm, 0);
+    }
+
+    #[test]
+    fn external_injection_delivers() {
+        let mut sim = two_pingpong(4);
+        sim.inject_message(
+            RealTime::from_nanos(500),
+            NodeId::new(0), // forged identity
+            NodeId::new(1),
+            8,
+        );
+        sim.run_until(RealTime::from_nanos(1_000_000_000));
+        assert!(sim
+            .observations()
+            .iter()
+            .any(|o| o.node == NodeId::new(1) && o.event == "got 8"));
+    }
+
+    #[test]
+    fn run_for_advances_clock() {
+        let mut sim = two_pingpong(4);
+        sim.run_for(Duration::from_millis(3));
+        assert_eq!(sim.now(), RealTime::from_nanos(3_000_000));
+    }
+
+    #[test]
+    fn step_returns_false_when_drained() {
+        let mut sim: Simulation<u32, String> = SimBuilder::new(0)
+            .node(
+                Box::new(PingPong { limit: 0, count: 0 }),
+                DriftClock::ideal(),
+            )
+            .node(
+                Box::new(PingPong { limit: 0, count: 0 }),
+                DriftClock::ideal(),
+            )
+            .build();
+        while sim.step() {}
+        assert!(!sim.step());
+        assert_eq!(sim.observations().len(), 1);
+    }
+
+    #[test]
+    fn out_of_range_destination_dropped() {
+        // A single-node system where the process sends to a nonexistent
+        // peer: the message is dropped, not a panic.
+        let mut sim: Simulation<u32, String> = SimBuilder::new(0)
+            .node(
+                Box::new(PingPong { limit: 0, count: 0 }),
+                DriftClock::ideal(),
+            )
+            .build();
+        sim.run_until(RealTime::from_nanos(1_000_000));
+        assert_eq!(sim.metrics().blocked, 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! Simulator fault-injection integration tests: storm corruption paths,
+//! duplication, taggers and counters.
+
+use rand::RngCore;
+use ssbyz_simnet::{
+    Ctx, DriftClock, LinkConfig, Process, SimBuilder, Simulation, StormConfig,
+};
+use ssbyz_types::{Duration, NodeId, RealTime};
+
+/// A chatty node: broadcasts `count` numbered messages on start, records
+/// everything received.
+struct Chatty {
+    count: u32,
+    received: Vec<u32>,
+}
+
+impl Process<u32, u32> for Chatty {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u32, u32>) {
+        if ctx.me() == NodeId::new(0) {
+            for i in 0..self.count {
+                ctx.broadcast(i);
+            }
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u32, u32>, _from: NodeId, msg: u32) {
+        self.received.push(msg);
+        ctx.observe(msg);
+    }
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, u32, u32>, _token: u64) {}
+}
+
+fn chatty_pair(seed: u64, storm: Option<StormConfig>, with_corruptor: bool) -> Simulation<u32, u32> {
+    let mut b = SimBuilder::new(seed)
+        .link(LinkConfig::uniform(
+            Duration::from_micros(10),
+            Duration::from_millis(1),
+        ))
+        .tagger(|m| if *m % 2 == 0 { "even" } else { "odd" });
+    if let Some(s) = storm {
+        b = b.storm(s);
+    }
+    if with_corruptor {
+        b = b.corruptor(Box::new(|m, rng| {
+            if rng.next_u64() % 4 == 0 {
+                None
+            } else {
+                Some(m ^ 1)
+            }
+        }));
+    }
+    b.node(
+        Box::new(Chatty {
+            count: 100,
+            received: Vec::new(),
+        }),
+        DriftClock::ideal(),
+    )
+    .node(
+        Box::new(Chatty {
+            count: 0,
+            received: Vec::new(),
+        }),
+        DriftClock::ideal(),
+    )
+    .build()
+}
+
+#[test]
+fn tagger_counts_by_tag() {
+    let mut sim = chatty_pair(1, None, false);
+    sim.run_until(RealTime::from_nanos(1_000_000_000));
+    let m = sim.metrics();
+    // 100 broadcasts × 2 destinations = 200 sends, half even half odd.
+    assert_eq!(m.sent, 200);
+    assert_eq!(m.per_tag["even"], 100);
+    assert_eq!(m.per_tag["odd"], 100);
+    assert_eq!(m.delivered, 200);
+    assert!(sim.events_processed() >= 200);
+}
+
+#[test]
+fn storm_corruption_rewrites_messages() {
+    let storm = StormConfig {
+        until: RealTime::from_nanos(10_000_000_000),
+        drop_num: 0,
+        drop_den: 1,
+        corrupt_num: 1,
+        corrupt_den: 1, // corrupt everything
+        dup_num: 0,
+        dup_den: 1,
+        max_delay: Duration::from_millis(1),
+        injection_period: None,
+    };
+    let mut sim = chatty_pair(2, Some(storm), true);
+    sim.run_until(RealTime::from_nanos(1_000_000_000));
+    let m = sim.metrics();
+    assert!(m.corrupted > 100, "most messages rewritten: {m:?}");
+    assert!(m.dropped > 0, "the corruptor eats ~1/4: {m:?}");
+    assert_eq!(
+        u64::from(u32::try_from(sim.observations().len()).unwrap()) + m.dropped + m.swallowed,
+        m.delivered + m.dropped,
+        "every survivor was delivered"
+    );
+}
+
+#[test]
+fn storm_without_corruptor_degrades_to_loss() {
+    let storm = StormConfig {
+        until: RealTime::from_nanos(10_000_000_000),
+        drop_num: 0,
+        drop_den: 1,
+        corrupt_num: 1,
+        corrupt_den: 1,
+        dup_num: 0,
+        dup_den: 1,
+        max_delay: Duration::from_millis(1),
+        injection_period: None,
+    };
+    let mut sim = chatty_pair(3, Some(storm), false);
+    sim.run_until(RealTime::from_nanos(1_000_000_000));
+    assert_eq!(sim.metrics().dropped, 200, "no corruptor installed ⇒ loss");
+    assert!(sim.observations().is_empty());
+}
+
+#[test]
+fn storm_duplication_inflates_deliveries() {
+    let storm = StormConfig {
+        until: RealTime::from_nanos(10_000_000_000),
+        drop_num: 0,
+        drop_den: 1,
+        corrupt_num: 0,
+        corrupt_den: 1,
+        dup_num: 1,
+        dup_den: 1, // duplicate everything
+        max_delay: Duration::from_millis(1),
+        injection_period: None,
+    };
+    let mut sim = chatty_pair(4, Some(storm), false);
+    sim.run_until(RealTime::from_nanos(1_000_000_000));
+    let m = sim.metrics();
+    assert_eq!(m.duplicated, 200);
+    assert_eq!(m.delivered, 400, "each message delivered twice");
+}
+
+#[test]
+fn post_storm_traffic_is_clean() {
+    // Storm ends at 1ms; the initial burst is storm-exposed, but traffic
+    // sent afterwards flows through the normal link.
+    struct LateSender;
+    impl Process<u32, u32> for LateSender {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32, u32>) {
+            ctx.set_timer_after(Duration::from_millis(5), 1);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u32, u32>, _from: NodeId, msg: u32) {
+            ctx.observe(msg);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u32, u32>, _token: u64) {
+            ctx.broadcast(7);
+        }
+    }
+    let storm = StormConfig {
+        until: RealTime::from_nanos(1_000_000),
+        drop_num: 1,
+        drop_den: 1,
+        corrupt_num: 0,
+        corrupt_den: 1,
+        dup_num: 0,
+        dup_den: 1,
+        max_delay: Duration::from_millis(1),
+        injection_period: None,
+    };
+    let mut sim: Simulation<u32, u32> = SimBuilder::new(5)
+        .storm(storm)
+        .link(LinkConfig::fixed(Duration::from_micros(100)))
+        .node(Box::new(LateSender), DriftClock::ideal())
+        .node(Box::new(LateSender), DriftClock::ideal())
+        .build();
+    sim.run_until(RealTime::from_nanos(100_000_000));
+    // Both nodes broadcast after the storm: 4 deliveries, none dropped.
+    assert_eq!(sim.metrics().dropped, 0);
+    assert_eq!(sim.observations().len(), 4);
+}

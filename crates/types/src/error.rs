@@ -1,0 +1,67 @@
+//! Workspace-level error types.
+
+use core::fmt;
+
+/// An invalid protocol or simulation configuration.
+///
+/// Returned by constructors that validate the paper's resilience and timing
+/// preconditions (e.g. `n > 3f`, non-zero `d`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The resilience bound `n > 3f` does not hold.
+    Resilience {
+        /// Total number of nodes.
+        n: usize,
+        /// Declared fault budget.
+        f: usize,
+    },
+    /// A timing parameter was zero or otherwise out of range.
+    Timing(&'static str),
+    /// The membership is too small for the protocol to be meaningful.
+    TooFewNodes {
+        /// Total number of nodes.
+        n: usize,
+        /// Minimum required.
+        min: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Resilience { n, f: faults } => {
+                write!(f, "resilience bound violated: need n > 3f, got n={n}, f={faults}")
+            }
+            ConfigError::Timing(what) => write!(f, "invalid timing parameter: {what}"),
+            ConfigError::TooFewNodes { n, min } => {
+                write!(f, "too few nodes: n={n}, minimum {min}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = ConfigError::Resilience { n: 3, f: 1 };
+        assert_eq!(
+            e.to_string(),
+            "resilience bound violated: need n > 3f, got n=3, f=1"
+        );
+        let e = ConfigError::Timing("d must be positive");
+        assert!(e.to_string().contains("d must be positive"));
+        let e = ConfigError::TooFewNodes { n: 1, min: 4 };
+        assert!(e.to_string().contains("minimum 4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<ConfigError>();
+    }
+}

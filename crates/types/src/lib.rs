@@ -1,0 +1,34 @@
+//! Shared primitive types for the `ssbyz` workspace.
+//!
+//! The paper ("Self-stabilizing Byzantine Agreement", Daliot & Dolev,
+//! PODC 2006) distinguishes between *real time* `t` and each node's
+//! *local-time* reading `τ`. Real time is the simulator's global clock and
+//! is never visible to protocol code; local time is produced by a drifting
+//! hardware clock and **may wrap around** after a transient fault. This
+//! crate provides wrap-safe arithmetic for both notions, plus node
+//! identifiers and the value trait used by the agreement protocol.
+//!
+//! # Example
+//!
+//! ```
+//! use ssbyz_types::{Duration, LocalTime};
+//!
+//! let anchor = LocalTime::from_nanos(u64::MAX - 10); // about to wrap
+//! let now = anchor + Duration::from_nanos(25);       // wrapped past zero
+//! assert_eq!(now.since(anchor), Duration::from_nanos(25));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod duration;
+mod error;
+mod id;
+mod time;
+mod value;
+
+pub use duration::Duration;
+pub use error::ConfigError;
+pub use id::NodeId;
+pub use time::{LocalTime, RealTime};
+pub use value::Value;

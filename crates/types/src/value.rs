@@ -1,0 +1,23 @@
+//! The value trait for agreement payloads.
+
+use core::fmt::Debug;
+use core::hash::Hash;
+
+/// A value `m` that a General may propose and correct nodes agree on.
+///
+/// The paper treats `m` as opaque; the protocol only compares values for
+/// equality (to detect a two-faced General) and stores them in per-value
+/// tables (`i_values[G, m]`), hence the `Eq + Ord + Hash` bounds. Cloning
+/// must be cheap-ish — values are embedded in every protocol message.
+///
+/// This trait is blanket-implemented; any suitable type is a [`Value`]:
+///
+/// ```
+/// fn assert_value<V: ssbyz_types::Value>() {}
+/// assert_value::<u64>();
+/// assert_value::<String>();
+/// assert_value::<(u32, bool)>();
+/// ```
+pub trait Value: Clone + Eq + Ord + Hash + Debug + Send + 'static {}
+
+impl<T> Value for T where T: Clone + Eq + Ord + Hash + Debug + Send + 'static {}

@@ -1,0 +1,49 @@
+//! The `[IG3]` cycle end to end: a General whose initiation fails (it was
+//! partitioned from everyone) detects the failure, backs off for
+//! `Δ_reset`, and succeeds afterwards.
+
+use ssbyz::harness::{ScenarioBuilder, ScenarioConfig};
+use ssbyz::{NodeId, RealTime};
+
+#[test]
+fn failed_initiation_backs_off_then_recovers() {
+    let cfg = ScenarioConfig::new(4, 1).with_seed(14);
+    let params = cfg.params().unwrap();
+    let d = params.d();
+    let off1 = d * 4u64;
+    // Second attempt well before the backoff expires (must be refused),
+    // third attempt after Δ_reset (+ the failure detection delay).
+    let off2 = off1 + params.delta_0() + d * 2u64;
+    let off3 = off1 + d * 4u64 + params.delta_reset() + params.delta_0() + d * 4u64;
+    let mut sc = ScenarioBuilder::new(cfg)
+        .correct_with_initiations(vec![(off1, 1), (off2, 2), (off3, 3)])
+        .correct()
+        .correct()
+        .correct()
+        .build();
+    // Cut ALL of the General's outgoing links during the first initiation
+    // window so nothing it sends arrives (its own loopback included).
+    let heal_at = RealTime::ZERO + off1 + d * 2u64;
+    for dst in 0..4u32 {
+        sc.sim_mut()
+            .block_link(NodeId::new(0), NodeId::new(dst), heal_at);
+    }
+    sc.run_until(RealTime::ZERO + off3 + params.delta_agr() + d * 40u64);
+    let res = sc.result();
+
+    // The first initiation failed and was detected ([IG3]).
+    assert!(
+        res.failures.iter().any(|(n, v, _)| *n == NodeId::new(0) && *v == 1),
+        "the isolated initiation must be detected as failed: {:?}",
+        res.failures
+    );
+    // The second was refused by the backoff.
+    assert!(
+        res.refused.iter().any(|(n, v, _)| *n == NodeId::new(0) && *v == 2),
+        "the mid-backoff initiation must be refused: {:?}",
+        res.refused
+    );
+    // The third succeeds at all four nodes.
+    assert_eq!(res.decided_values(NodeId::new(0)), vec![3]);
+    assert_eq!(res.decides_for(NodeId::new(0)).len(), 4);
+}

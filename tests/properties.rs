@@ -1,0 +1,144 @@
+//! Cross-crate integration tests: the paper's §3 properties checked on
+//! full simulated runs across a matrix of memberships and seeds.
+
+use ssbyz::harness::experiments::{run_correct_general, slack};
+use ssbyz::harness::{checks, ScenarioBuilder, ScenarioConfig};
+use ssbyz::{Duration, NodeId, RealTime};
+
+/// Validity + Agreement + Timeliness for every legal (n, f) up to 16 and
+/// several seeds each.
+#[test]
+fn battery_matrix_correct_general() {
+    for (n, f) in [(4, 1), (5, 1), (7, 2), (9, 2), (10, 3), (13, 4), (16, 5)] {
+        for seed in 0..3 {
+            let (res, t0) = run_correct_general(
+                n,
+                f,
+                seed,
+                Duration::from_micros(500),
+                Duration::from_millis(9),
+                1_000 + seed,
+            );
+            checks::check_correct_general_run(&res, NodeId::new(0), 1_000 + seed, t0, slack(res.params.d()))
+                .assert_ok(&format!("n={n}, f={f}, seed={seed}"));
+        }
+    }
+}
+
+/// Nodes decide even when the actual network runs at the worst-case bound.
+#[test]
+fn battery_at_worst_case_delay() {
+    let (res, t0) = run_correct_general(
+        7,
+        2,
+        0,
+        Duration::from_millis(8),
+        Duration::from_millis(9),
+        5,
+    );
+    checks::check_correct_general_run(&res, NodeId::new(0), 5, t0, slack(res.params.d()))
+        .assert_ok("worst-case delays");
+}
+
+/// Nodes decide when the network is nearly instantaneous (message-driven
+/// fast path).
+#[test]
+fn battery_at_tiny_delay() {
+    let (res, t0) = run_correct_general(
+        7,
+        2,
+        0,
+        Duration::from_micros(5),
+        Duration::from_micros(50),
+        6,
+    );
+    checks::check_correct_general_run(&res, NodeId::new(0), 6, t0, slack(res.params.d()))
+        .assert_ok("tiny delays");
+    // And the decisions land far sooner than 4d.
+    let last = res
+        .decides_for(NodeId::new(0))
+        .iter()
+        .map(|r| r.real_at)
+        .max()
+        .unwrap();
+    assert!(last.saturating_since(t0) < res.params.d());
+}
+
+/// A partition that silences f nodes entirely: the remaining correct
+/// quorum still reaches agreement.
+#[test]
+fn partition_of_f_nodes_tolerated() {
+    let cfg = ScenarioConfig::new(7, 2).with_seed(5);
+    let params = cfg.params().unwrap();
+    let off = params.d() * 4u64;
+    let mut b = ScenarioBuilder::new(cfg).correct_general(off, 9);
+    for _ in 1..7 {
+        b = b.correct();
+    }
+    let mut sc = b.build();
+    // Nodes 5 and 6 are isolated in both directions for the whole run —
+    // they count against the fault budget.
+    let forever = RealTime::from_nanos(u64::MAX);
+    for isolated in [5u32, 6] {
+        for other in 0..7u32 {
+            sc.sim_mut()
+                .block_link(NodeId::new(isolated), NodeId::new(other), forever);
+            sc.sim_mut()
+                .block_link(NodeId::new(other), NodeId::new(isolated), forever);
+        }
+    }
+    sc.run_until(RealTime::ZERO + params.delta_agr() + params.d() * 30u64);
+    let res = sc.result();
+    let deciders: Vec<NodeId> = res
+        .decides_for(NodeId::new(0))
+        .iter()
+        .map(|r| r.node)
+        .collect();
+    for node in 0..5u32 {
+        assert!(
+            deciders.contains(&NodeId::new(node)),
+            "connected node {node} must decide; got {deciders:?}"
+        );
+    }
+    assert_eq!(res.decided_values(NodeId::new(0)), vec![9]);
+}
+
+/// Timeliness 1(d): anchors precede decisions and the running time is
+/// bounded by Δ_agr for every scenario in the matrix.
+#[test]
+fn anchors_precede_decisions_everywhere() {
+    for seed in 0..5 {
+        let (res, _) = run_correct_general(
+            10,
+            3,
+            seed,
+            Duration::from_micros(500),
+            Duration::from_millis(9),
+            3,
+        );
+        checks::check_anchor_precedes_decision(&res, NodeId::new(0)).assert_ok("1(d)");
+        checks::check_termination(&res, NodeId::new(0), slack(res.params.d()))
+            .assert_ok("termination");
+    }
+}
+
+/// Determinism: identical seeds yield identical decision transcripts.
+#[test]
+fn runs_are_deterministic() {
+    let transcript = |seed| {
+        let (res, _) = run_correct_general(
+            7,
+            2,
+            seed,
+            Duration::from_micros(500),
+            Duration::from_millis(9),
+            2,
+        );
+        res.decisions
+            .iter()
+            .map(|r| (r.node, r.value, r.real_at))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(transcript(9), transcript(9));
+    assert_ne!(transcript(9), transcript(10));
+}

@@ -1,0 +1,105 @@
+//! Recurrent and concurrent agreements: repeated initiations by one
+//! General, different Generals back to back, and fully concurrent
+//! instances by distinct Generals.
+
+use ssbyz::harness::{checks, ScenarioBuilder, ScenarioConfig};
+use ssbyz::{NodeId, RealTime};
+
+/// One General runs three agreements in sequence (respecting Δ0); each
+/// decides its own value and the executions never bleed into each other.
+#[test]
+fn three_sequential_agreements_one_general() {
+    let cfg = ScenarioConfig::new(4, 1).with_seed(2);
+    let params = cfg.params().unwrap();
+    let d = params.d();
+    let gap = params.delta_0() + d * 4u64;
+    let offs = [d * 4u64, d * 4u64 + gap, d * 4u64 + gap * 2u64];
+    let mut sc = ScenarioBuilder::new(cfg)
+        .correct_with_initiations(vec![(offs[0], 1), (offs[1], 2), (offs[2], 3)])
+        .correct()
+        .correct()
+        .correct()
+        .build();
+    sc.run_until(RealTime::ZERO + offs[2] + params.delta_agr() + d * 30u64);
+    let res = sc.result();
+    let clusters = checks::executions(&res, NodeId::new(0));
+    assert_eq!(clusters.len(), 3, "three distinct executions");
+    checks::check_agreement(&res, NodeId::new(0)).assert_ok("per-execution agreement");
+    let mut decided: Vec<u64> = res.decided_values(NodeId::new(0));
+    decided.sort_unstable();
+    assert_eq!(decided, vec![1, 2, 3]);
+    // Every execution is complete: 4 deciders each.
+    for cluster in clusters {
+        assert_eq!(cluster.len(), 4);
+    }
+}
+
+/// Two different Generals initiate *concurrently*: their instances are
+/// independent and both decide.
+#[test]
+fn concurrent_generals_are_independent() {
+    let cfg = ScenarioConfig::new(7, 2).with_seed(13);
+    let params = cfg.params().unwrap();
+    let d = params.d();
+    let mut b = ScenarioBuilder::new(cfg)
+        .correct_general(d * 4u64, 10) // node 0 proposes 10
+        .correct_general(d * 5u64, 20); // node 1 proposes 20, 1d later
+    for _ in 2..7 {
+        b = b.correct();
+    }
+    let mut sc = b.build();
+    sc.run_until(RealTime::ZERO + params.delta_agr() + d * 40u64);
+    let res = sc.result();
+    assert_eq!(res.decided_values(NodeId::new(0)), vec![10]);
+    assert_eq!(res.decided_values(NodeId::new(1)), vec![20]);
+    assert_eq!(res.decides_for(NodeId::new(0)).len(), 7);
+    assert_eq!(res.decides_for(NodeId::new(1)).len(), 7);
+    checks::check_agreement(&res, NodeId::new(0)).assert_ok("G=0");
+    checks::check_agreement(&res, NodeId::new(1)).assert_ok("G=1");
+}
+
+/// All n nodes act as Generals at once (the pulse-synchronization
+/// workload): every instance decides at every node.
+#[test]
+fn all_nodes_as_generals() {
+    let cfg = ScenarioConfig::new(4, 1).with_seed(6);
+    let params = cfg.params().unwrap();
+    let d = params.d();
+    let mut b = ScenarioBuilder::new(cfg);
+    for i in 0..4u64 {
+        b = b.correct_general(d * 4u64 + d * i / 2, 100 + i);
+    }
+    let mut sc = b.build();
+    sc.run_until(RealTime::ZERO + params.delta_agr() + d * 40u64);
+    let res = sc.result();
+    for g in 0..4u32 {
+        let general = NodeId::new(g);
+        assert_eq!(
+            res.decided_values(general),
+            vec![100 + u64::from(g)],
+            "General {g}"
+        );
+        assert_eq!(res.decides_for(general).len(), 4, "General {g}");
+    }
+}
+
+/// Too-frequent initiations are refused locally (IG1) and the network
+/// never sees them.
+#[test]
+fn rapid_reinitiation_is_refused() {
+    let cfg = ScenarioConfig::new(4, 1).with_seed(3);
+    let params = cfg.params().unwrap();
+    let d = params.d();
+    // Second initiation 2d after the first: violates Δ0 = 13d.
+    let mut sc = ScenarioBuilder::new(cfg)
+        .correct_with_initiations(vec![(d * 4u64, 1), (d * 6u64, 2)])
+        .correct()
+        .correct()
+        .correct()
+        .build();
+    sc.run_until(RealTime::ZERO + params.delta_agr() + d * 30u64);
+    let res = sc.result();
+    assert_eq!(res.decided_values(NodeId::new(0)), vec![1]);
+    assert_eq!(res.refused.len(), 1, "the second initiation is refused");
+    assert_eq!(res.refused[0].1, 2);
+}

@@ -1,0 +1,83 @@
+//! Wall-clock runtime integration: the identical engine code on real
+//! threads, including concurrent Generals and forged-traffic injection.
+
+use ssbyz::core::Params;
+use ssbyz::runtime::{Cluster, RuntimeConfig};
+use ssbyz::{Duration, Event, Msg, NodeId};
+
+fn quick_params() -> Params {
+    Params::from_d(4, 1, Duration::from_millis(20), 0).unwrap()
+}
+
+#[test]
+fn concurrent_generals_wall_clock() {
+    let cluster: Cluster<u64> = Cluster::spawn(quick_params(), RuntimeConfig::default());
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    cluster.initiate(NodeId::new(0), 1).unwrap();
+    cluster.initiate(NodeId::new(1), 2).unwrap();
+    assert!(
+        cluster.wait_for_decisions(8, std::time::Duration::from_secs(5)),
+        "both agreements complete: {:?}",
+        cluster.decisions()
+    );
+    let events = cluster.events();
+    for g in [NodeId::new(0), NodeId::new(1)] {
+        let values: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match &e.event {
+                Event::Decided { general, value, .. } if *general == g => Some(*value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(values.len(), 4, "General {g}");
+        assert!(values.windows(2).all(|w| w[0] == w[1]), "General {g}");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn forged_ia_traffic_cannot_forge_acceptance() {
+    let cluster: Cluster<u64> = Cluster::spawn(quick_params(), RuntimeConfig::default());
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    // One Byzantine identity (node 3) floods forged IA stages for a
+    // phantom initiation by node 2.
+    for _ in 0..50 {
+        for kind in ssbyz::core::IaKind::ALL {
+            for dst in 0..4 {
+                cluster
+                    .inject(
+                        NodeId::new(3),
+                        NodeId::new(dst),
+                        Msg::Ia {
+                            kind,
+                            general: NodeId::new(2),
+                            value: 666,
+                        },
+                    )
+                    .unwrap();
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    assert!(
+        cluster.decisions().is_empty(),
+        "forged IA traffic from one identity must not produce decisions"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn decisions_carry_timing() {
+    let cluster: Cluster<u64> = Cluster::spawn(quick_params(), RuntimeConfig::default());
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    let before = cluster.elapsed();
+    cluster.initiate(NodeId::new(0), 5).unwrap();
+    assert!(cluster.wait_for_decisions(4, std::time::Duration::from_secs(5)));
+    for e in cluster.events() {
+        if matches!(e.event, Event::Decided { .. }) {
+            assert!(e.elapsed >= before, "decision precedes initiation");
+        }
+    }
+    cluster.shutdown();
+}

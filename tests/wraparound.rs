@@ -1,0 +1,105 @@
+//! Local-clock wrap-around: the paper assumes local time may wrap after a
+//! transient fault and requires the protocol to measure only intervals.
+//! These tests run full agreements with boot readings placed so that the
+//! counters wrap *mid-protocol*.
+
+use ssbyz::harness::experiments::slack;
+use ssbyz::harness::{checks, ScenarioBuilder, ScenarioConfig};
+use ssbyz::{LocalTime, NodeId, RealTime};
+
+/// All clocks wrap during the agreement window.
+#[test]
+fn agreement_across_wrap_on_all_clocks() {
+    let cfg = ScenarioConfig::new(4, 1).with_seed(17);
+    let params = cfg.params().unwrap();
+    let off = params.d() * 4u64;
+    // Boot readings so the counter wraps ~2d into the run — right in the
+    // middle of the Initiator-Accept wave.
+    let wrap_at = params.d() * 6u64;
+    let boots: Vec<LocalTime> = (0..4)
+        .map(|i| {
+            LocalTime::from_nanos(0u64.wrapping_sub(
+                wrap_at.as_nanos() + i as u64 * 1_000,
+            ))
+        })
+        .collect();
+    let mut sc = ScenarioBuilder::new(cfg)
+        .correct_general(off, 88)
+        .correct()
+        .correct()
+        .correct()
+        .with_boot_readings(boots)
+        .build();
+    sc.run_until(RealTime::ZERO + params.delta_agr() + params.d() * 30u64);
+    let res = sc.result();
+    assert_eq!(res.decided_values(NodeId::new(0)), vec![88]);
+    assert_eq!(res.decides_for(NodeId::new(0)).len(), 4);
+    checks::check_agreement(&res, NodeId::new(0)).assert_ok("agreement across wrap");
+    checks::check_decision_skew(
+        &res,
+        NodeId::new(0),
+        params.d() * 2u64 + slack(params.d()),
+        params.d() + slack(params.d()),
+    )
+    .assert_ok("skew across wrap");
+}
+
+/// Only some clocks wrap (mixed wrap phase among correct nodes).
+#[test]
+fn agreement_with_mixed_wrap_phases() {
+    let cfg = ScenarioConfig::new(7, 2).with_seed(23);
+    let params = cfg.params().unwrap();
+    let off = params.d() * 4u64;
+    let wrap_soon = LocalTime::from_nanos(0u64.wrapping_sub(params.d().as_nanos() * 5));
+    let boots = vec![
+        wrap_soon,
+        LocalTime::from_nanos(500),
+        wrap_soon + params.d(),
+        LocalTime::from_nanos(123_456_789),
+        wrap_soon - params.d() * 2u64,
+        LocalTime::ZERO,
+        LocalTime::from_nanos(u64::MAX / 2),
+    ];
+    let mut b = ScenarioBuilder::new(cfg).correct_general(off, 99);
+    for _ in 1..7 {
+        b = b.correct();
+    }
+    let mut sc = b.with_boot_readings(boots).build();
+    sc.run_until(RealTime::ZERO + params.delta_agr() + params.d() * 30u64);
+    let res = sc.result();
+    assert_eq!(res.decided_values(NodeId::new(0)), vec![99]);
+    assert_eq!(res.decides_for(NodeId::new(0)).len(), 7);
+}
+
+/// Repeated agreements straddling the wrap: guards (`last(G)`,
+/// `last(G, m)`) must survive their owner's clock wrapping.
+#[test]
+fn recurrent_agreements_across_wrap() {
+    let cfg = ScenarioConfig::new(4, 1).with_seed(31);
+    let params = cfg.params().unwrap();
+    let d = params.d();
+    let gap = params.delta_0() + d * 4u64;
+    let offs = [d * 4u64, d * 4u64 + gap];
+    // Wrap lands between the two agreements.
+    let wrap_at = d * 4u64 + gap / 2;
+    let boots: Vec<LocalTime> = (0..4)
+        .map(|i| {
+            LocalTime::from_nanos(
+                0u64.wrapping_sub(wrap_at.as_nanos() + i as u64 * 7_000),
+            )
+        })
+        .collect();
+    let mut sc = ScenarioBuilder::new(cfg)
+        .correct_with_initiations(vec![(offs[0], 1), (offs[1], 2)])
+        .correct()
+        .correct()
+        .correct()
+        .with_boot_readings(boots)
+        .build();
+    sc.run_until(RealTime::ZERO + offs[1] + params.delta_agr() + d * 30u64);
+    let res = sc.result();
+    let mut decided = res.decided_values(NodeId::new(0));
+    decided.sort_unstable();
+    assert_eq!(decided, vec![1, 2], "both agreements complete across wrap");
+    checks::check_agreement(&res, NodeId::new(0)).assert_ok("wrap recurrent");
+}
