@@ -62,7 +62,7 @@ impl<V: Value, O> Process<Msg<V>, O> for TwoFacedGeneral<V> {
         ctx.set_timer_after(self.strike_after, T_PHASE);
     }
 
-    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg<V>, O>, _from: NodeId, _msg: Msg<V>) {}
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg<V>, O>, _from: NodeId, _msg: &Msg<V>) {}
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<V>, O>, token: u64) {
         if token != T_PHASE {
@@ -134,7 +134,7 @@ impl<V: Value, O> Process<Msg<V>, O> for SpamGeneral<V> {
         ctx.set_timer_after(self.period, T_PHASE);
     }
 
-    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg<V>, O>, _from: NodeId, _msg: Msg<V>) {}
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg<V>, O>, _from: NodeId, _msg: &Msg<V>) {}
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<V>, O>, token: u64) {
         if token != T_PHASE {
@@ -177,7 +177,7 @@ impl<V: Value, O> Process<Msg<V>, O> for StaggeredGeneral<V> {
         ctx.set_timer_after(self.strike_after, T_PHASE);
     }
 
-    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg<V>, O>, _from: NodeId, _msg: Msg<V>) {}
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg<V>, O>, _from: NodeId, _msg: &Msg<V>) {}
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<V>, O>, token: u64) {
         if token != T_PHASE {
@@ -210,7 +210,7 @@ pub struct SilentNode;
 
 impl<M, O> Process<M, O> for SilentNode {
     fn on_start(&mut self, _ctx: &mut Ctx<'_, M, O>) {}
-    fn on_message(&mut self, _ctx: &mut Ctx<'_, M, O>, _from: NodeId, _msg: M) {}
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, M, O>, _from: NodeId, _msg: &M) {}
     fn on_timer(&mut self, _ctx: &mut Ctx<'_, M, O>, _token: u64) {}
 }
 
@@ -243,7 +243,7 @@ impl<V: Value, O> Process<Msg<V>, O> for PartialGeneral<V> {
         ctx.set_timer_after(self.strike_after, T_PHASE);
     }
 
-    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg<V>, O>, _from: NodeId, _msg: Msg<V>) {}
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg<V>, O>, _from: NodeId, _msg: &Msg<V>) {}
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<V>, O>, token: u64) {
         if token != T_PHASE || self.fired {

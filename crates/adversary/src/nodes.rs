@@ -85,7 +85,7 @@ impl<V: Value, O> Process<Msg<V>, O> for GarbageNode<V> {
         ctx.set_timer_after(self.period, T_NOISE);
     }
 
-    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg<V>, O>, _from: NodeId, _msg: Msg<V>) {}
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg<V>, O>, _from: NodeId, _msg: &Msg<V>) {}
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<V>, O>, token: u64) {
         if token != T_NOISE {
@@ -142,7 +142,7 @@ impl<V: Value, O> Process<Msg<V>, O> for EchoForger<V> {
         ctx.set_timer_after(self.period, T_NOISE);
     }
 
-    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg<V>, O>, _from: NodeId, _msg: Msg<V>) {}
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg<V>, O>, _from: NodeId, _msg: &Msg<V>) {}
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<V>, O>, token: u64) {
         if token != T_NOISE {
@@ -193,7 +193,7 @@ impl<V: Value, O> Process<Msg<V>, O> for IaForger<V> {
         ctx.set_timer_after(self.period, T_NOISE);
     }
 
-    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg<V>, O>, _from: NodeId, _msg: Msg<V>) {}
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg<V>, O>, _from: NodeId, _msg: &Msg<V>) {}
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<V>, O>, token: u64) {
         if token != T_NOISE {

@@ -124,10 +124,7 @@ impl<V: Value> BaselineNode<V> {
         };
         let mut used: BTreeSet<NodeId> = BTreeSet::new();
         let mut r = 0u32;
-        loop {
-            let Some(senders) = rounds.get(&(r + 1)) else {
-                break;
-            };
+        while let Some(senders) = rounds.get(&(r + 1)) {
             // Greedy distinct pick (senders ≠ G).
             let Some(p) = senders
                 .iter()
@@ -292,7 +289,12 @@ impl<V: Value> Process<Msg<V>, BaselineEvent<V>> for BaselineNode<V> {
         ctx.set_timer_after(self.phi(), T_PHASE);
     }
 
-    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg<V>, BaselineEvent<V>>, from: NodeId, msg: Msg<V>) {
+    fn on_message(
+        &mut self,
+        _ctx: &mut Ctx<'_, Msg<V>, BaselineEvent<V>>,
+        from: NodeId,
+        msg: &Msg<V>,
+    ) {
         let Msg::Bcast {
             kind,
             general,
@@ -303,12 +305,13 @@ impl<V: Value> Process<Msg<V>, BaselineEvent<V>> for BaselineNode<V> {
         else {
             return; // the baseline speaks only broadcast messages
         };
+        let (kind, general, broadcaster, round) = (*kind, *general, *broadcaster, *round);
         if general != self.general || round > self.params.max_round() {
             return;
         }
         let st = self
             .triplets
-            .entry((broadcaster, round, value))
+            .entry((broadcaster, round, value.clone()))
             .or_default();
         match kind {
             BcastKind::Init => {

@@ -36,6 +36,7 @@ impl BaselineResult {
 ///
 /// Panics on invalid `(n, f)` (needs `n > 3f`).
 #[must_use]
+#[allow(clippy::too_many_arguments)]
 pub fn run_baseline(
     n: usize,
     f: usize,

@@ -22,7 +22,7 @@ fn abort_latency(params: Params) -> Duration {
     let step = params.d();
     let mut now = tau_g;
     for _ in 0..((2 * params.f() as u64 + 2) * 8 + 8) {
-        now = now + step;
+        now += step;
         agr.on_tick(now, &mut out);
         if agr.has_returned() {
             return now.since(tau_g);
@@ -53,7 +53,8 @@ fn bench_resend_gap_ablation(c: &mut Criterion) {
     g.sample_size(10);
     // Message count effect is reported through the iteration return value;
     // wall time tracks the extra simulation work of repetitive sending.
-    for label in ["gap_d_default"] {
+    {
+        let label = "gap_d_default";
         g.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
             let mut seed = 0u64;
             b.iter(|| {
@@ -73,5 +74,9 @@ fn bench_resend_gap_ablation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_early_abort_ablation, bench_resend_gap_ablation);
+criterion_group!(
+    benches,
+    bench_early_abort_ablation,
+    bench_resend_gap_ablation
+);
 criterion_main!(benches);

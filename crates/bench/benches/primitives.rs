@@ -17,7 +17,7 @@ fn bench_arrival_log(c: &mut Criterion) {
             log.record(LocalTime::from_nanos(t), NodeId::new((t % 32) as u32));
             let count =
                 log.distinct_in_window(LocalTime::from_nanos(t), Duration::from_nanos(40_000));
-            if t % 64_000 == 0 {
+            if t.is_multiple_of(64_000) {
                 log.prune(LocalTime::from_nanos(t), Duration::from_nanos(100_000));
             }
             count
@@ -46,8 +46,10 @@ fn bench_timed_var(c: &mut Criterion) {
         b.iter(|| {
             t += 500;
             v.set(LocalTime::from_nanos(t), t);
-            let q = v.at(LocalTime::from_nanos(t.saturating_sub(10_000))).copied();
-            if t % 50_000 == 0 {
+            let q = v
+                .at(LocalTime::from_nanos(t.saturating_sub(10_000)))
+                .copied();
+            if t.is_multiple_of(50_000) {
                 v.prune(LocalTime::from_nanos(t), Duration::from_nanos(20_000));
             }
             q

@@ -1,0 +1,147 @@
+//! Hot-path micro-benchmarks for the dense per-node state introduced by
+//! the flat-state overhaul: `ArrivalLog::{record, prune,
+//! distinct_in_window}` and `Engine::on_message` at n ∈ {4, 16, 64},
+//! benchmarked **against the retained `BTreeMap` reference
+//! implementation** so the baseline-vs-dense comparison is reproducible
+//! from one binary. Collected numbers are committed in
+//! `BENCH_store_hot_path.json` (regenerate with
+//! `SSBYZ_BENCH_JSON=/tmp/b.json cargo bench --bench store_hot_path`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssbyz_core::store::reference::ReferenceArrivalLog;
+use ssbyz_core::store::ArrivalLog;
+use ssbyz_core::{Engine, IaKind, Msg, Params};
+use ssbyz_types::{Duration, LocalTime, NodeId};
+
+const SIZES: [usize; 3] = [4, 16, 64];
+
+/// One steady-state protocol step against the dense log: record an
+/// arrival, answer the 2d quorum-window query, prune on a cadence.
+fn bench_arrival_log_dense(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_hot_path/dense");
+    for n in SIZES {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut log = ArrivalLog::new();
+            let mut t = 0u64;
+            // Steady state: every sender has a populated history.
+            for i in 0..(n as u64 * 8) {
+                log.record(
+                    LocalTime::from_nanos(1 + i * 997),
+                    NodeId::new((i % n as u64) as u32),
+                );
+            }
+            b.iter(|| {
+                t += 1_000;
+                log.record(
+                    LocalTime::from_nanos(t),
+                    NodeId::new((t / 1_000 % n as u64) as u32),
+                );
+                let count =
+                    log.distinct_in_window(LocalTime::from_nanos(t), Duration::from_nanos(40_000));
+                if t.is_multiple_of(64_000) {
+                    log.prune(LocalTime::from_nanos(t), Duration::from_nanos(100_000));
+                }
+                black_box(count)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// The identical workload against the `BTreeMap` reference model.
+fn bench_arrival_log_baseline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_hot_path/baseline_btreemap");
+    for n in SIZES {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut log = ReferenceArrivalLog::new();
+            let mut t = 0u64;
+            for i in 0..(n as u64 * 8) {
+                log.record(
+                    LocalTime::from_nanos(1 + i * 997),
+                    NodeId::new((i % n as u64) as u32),
+                );
+            }
+            b.iter(|| {
+                t += 1_000;
+                log.record(
+                    LocalTime::from_nanos(t),
+                    NodeId::new((t / 1_000 % n as u64) as u32),
+                );
+                let count =
+                    log.distinct_in_window(LocalTime::from_nanos(t), Duration::from_nanos(40_000));
+                if t.is_multiple_of(64_000) {
+                    log.prune(LocalTime::from_nanos(t), Duration::from_nanos(100_000));
+                }
+                black_box(count)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn params_for(n: usize) -> Params {
+    Params::from_d(n, (n - 1) / 3, Duration::from_millis(10), 0).unwrap()
+}
+
+/// Engine message throughput on the Initiator-Accept support path: every
+/// delivery records an arrival and runs the windowed quorum evaluation.
+fn bench_engine_ia_support(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_hot_path/engine_ia_support");
+    for n in SIZES {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut engine: Engine<u64> = Engine::new(NodeId::new(0), params_for(n));
+            let mut t = 1_000_000_000u64;
+            let mut sender = 0u32;
+            b.iter(|| {
+                t += 10_000;
+                sender = (sender + 1) % n as u32;
+                let msg = Msg::Ia {
+                    kind: IaKind::Support,
+                    general: NodeId::new(1),
+                    value: 7u64,
+                };
+                let outs =
+                    engine.on_message_ref(LocalTime::from_nanos(t), NodeId::new(sender), &msg);
+                black_box(outs.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Engine message throughput on the msgd-broadcast echo path: the dense
+/// triplet table plus three arrival logs per triplet.
+fn bench_engine_bcast_echo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_hot_path/engine_bcast_echo");
+    for n in SIZES {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut engine: Engine<u64> = Engine::new(NodeId::new(0), params_for(n));
+            let mut t = 1_000_000_000u64;
+            let mut sender = 0u32;
+            b.iter(|| {
+                t += 10_000;
+                sender = (sender + 1) % n as u32;
+                let msg = Msg::Bcast {
+                    kind: ssbyz_core::BcastKind::Echo,
+                    general: NodeId::new(1),
+                    broadcaster: NodeId::new(2),
+                    value: 7u64,
+                    round: 1,
+                };
+                let outs =
+                    engine.on_message_ref(LocalTime::from_nanos(t), NodeId::new(sender), &msg);
+                black_box(outs.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_arrival_log_dense,
+    bench_arrival_log_baseline,
+    bench_engine_ia_support,
+    bench_engine_bcast_echo
+);
+criterion_main!(benches);

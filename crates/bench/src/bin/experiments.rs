@@ -138,9 +138,13 @@ fn e2(seeds: u64) {
         ex::e2_byzantine_general("two-faced (split 1/5)", n, f, seeds, &|_, p| {
             Box::new(TwoFacedGeneral::new(100, 200, vec![NodeId::new(1)], p))
         }),
-        ex::e2_byzantine_general("staggered (same value, 10d spread)", n, f, seeds, &|_, p| {
-            Box::new(StaggeredGeneral::new(300, p.d() * 2u64, p.d() * 10u64))
-        }),
+        ex::e2_byzantine_general(
+            "staggered (same value, 10d spread)",
+            n,
+            f,
+            seeds,
+            &|_, p| Box::new(StaggeredGeneral::new(300, p.d() * 2u64, p.d() * 10u64)),
+        ),
         ex::e2_byzantine_general("spam (5 values, every 2d)", n, f, seeds, &|_, p| {
             Box::new(SpamGeneral::new(vec![1, 2, 3, 4, 5], p.d() * 2u64))
         }),
@@ -240,7 +244,14 @@ fn e6(seeds: u64) {
     println!("\n## E6 — Convergence from arbitrary state\n");
     println!(
         "{}",
-        header(&["n", "f", "runs", "converged", "settle granted", "bound Δ_stb"])
+        header(&[
+            "n",
+            "f",
+            "runs",
+            "converged",
+            "settle granted",
+            "bound Δ_stb"
+        ])
     );
     for (n, f) in [(4, 1), (7, 2)] {
         let r = ex::e6_convergence(n, f, seeds, 90);

@@ -32,6 +32,9 @@ pub fn row(cells: &[String]) -> String {
 #[must_use]
 pub fn header(cells: &[&str]) -> String {
     let head = format!("| {} |", cells.join(" | "));
-    let sep = format!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    let sep = format!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     format!("{head}\n{sep}")
 }

@@ -24,7 +24,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use ssbyz_types::{Duration, LocalTime, NodeId, Value};
+use ssbyz_types::{DenseNodeMap, Duration, LocalTime, NodeId, Value};
 
 use crate::message::BcastKind;
 use crate::msgd_broadcast::{MsgdAction, MsgdBroadcast};
@@ -69,9 +69,10 @@ pub struct Agreement<V: Value> {
     msgd: MsgdBroadcast<V>,
     /// The anchor `τ_G` of the current execution.
     tau_g: Option<LocalTime>,
-    /// Accepted broadcasts: value → round → broadcasters (with accept time
-    /// for decay).
-    accepted: BTreeMap<V, BTreeMap<u32, BTreeMap<NodeId, LocalTime>>>,
+    /// Accepted broadcasts: value → flat round table (index `round − 1`,
+    /// rounds capped at `max_round`) → dense broadcaster map with accept
+    /// times for decay.
+    accepted: BTreeMap<V, Vec<DenseNodeMap<LocalTime>>>,
     /// Set once one of blocks R/S/T/U executed: `(decision, at)`.
     returned: Option<(Option<V>, LocalTime)>,
     /// When the post-return reset is due.
@@ -158,11 +159,11 @@ impl<V: Value> Agreement<V> {
         // Schedule the phase-boundary checks for blocks T and U.
         let eps = Duration::from_nanos(1);
         for r in 1..=self.params.f() as u64 {
-            out.push(AgrAction::WakeAt(tau_g + self.params.phi() * (2 * r + 1) + eps));
+            out.push(AgrAction::WakeAt(
+                tau_g + self.params.phi() * (2 * r + 1) + eps,
+            ));
         }
-        out.push(AgrAction::WakeAt(
-            tau_g + self.params.delta_agr() + eps,
-        ));
+        out.push(AgrAction::WakeAt(tau_g + self.params.delta_agr() + eps));
         // Block R: fresh I-accept ⇒ decide immediately.
         if now.since_or_zero(tau_g) <= self.params.d() * 4u64 && !tau_g.is_after(now) {
             self.decide(now, value, 1, out);
@@ -186,15 +187,44 @@ impl<V: Value> Agreement<V> {
         round: u32,
         out: &mut Vec<AgrAction<V>>,
     ) {
+        self.on_bcast_ref(now, sender, kind, broadcaster, &value, round, out);
+    }
+
+    /// By-reference variant of [`Agreement::on_bcast`] for shared
+    /// (`Arc`-delivered) payloads.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_bcast_ref(
+        &mut self,
+        now: LocalTime,
+        sender: NodeId,
+        kind: BcastKind,
+        broadcaster: NodeId,
+        value: &V,
+        round: u32,
+        out: &mut Vec<AgrAction<V>>,
+    ) {
         let mut macts = Vec::new();
-        self.msgd
-            .on_message(now, sender, kind, broadcaster, value, round, self.tau_g, &mut macts);
+        self.msgd.on_message_ref(
+            now,
+            sender,
+            kind,
+            broadcaster,
+            value,
+            round,
+            self.tau_g,
+            &mut macts,
+        );
         self.absorb_msgd(now, macts, out);
     }
 
     /// Converts primitive actions into agreement actions, recording accepts
     /// and running block S.
-    fn absorb_msgd(&mut self, now: LocalTime, macts: Vec<MsgdAction<V>>, out: &mut Vec<AgrAction<V>>) {
+    fn absorb_msgd(
+        &mut self,
+        now: LocalTime,
+        macts: Vec<MsgdAction<V>>,
+        out: &mut Vec<AgrAction<V>>,
+    ) {
         let mut try_s = false;
         for act in macts {
             match act {
@@ -214,12 +244,7 @@ impl<V: Value> Agreement<V> {
                     value,
                     round,
                 } => {
-                    self.accepted
-                        .entry(value)
-                        .or_default()
-                        .entry(round)
-                        .or_default()
-                        .insert(broadcaster, now);
+                    self.record_accepted(value, round, broadcaster, now);
                     try_s = true;
                 }
                 MsgdAction::BroadcasterDetected(_) => {}
@@ -228,6 +253,19 @@ impl<V: Value> Agreement<V> {
         if try_s {
             self.try_block_s(now, out);
         }
+    }
+
+    /// Records one accepted broadcast in the flat per-round table.
+    fn record_accepted(&mut self, value: V, round: u32, broadcaster: NodeId, now: LocalTime) {
+        if round == 0 || round > self.params.max_round() {
+            return; // no legitimate chain uses such a round
+        }
+        let rounds = self.accepted.entry(value).or_default();
+        let idx = round as usize - 1;
+        if idx >= rounds.len() {
+            rounds.resize_with(idx + 1, DenseNodeMap::new);
+        }
+        rounds[idx].insert(broadcaster, now);
     }
 
     /// Block S: decide once a chain of `r` distinct-broadcaster accepts of
@@ -247,13 +285,8 @@ impl<V: Value> Agreement<V> {
             // the U hard stop, and deciders relay at r + 1 ≤ f + 1.
             for r in 1..=self.params.f() as u32 {
                 let senders: Vec<NodeId> = rounds
-                    .get(&r)
-                    .map(|m| {
-                        m.keys()
-                            .copied()
-                            .filter(|p| *p != self.general)
-                            .collect()
-                    })
+                    .get(r as usize - 1)
+                    .map(|m| m.keys().filter(|p| *p != self.general).collect())
                     .unwrap_or_default();
                 if senders.is_empty() {
                     break;
@@ -284,7 +317,8 @@ impl<V: Value> Agreement<V> {
     fn decide(&mut self, now: LocalTime, value: V, relay_round: u32, out: &mut Vec<AgrAction<V>>) {
         let tau_g = self.tau_g.expect("decide requires an anchor");
         let mut macts = Vec::new();
-        self.msgd.invoke(now, value.clone(), relay_round, &mut macts);
+        self.msgd
+            .invoke(now, value.clone(), relay_round, &mut macts);
         self.absorb_decide_relay(macts, out);
         self.finish(now, Some(value), tau_g, out);
     }
@@ -361,12 +395,15 @@ impl<V: Value> Agreement<V> {
     pub fn cleanup(&mut self, now: LocalTime) {
         let horizon = self.params.agreement_horizon();
         for rounds in self.accepted.values_mut() {
-            for senders in rounds.values_mut() {
+            for senders in rounds.iter_mut() {
                 senders.retain(|_, t| !t.is_after(now) && now.since(*t) <= horizon);
             }
-            rounds.retain(|_, senders| !senders.is_empty());
+            while rounds.last().is_some_and(DenseNodeMap::is_empty) {
+                rounds.pop();
+            }
         }
-        self.accepted.retain(|_, rounds| !rounds.is_empty());
+        self.accepted
+            .retain(|_, rounds| rounds.iter().any(|m| !m.is_empty()));
         // A bogus (future or ancient) anchor with no returned execution
         // decays too — otherwise a corrupted τ_G could wedge the instance.
         if let Some(tau_g) = self.tau_g {
@@ -401,14 +438,10 @@ impl<V: Value> Agreement<V> {
     }
 
     /// Plants a fake accepted broadcast (transient-fault harness).
+    /// Out-of-range rounds are dropped, as the protocol never reads them.
     #[doc(hidden)]
     pub fn corrupt_accepted(&mut self, value: V, round: u32, broadcaster: NodeId, at: LocalTime) {
-        self.accepted
-            .entry(value)
-            .or_default()
-            .entry(round)
-            .or_default()
-            .insert(broadcaster, at);
+        self.record_accepted(value, round, broadcaster, at);
     }
 
     /// Plants a fake returned state (transient-fault harness).
@@ -490,7 +523,7 @@ mod tests {
     fn returns(out: &[AgrAction<u64>]) -> Vec<(Option<u64>, LocalTime)> {
         out.iter()
             .filter_map(|a| match a {
-                AgrAction::Returned { decision, tau_g } => Some((decision.clone(), *tau_g)),
+                AgrAction::Returned { decision, tau_g } => Some((*decision, *tau_g)),
                 _ => None,
             })
             .collect()
@@ -770,7 +803,12 @@ mod tests {
         agr.cleanup(t(0) + p.agreement_horizon() + d());
         let mut out = Vec::new();
         // The stale accept is gone: a late anchor + S re-check won't fire.
-        agr.on_i_accept(t(0) + p.agreement_horizon() + d() * 7u64, 7, t(0) + p.agreement_horizon(), &mut out);
+        agr.on_i_accept(
+            t(0) + p.agreement_horizon() + d() * 7u64,
+            7,
+            t(0) + p.agreement_horizon(),
+            &mut out,
+        );
         assert!(returns(&out).is_empty());
     }
 

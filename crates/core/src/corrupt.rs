@@ -127,7 +127,11 @@ impl<V: Value> Engine<V> {
                 if entropy.chance(1, 3) {
                     let s = stamp(entropy);
                     let decided = entropy.chance(1, 2);
-                    let dv = if decided { Some(gen_value(entropy)) } else { None };
+                    let dv = if decided {
+                        Some(gen_value(entropy))
+                    } else {
+                        None
+                    };
                     self.agreement_raw(g).corrupt_returned(dv, s);
                 }
                 let fake_accepts = entropy.below(f as u64 + 2);
@@ -262,7 +266,7 @@ mod tests {
         // Decay must eventually clean everything (ticks over 2Δ_rmv).
         let mut t = later;
         for _ in 0..200 {
-            t = t + Duration::from_millis(20);
+            t += Duration::from_millis(20);
             engine.on_tick(t);
         }
     }

@@ -14,7 +14,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use ssbyz_types::{Duration, LocalTime, NodeId, Value};
+use ssbyz_types::{DenseNodeMap, Duration, LocalTime, NodeId, Value};
 
 use crate::agreement::{AgrAction, Agreement};
 use crate::initiator_accept::{IaAction, InitiatorAccept};
@@ -173,8 +173,10 @@ impl<V: Value> Default for GeneralControl<V> {
 pub struct Engine<V: Value> {
     me: NodeId,
     params: Params,
-    ia: BTreeMap<NodeId, InitiatorAccept<V>>,
-    agr: BTreeMap<NodeId, Agreement<V>>,
+    /// Per-General `Initiator-Accept` instances, dense by General id.
+    ia: DenseNodeMap<InitiatorAccept<V>>,
+    /// Per-General agreement instances, dense by General id.
+    agr: DenseNodeMap<Agreement<V>>,
     general_ctl: GeneralControl<V>,
     last_cleanup: Option<LocalTime>,
 }
@@ -186,8 +188,8 @@ impl<V: Value> Engine<V> {
         Engine {
             me,
             params,
-            ia: BTreeMap::new(),
-            agr: BTreeMap::new(),
+            ia: DenseNodeMap::with_capacity(params.n()),
+            agr: DenseNodeMap::with_capacity(params.n()),
             general_ctl: GeneralControl::default(),
             last_cleanup: None,
         }
@@ -245,9 +247,7 @@ impl<V: Value> Engine<V> {
         let me = self.me;
         self.ia_entry(me).clear_messages_before_initiation();
         self.general_ctl.last_initiation = Some(now);
-        self.general_ctl
-            .last_per_value
-            .insert(value.clone(), now);
+        self.general_ctl.last_per_value.insert(value.clone(), now);
         self.general_ctl.pending_checks.push(PendingCheck {
             value: value.clone(),
             invoked_at: now,
@@ -270,16 +270,37 @@ impl<V: Value> Engine<V> {
 
     /// Feeds an authenticated wire message.
     pub fn on_message(&mut self, now: LocalTime, sender: NodeId, msg: Msg<V>) -> Vec<Output<V>> {
+        self.on_message_ref(now, sender, &msg)
+    }
+
+    /// By-reference variant of [`Engine::on_message`] — the hot path for
+    /// `Arc`-shared broadcast payloads: the message is never deep-cloned
+    /// per delivery; the embedded value is cloned only where the protocol
+    /// actually stores or re-sends it.
+    pub fn on_message_ref(
+        &mut self,
+        now: LocalTime,
+        sender: NodeId,
+        msg: &Msg<V>,
+    ) -> Vec<Output<V>> {
         let mut out = Vec::new();
+        let n = self.params.n();
+        // The membership is fixed and globally known: claims naming ids
+        // outside `0..n` can only be transient residue or adversary
+        // fabrications — drop them before they allocate any state.
+        if sender.index() >= n || msg.general().index() >= n {
+            return out;
+        }
         self.cleanup_if_due(now);
         match msg {
             Msg::Initiator { general, value } => {
-                if sender != general {
+                if sender != *general {
                     return out; // forged initiation — identity is authenticated
                 }
                 let mut ia_out = Vec::new();
-                self.ia_entry(general).on_initiator(now, value, &mut ia_out);
-                self.absorb_ia(now, general, ia_out, &mut out);
+                self.ia_entry(*general)
+                    .on_initiator_ref(now, value, &mut ia_out);
+                self.absorb_ia(now, *general, ia_out, &mut out);
             }
             Msg::Ia {
                 kind,
@@ -287,9 +308,9 @@ impl<V: Value> Engine<V> {
                 value,
             } => {
                 let mut ia_out = Vec::new();
-                self.ia_entry(general)
-                    .on_message(now, sender, kind, value, &mut ia_out);
-                self.absorb_ia(now, general, ia_out, &mut out);
+                self.ia_entry(*general)
+                    .on_message_ref(now, sender, *kind, value, &mut ia_out);
+                self.absorb_ia(now, *general, ia_out, &mut out);
             }
             Msg::Bcast {
                 kind,
@@ -299,9 +320,16 @@ impl<V: Value> Engine<V> {
                 round,
             } => {
                 let mut agr_out = Vec::new();
-                self.agr_entry(general)
-                    .on_bcast(now, sender, kind, broadcaster, value, round, &mut agr_out);
-                self.absorb_agr(now, general, agr_out, &mut out);
+                self.agr_entry(*general).on_bcast_ref(
+                    now,
+                    sender,
+                    *kind,
+                    *broadcaster,
+                    value,
+                    *round,
+                    &mut agr_out,
+                );
+                self.absorb_agr(now, *general, agr_out, &mut out);
             }
         }
         out
@@ -313,10 +341,10 @@ impl<V: Value> Engine<V> {
         let mut out = Vec::new();
         self.cleanup_if_due(now);
         // Agreement deadlines & resets.
-        let generals: Vec<NodeId> = self.agr.keys().copied().collect();
+        let generals: Vec<NodeId> = self.agr.keys().collect();
         for g in generals {
             let mut agr_out = Vec::new();
-            if let Some(agr) = self.agr.get_mut(&g) {
+            if let Some(agr) = self.agr.get_mut(g) {
                 agr.on_tick(now, &mut agr_out);
             }
             self.absorb_agr(now, g, agr_out, &mut out);
@@ -339,7 +367,7 @@ impl<V: Value> Engine<V> {
             // Latch freshly observed progress.
             let prog = self
                 .ia
-                .get(&me)
+                .get(me)
                 .map(|ia| ia.own_progress(&check.value))
                 .unwrap_or_default();
             let ok_since =
@@ -436,7 +464,7 @@ impl<V: Value> Engine<V> {
                 AgrAction::ExecutionReset => {
                     // Fig. 1 cleanup: "3d after returning a value reset
                     // Initiator-Accept, τ_G, and msgd-broadcast."
-                    if let Some(ia) = self.ia.get_mut(&general) {
+                    if let Some(ia) = self.ia.get_mut(general) {
                         ia.reset_for_next_execution(now);
                     }
                 }
@@ -473,9 +501,9 @@ impl<V: Value> Engine<V> {
                 self.general_ctl.failed_at = None;
             }
         }
-        self.general_ctl.pending_checks.retain(|c| {
-            !c.invoked_at.is_after(now) && now.since(c.invoked_at) <= p.d() * 8u64
-        });
+        self.general_ctl
+            .pending_checks
+            .retain(|c| !c.invoked_at.is_after(now) && now.since(c.invoked_at) <= p.d() * 8u64);
         // Drop instances that have fully decayed. Buffered pre-anchor
         // messages (triplets) keep an instance alive: "nodes log messages
         // until they are able to process them."
@@ -491,28 +519,26 @@ impl<V: Value> Engine<V> {
         let me = self.me;
         let params = self.params;
         self.ia
-            .entry(general)
-            .or_insert_with(|| InitiatorAccept::new(me, general, params))
+            .get_or_insert_with(general, || InitiatorAccept::new(me, general, params))
     }
 
     fn agr_entry(&mut self, general: NodeId) -> &mut Agreement<V> {
         let me = self.me;
         let params = self.params;
         self.agr
-            .entry(general)
-            .or_insert_with(|| Agreement::new(me, general, params))
+            .get_or_insert_with(general, || Agreement::new(me, general, params))
     }
 
     /// Read access to the `Initiator-Accept` instance for `general`.
     #[must_use]
     pub fn ia(&self, general: NodeId) -> Option<&InitiatorAccept<V>> {
-        self.ia.get(&general)
+        self.ia.get(general)
     }
 
     /// Read access to the agreement instance for `general`.
     #[must_use]
     pub fn agreement(&self, general: NodeId) -> Option<&Agreement<V>> {
-        self.agr.get(&general)
+        self.agr.get(general)
     }
 
     /// Mutable handles for the corruption harness (`ssbyz-adversary`).
@@ -598,8 +624,7 @@ mod tests {
     /// clock, advancing time by `step` per delivery wave.
     fn run_fault_free() -> Vec<(NodeId, Event<u64>)> {
         let p = params4();
-        let mut engines: Vec<Engine<u64>> =
-            (0..4).map(|i| Engine::new(id(i), p)).collect();
+        let mut engines: Vec<Engine<u64>> = (0..4).map(|i| Engine::new(id(i), p)).collect();
         let mut events = Vec::new();
         let t0 = t(0);
         let init_out = engines[0].initiate(t0, 7).unwrap();
@@ -617,7 +642,7 @@ mod tests {
             if wave.is_empty() {
                 break;
             }
-            now = now + step;
+            now += step;
             let mut next = Vec::new();
             for (sender, msg) in &wave {
                 next.extend(deliver_all(&mut engines, now, *sender, msg, &mut events));

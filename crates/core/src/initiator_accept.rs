@@ -177,7 +177,14 @@ impl<V: Value> InitiatorAccept<V> {
     /// Block K: the primitive is explicitly invoked by an authenticated
     /// `(Initiator, G, m)` message from the General.
     pub fn on_initiator(&mut self, now: LocalTime, value: V, out: &mut Vec<IaAction<V>>) {
-        if self.is_ignoring(&value, now) {
+        self.on_initiator_ref(now, &value, out);
+    }
+
+    /// By-reference variant of [`InitiatorAccept::on_initiator`] — the hot
+    /// path for shared (`Arc`-delivered) payloads: the value is cloned only
+    /// when the guards pass and state must actually be created.
+    pub fn on_initiator_ref(&mut self, now: LocalTime, value: &V, out: &mut Vec<IaAction<V>>) {
+        if self.is_ignoring(value, now) {
             return;
         }
         let d = self.params.d();
@@ -185,7 +192,7 @@ impl<V: Value> InitiatorAccept<V> {
         let other_i_value = self
             .values
             .iter()
-            .any(|(v, st)| *v != value && st.i_value.is_some());
+            .any(|(v, st)| v != value && st.i_value.is_some());
         let last_g_set = self.last_g.get().is_some();
         let recent_own_support = self
             .own_support_times
@@ -193,19 +200,19 @@ impl<V: Value> InitiatorAccept<V> {
             .any(|t| !t.is_after(now) && now.since(*t) <= d);
         let last_gm_set_d_ago = self
             .values
-            .get(&value)
+            .get(value)
             .is_some_and(|st| st.last_gm.at(now - d).is_some());
         if other_i_value || last_g_set || recent_own_support || last_gm_set_d_ago {
             return;
         }
         // K2 — record time (d before now: the message took up to d to
         // arrive), support the value, stamp last(G, m).
-        let st = self.state_mut(now, &value);
+        let st = self.state_mut(now, value);
         st.i_value = Some(now - d);
         st.last_gm.set(now, now);
         st.touched = Some(now);
         self.send(now, IaKind::Support, value.clone(), out);
-        self.evaluate(now, &value, out);
+        self.evaluate(now, value, out);
     }
 
     /// Feeds a stage message from an authenticated `sender`; runs blocks
@@ -218,13 +225,29 @@ impl<V: Value> InitiatorAccept<V> {
         value: V,
         out: &mut Vec<IaAction<V>>,
     ) {
-        if self.is_ignoring(&value, now) {
+        self.on_message_ref(now, sender, kind, &value, out);
+    }
+
+    /// By-reference variant of [`InitiatorAccept::on_message`]: duplicate
+    /// and suppressed deliveries never clone the payload.
+    pub fn on_message_ref(
+        &mut self,
+        now: LocalTime,
+        sender: NodeId,
+        kind: IaKind,
+        value: &V,
+        out: &mut Vec<IaAction<V>>,
+    ) {
+        if sender.index() >= self.params.n() {
+            return; // sender outside the fixed membership
+        }
+        if self.is_ignoring(value, now) {
             return;
         }
-        let st = self.state_mut(now, &value);
+        let st = self.state_mut(now, value);
         st.log_mut(kind).record(now, sender);
         st.touched = Some(now);
-        self.evaluate(now, &value, out);
+        self.evaluate(now, value, out);
     }
 
     /// Runs lines L1–N4 for `value` against the current logs. Safe to call
@@ -307,7 +330,13 @@ impl<V: Value> InitiatorAccept<V> {
     }
 
     /// Line N4 body.
-    fn do_accept(&mut self, now: LocalTime, value: &V, tau_g: LocalTime, out: &mut Vec<IaAction<V>>) {
+    fn do_accept(
+        &mut self,
+        now: LocalTime,
+        value: &V,
+        tau_g: LocalTime,
+        out: &mut Vec<IaAction<V>>,
+    ) {
         let d = self.params.d();
         // i_values[G, ∗] := ⊥ for every value.
         for st in self.values.values_mut() {
@@ -338,22 +367,27 @@ impl<V: Value> InitiatorAccept<V> {
     }
 
     fn state_mut(&mut self, now: LocalTime, value: &V) -> &mut ValueState {
-        if !self.values.contains_key(value) && self.values.len() >= MAX_TRACKED_VALUES {
-            // Evict the least-recently-touched value to bound memory under
-            // a value-minting Byzantine General.
-            if let Some(evict) = self
-                .values
-                .iter()
-                .max_by_key(|(_, st)| {
-                    st.touched
-                        .map_or(u64::MAX, |t| now.since_or_zero(t).as_nanos())
-                })
-                .map(|(v, _)| v.clone())
-            {
-                self.values.remove(&evict);
+        if !self.values.contains_key(value) {
+            if self.values.len() >= MAX_TRACKED_VALUES {
+                // Evict the least-recently-touched value to bound memory
+                // under a value-minting Byzantine General.
+                if let Some(evict) = self
+                    .values
+                    .iter()
+                    .max_by_key(|(_, st)| {
+                        st.touched
+                            .map_or(u64::MAX, |t| now.since_or_zero(t).as_nanos())
+                    })
+                    .map(|(v, _)| v.clone())
+                {
+                    self.values.remove(&evict);
+                }
             }
+            // The only place the hot path clones the payload: first sight
+            // of a value.
+            self.values.insert(value.clone(), ValueState::default());
         }
-        self.values.entry(value.clone()).or_default()
+        self.values.get_mut(value).expect("just ensured present")
     }
 
     fn send(&mut self, now: LocalTime, kind: IaKind, value: V, out: &mut Vec<IaAction<V>>) {
@@ -470,7 +504,9 @@ impl<V: Value> InitiatorAccept<V> {
     /// Whether the `ready(G, m)` flag is armed.
     #[must_use]
     pub fn is_ready(&self, value: &V) -> bool {
-        self.values.get(value).is_some_and(|st| st.ready_at.is_some())
+        self.values
+            .get(value)
+            .is_some_and(|st| st.ready_at.is_some())
     }
 
     /// The `last(G)` guard.
@@ -952,6 +988,18 @@ mod tests {
             ia.on_message(t(1), id(node), IaKind::Support, 7, &mut out);
         }
         assert!(sends(&out).contains(&(IaKind::Approve, 7)));
+    }
+
+    #[test]
+    fn out_of_membership_sender_rejected() {
+        let mut ia = ia4();
+        let mut out = Vec::new();
+        ia.on_message(t(0), id(1_000_000), IaKind::Support, 7, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(
+            ia.count_in_window(t(1), IaKind::Support, &7, Duration::from_secs(100)),
+            0
+        );
     }
 
     #[test]

@@ -25,7 +25,7 @@
 
 use std::collections::BTreeMap;
 
-use ssbyz_types::{LocalTime, NodeId, Value};
+use ssbyz_types::{DenseNodeMap, LocalTime, NodeId, Value};
 
 use crate::message::BcastKind;
 use crate::params::Params;
@@ -84,6 +84,47 @@ impl TripletState {
     }
 }
 
+/// One broadcaster's per-round triplet states for a single value, indexed
+/// flat by `round − 1` (rounds are validated to `1..=max_round`, so the
+/// vector stays tiny: `f + 1` slots at most).
+#[derive(Debug, Clone, Default)]
+struct RoundSlots {
+    rounds: Vec<Option<TripletState>>,
+}
+
+impl RoundSlots {
+    fn get(&self, round: u32) -> Option<&TripletState> {
+        self.rounds
+            .get((round as usize).wrapping_sub(1))
+            .and_then(Option::as_ref)
+    }
+
+    fn get_mut(&mut self, round: u32) -> Option<&mut TripletState> {
+        self.rounds
+            .get_mut((round as usize).wrapping_sub(1))
+            .and_then(Option::as_mut)
+    }
+
+    /// Creates the slot for `round` if missing; returns whether it was
+    /// newly created (so the owner can maintain its triplet counter).
+    fn ensure(&mut self, round: u32) -> (&mut TripletState, bool) {
+        let idx = round as usize - 1;
+        if idx >= self.rounds.len() {
+            self.rounds.resize_with(idx + 1, || None);
+        }
+        let slot = &mut self.rounds[idx];
+        let fresh = slot.is_none();
+        if fresh {
+            *slot = Some(TripletState::default());
+        }
+        (slot.as_mut().expect("just filled"), fresh)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.rounds.iter().all(Option::is_none)
+    }
+}
+
 /// Cap on tracked triplets per agreement instance (Byzantine nodes can mint
 /// triplets; the legitimate count is ≤ n·(f+1) per value in play).
 pub const MAX_TRACKED_TRIPLETS: usize = 4096;
@@ -110,8 +151,14 @@ pub struct MsgdBroadcast<V: Value> {
     #[allow(dead_code)]
     general: NodeId,
     params: Params,
-    triplets: BTreeMap<(NodeId, u32, V), TripletState>,
-    broadcasters: BTreeMap<NodeId, LocalTime>,
+    /// Per value: a dense per-broadcaster table of per-round states. The
+    /// hot path (a delivered echo for a known value) reaches its state
+    /// with one tree lookup on the value and two array indexings — and
+    /// never clones the value.
+    triplets: BTreeMap<V, DenseNodeMap<RoundSlots>>,
+    /// Live [`TripletState`] count across all values (memory bound).
+    triplet_count: usize,
+    broadcasters: DenseNodeMap<LocalTime>,
 }
 
 impl<V: Value> MsgdBroadcast<V> {
@@ -123,14 +170,50 @@ impl<V: Value> MsgdBroadcast<V> {
             general,
             params,
             triplets: BTreeMap::new(),
-            broadcasters: BTreeMap::new(),
+            triplet_count: 0,
+            broadcasters: DenseNodeMap::with_capacity(params.n()),
         }
+    }
+
+    fn triplet(&self, broadcaster: NodeId, round: u32, value: &V) -> Option<&TripletState> {
+        self.triplets
+            .get(value)
+            .and_then(|pv| pv.get(broadcaster))
+            .and_then(|slots| slots.get(round))
+    }
+
+    fn triplet_entry<'a>(
+        triplets: &'a mut BTreeMap<V, DenseNodeMap<RoundSlots>>,
+        triplet_count: &mut usize,
+        broadcaster: NodeId,
+        round: u32,
+        value: &V,
+    ) -> &'a mut TripletState {
+        if !triplets.contains_key(value) {
+            triplets.insert(value.clone(), DenseNodeMap::new());
+        }
+        let per_value = triplets.get_mut(value).expect("just ensured present");
+        let slots = per_value.get_or_insert_with(broadcaster, RoundSlots::default);
+        let (st, fresh) = slots.ensure(round);
+        if fresh {
+            *triplet_count += 1;
+        }
+        st
     }
 
     /// Block V: this node invokes `msgd-broadcast(me, value, round)`.
     pub fn invoke(&mut self, now: LocalTime, value: V, round: u32, out: &mut Vec<MsgdAction<V>>) {
-        let key = (self.me, round, value.clone());
-        let st = self.triplets.entry(key).or_default();
+        if round == 0 || round > self.params.max_round() {
+            return;
+        }
+        let me = self.me;
+        let st = Self::triplet_entry(
+            &mut self.triplets,
+            &mut self.triplet_count,
+            me,
+            round,
+            &value,
+        );
         if st.sent[BcastKind::Init as usize] {
             return;
         }
@@ -159,18 +242,41 @@ impl<V: Value> MsgdBroadcast<V> {
         anchor: Option<LocalTime>,
         out: &mut Vec<MsgdAction<V>>,
     ) {
+        self.on_message_ref(now, sender, kind, broadcaster, &value, round, anchor, out);
+    }
+
+    /// By-reference variant of [`MsgdBroadcast::on_message`]: the payload
+    /// is cloned only on first sight of a value, never per delivery.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_message_ref(
+        &mut self,
+        now: LocalTime,
+        sender: NodeId,
+        kind: BcastKind,
+        broadcaster: NodeId,
+        value: &V,
+        round: u32,
+        anchor: Option<LocalTime>,
+        out: &mut Vec<MsgdAction<V>>,
+    ) {
         if round == 0 || round > self.params.max_round() {
             return; // bogus round — no legitimate broadcast uses it
         }
-        if self.triplets.len() >= MAX_TRACKED_TRIPLETS
-            && !self.triplets.contains_key(&(broadcaster, round, value.clone()))
+        if broadcaster.index() >= self.params.n() || sender.index() >= self.params.n() {
+            return; // claimed broadcaster or sender outside the membership
+        }
+        if self.triplet_count >= MAX_TRACKED_TRIPLETS
+            && self.triplet(broadcaster, round, value).is_none()
         {
             return; // bound memory against triplet-minting adversaries
         }
-        let st = self
-            .triplets
-            .entry((broadcaster, round, value.clone()))
-            .or_default();
+        let st = Self::triplet_entry(
+            &mut self.triplets,
+            &mut self.triplet_count,
+            broadcaster,
+            round,
+            value,
+        );
         st.touched = Some(now);
         match kind {
             BcastKind::Init => {
@@ -184,14 +290,27 @@ impl<V: Value> MsgdBroadcast<V> {
             BcastKind::EchoPrime => st.echo_prime.record(now, sender),
         }
         if let Some(anchor) = anchor {
-            self.evaluate_triplet(now, anchor, broadcaster, round, &value, out);
+            self.evaluate_triplet(now, anchor, broadcaster, round, value, out);
         }
     }
 
     /// Called when the anchor `τ_G` becomes known: evaluates every logged
     /// triplet against it.
     pub fn on_anchor(&mut self, now: LocalTime, anchor: LocalTime, out: &mut Vec<MsgdAction<V>>) {
-        let keys: Vec<(NodeId, u32, V)> = self.triplets.keys().cloned().collect();
+        let keys: Vec<(NodeId, u32, V)> = self
+            .triplets
+            .iter()
+            .flat_map(|(v, pv)| {
+                pv.iter().flat_map(move |(p, slots)| {
+                    slots
+                        .rounds
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.is_some())
+                        .map(move |(i, _)| (p, i as u32 + 1, v.clone()))
+                })
+            })
+            .collect();
         for (p, k, v) in keys {
             self.evaluate_triplet(now, anchor, p, k, &v, out);
         }
@@ -214,7 +333,12 @@ impl<V: Value> MsgdBroadcast<V> {
         // behaves as "just set".
         let elapsed = now.since_or_zero(anchor);
         let k = u64::from(round);
-        let Some(st) = self.triplets.get_mut(&(broadcaster, round, value.clone())) else {
+        let Some(st) = self
+            .triplets
+            .get_mut(value)
+            .and_then(|pv| pv.get_mut(broadcaster))
+            .and_then(|slots| slots.get_mut(round))
+        else {
             return;
         };
         let mut send: Vec<BcastKind> = Vec::new();
@@ -242,13 +366,10 @@ impl<V: Value> MsgdBroadcast<V> {
         }
         // Block Y — by τ_G + (2k+2)Φ.
         if elapsed <= phi * (2 * k + 2) {
-            if st.init_prime.distinct_total() >= weak
-                && !self.broadcasters.contains_key(&broadcaster)
-            {
+            if st.init_prime.distinct_total() >= weak && !self.broadcasters.contains(broadcaster) {
                 detected = true;
             }
-            if st.init_prime.distinct_total() >= strong && !st.sent[BcastKind::EchoPrime as usize]
-            {
+            if st.init_prime.distinct_total() >= strong && !st.sent[BcastKind::EchoPrime as usize] {
                 st.sent[BcastKind::EchoPrime as usize] = true;
                 send.push(BcastKind::EchoPrime);
             }
@@ -291,41 +412,52 @@ impl<V: Value> MsgdBroadcast<V> {
     }
 
     /// Number of triplets with live (logged) state — includes messages
-    /// buffered before the anchor exists.
+    /// buffered before the anchor exists. O(1): maintained incrementally.
     #[must_use]
     pub fn triplet_count(&self) -> usize {
-        self.triplets.len()
+        self.triplet_count
     }
 
     /// Whether `p` has been detected as a broadcaster.
     #[must_use]
     pub fn is_broadcaster(&self, p: NodeId) -> bool {
-        self.broadcasters.contains_key(&p)
+        self.broadcasters.contains(p)
     }
 
     /// Fig. 3 cleanup: messages older than `(2f + 3)Φ` decay, as do
     /// future-stamped residues.
     pub fn cleanup(&mut self, now: LocalTime) {
         let horizon = self.params.msgd_horizon();
-        let stale = |t: Option<LocalTime>| {
-            t.is_some_and(|t| t.is_after(now) || now.since(t) > horizon)
-        };
-        for st in self.triplets.values_mut() {
-            st.echo.prune(now, horizon);
-            st.init_prime.prune(now, horizon);
-            st.echo_prime.prune(now, horizon);
-            if stale(st.init_from_p) {
-                st.init_from_p = None;
-            }
-            if stale(st.accepted_at) {
-                st.accepted_at = None;
-            }
-            if stale(st.touched) {
-                st.touched = None;
-                st.sent = [false; 4];
-            }
-        }
-        self.triplets.retain(|_, st| !st.is_dormant());
+        let stale =
+            |t: Option<LocalTime>| t.is_some_and(|t| t.is_after(now) || now.since(t) > horizon);
+        let mut removed = 0usize;
+        self.triplets.retain(|_, per_value| {
+            per_value.retain(|_, slots| {
+                for slot in &mut slots.rounds {
+                    let Some(st) = slot.as_mut() else { continue };
+                    st.echo.prune(now, horizon);
+                    st.init_prime.prune(now, horizon);
+                    st.echo_prime.prune(now, horizon);
+                    if stale(st.init_from_p) {
+                        st.init_from_p = None;
+                    }
+                    if stale(st.accepted_at) {
+                        st.accepted_at = None;
+                    }
+                    if stale(st.touched) {
+                        st.touched = None;
+                        st.sent = [false; 4];
+                    }
+                    if st.is_dormant() {
+                        *slot = None;
+                        removed += 1;
+                    }
+                }
+                !slots.is_empty()
+            });
+            !per_value.is_empty()
+        });
+        self.triplet_count -= removed;
         self.broadcasters
             .retain(|_, t| !t.is_after(now) && now.since(*t) <= horizon);
     }
@@ -333,18 +465,19 @@ impl<V: Value> MsgdBroadcast<V> {
     /// Drops all state (3d after the surrounding agreement returned).
     pub fn reset(&mut self) {
         self.triplets.clear();
+        self.triplet_count = 0;
         self.broadcasters.clear();
     }
 
     /// Introspection: whether the triplet has been accepted.
     #[must_use]
     pub fn accepted(&self, broadcaster: NodeId, round: u32, value: &V) -> bool {
-        self.triplets
-            .get(&(broadcaster, round, value.clone()))
+        self.triplet(broadcaster, round, value)
             .is_some_and(|st| st.accepted_at.is_some())
     }
 
-    /// Corruption hooks for the transient-fault harness.
+    /// Corruption hooks for the transient-fault harness. Out-of-range
+    /// rounds are ignored (the protocol never tracks them).
     pub fn corrupt_triplet(
         &mut self,
         broadcaster: NodeId,
@@ -354,7 +487,16 @@ impl<V: Value> MsgdBroadcast<V> {
         sender: NodeId,
         stamp: LocalTime,
     ) {
-        let st = self.triplets.entry((broadcaster, round, value)).or_default();
+        if round == 0 || round > self.params.max_round() {
+            return;
+        }
+        let st = Self::triplet_entry(
+            &mut self.triplets,
+            &mut self.triplet_count,
+            broadcaster,
+            round,
+            &value,
+        );
         match kind {
             BcastKind::Init => st.init_from_p = Some(stamp),
             BcastKind::Echo => st.echo.inject_raw(sender, stamp),
@@ -423,10 +565,28 @@ mod tests {
         let anchor = t(0);
         let mut out = Vec::new();
         // init claimed for broadcaster 2 but sent by 3: ignored by W.
-        b.on_message(t(5), id(3), BcastKind::Init, id(2), 7, 1, Some(anchor), &mut out);
+        b.on_message(
+            t(5),
+            id(3),
+            BcastKind::Init,
+            id(2),
+            7,
+            1,
+            Some(anchor),
+            &mut out,
+        );
         assert!(sends(&out).is_empty());
         // Direct init from 2: echo.
-        b.on_message(t(6), id(2), BcastKind::Init, id(2), 7, 1, Some(anchor), &mut out);
+        b.on_message(
+            t(6),
+            id(2),
+            BcastKind::Init,
+            id(2),
+            7,
+            1,
+            Some(anchor),
+            &mut out,
+        );
         assert_eq!(sends(&out), vec![BcastKind::Echo]);
     }
 
@@ -438,7 +598,16 @@ mod tests {
         let mut out = Vec::new();
         // k = 1 ⇒ W deadline at anchor + 2Φ.
         let late = anchor + p.phi() * 2u64 + Duration::from_nanos(1);
-        b.on_message(late, id(2), BcastKind::Init, id(2), 7, 1, Some(anchor), &mut out);
+        b.on_message(
+            late,
+            id(2),
+            BcastKind::Init,
+            id(2),
+            7,
+            1,
+            Some(anchor),
+            &mut out,
+        );
         assert!(sends(&out).is_empty(), "past the W deadline no echo");
     }
 
@@ -447,9 +616,27 @@ mod tests {
         let mut b = bc();
         let anchor = t(0);
         let mut out = Vec::new();
-        b.on_message(t(1), id(0), BcastKind::Echo, id(2), 7, 1, Some(anchor), &mut out);
+        b.on_message(
+            t(1),
+            id(0),
+            BcastKind::Echo,
+            id(2),
+            7,
+            1,
+            Some(anchor),
+            &mut out,
+        );
         assert!(sends(&out).is_empty());
-        b.on_message(t(2), id(3), BcastKind::Echo, id(2), 7, 1, Some(anchor), &mut out);
+        b.on_message(
+            t(2),
+            id(3),
+            BcastKind::Echo,
+            id(2),
+            7,
+            1,
+            Some(anchor),
+            &mut out,
+        );
         assert_eq!(sends(&out), vec![BcastKind::InitPrime]);
     }
 
@@ -459,12 +646,30 @@ mod tests {
         let anchor = t(0);
         let mut out = Vec::new();
         for s in [0u32, 2, 3] {
-            b.on_message(t(s as u64), id(s), BcastKind::Echo, id(2), 7, 1, Some(anchor), &mut out);
+            b.on_message(
+                t(s as u64),
+                id(s),
+                BcastKind::Echo,
+                id(2),
+                7,
+                1,
+                Some(anchor),
+                &mut out,
+            );
         }
         assert_eq!(accepts(&out), 1);
         assert!(b.accepted(id(2), 1, &7));
         // Replays never re-accept.
-        b.on_message(t(10), id(0), BcastKind::Echo, id(2), 7, 1, Some(anchor), &mut out);
+        b.on_message(
+            t(10),
+            id(0),
+            BcastKind::Echo,
+            id(2),
+            7,
+            1,
+            Some(anchor),
+            &mut out,
+        );
         assert_eq!(accepts(&out), 1);
     }
 
@@ -476,7 +681,16 @@ mod tests {
         let mut out = Vec::new();
         let late = anchor + p.phi() * 3u64 + Duration::from_nanos(5); // past (2k+1)Φ for k=1
         for s in [0u32, 2, 3] {
-            b.on_message(late, id(s), BcastKind::Echo, id(2), 7, 1, Some(anchor), &mut out);
+            b.on_message(
+                late,
+                id(s),
+                BcastKind::Echo,
+                id(2),
+                7,
+                1,
+                Some(anchor),
+                &mut out,
+            );
         }
         assert_eq!(accepts(&out), 0, "X accept disabled after deadline");
         // But echo′ path (block Z) still works at any time.
@@ -500,14 +714,41 @@ mod tests {
         let mut b = bc();
         let anchor = t(0);
         let mut out = Vec::new();
-        b.on_message(t(1), id(0), BcastKind::InitPrime, id(2), 7, 1, Some(anchor), &mut out);
+        b.on_message(
+            t(1),
+            id(0),
+            BcastKind::InitPrime,
+            id(2),
+            7,
+            1,
+            Some(anchor),
+            &mut out,
+        );
         assert_eq!(b.broadcaster_count(), 0);
-        b.on_message(t(2), id(3), BcastKind::InitPrime, id(2), 7, 1, Some(anchor), &mut out);
+        b.on_message(
+            t(2),
+            id(3),
+            BcastKind::InitPrime,
+            id(2),
+            7,
+            1,
+            Some(anchor),
+            &mut out,
+        );
         assert_eq!(b.broadcaster_count(), 1);
         assert!(b.is_broadcaster(id(2)));
         assert!(out.contains(&MsgdAction::BroadcasterDetected(id(2))));
         // Strong quorum sends echo′.
-        b.on_message(t(3), id(1), BcastKind::InitPrime, id(2), 7, 1, Some(anchor), &mut out);
+        b.on_message(
+            t(3),
+            id(1),
+            BcastKind::InitPrime,
+            id(2),
+            7,
+            1,
+            Some(anchor),
+            &mut out,
+        );
         assert!(sends(&out).contains(&BcastKind::EchoPrime));
     }
 
@@ -517,8 +758,26 @@ mod tests {
         let anchor = t(0);
         let mut out = Vec::new();
         // Weak quorum of echo′ makes the node relay echo′ (Z3).
-        b.on_message(t(1), id(0), BcastKind::EchoPrime, id(2), 7, 1, Some(anchor), &mut out);
-        b.on_message(t(2), id(3), BcastKind::EchoPrime, id(2), 7, 1, Some(anchor), &mut out);
+        b.on_message(
+            t(1),
+            id(0),
+            BcastKind::EchoPrime,
+            id(2),
+            7,
+            1,
+            Some(anchor),
+            &mut out,
+        );
+        b.on_message(
+            t(2),
+            id(3),
+            BcastKind::EchoPrime,
+            id(2),
+            7,
+            1,
+            Some(anchor),
+            &mut out,
+        );
         assert_eq!(sends(&out), vec![BcastKind::EchoPrime]);
     }
 
@@ -528,7 +787,16 @@ mod tests {
         let mut out = Vec::new();
         // No anchor: messages only logged.
         for s in [0u32, 2, 3] {
-            b.on_message(t(s as u64), id(s), BcastKind::Echo, id(2), 7, 1, None, &mut out);
+            b.on_message(
+                t(s as u64),
+                id(s),
+                BcastKind::Echo,
+                id(2),
+                7,
+                1,
+                None,
+                &mut out,
+            );
         }
         assert!(out.is_empty());
         // Anchor arrives: the triplet is evaluated and accepted.
@@ -538,11 +806,50 @@ mod tests {
     }
 
     #[test]
+    fn out_of_membership_ids_rejected() {
+        // Regression: dense per-sender storage must never allocate for
+        // ids outside the fixed membership fed through the public API.
+        let mut b = bc();
+        let mut out = Vec::new();
+        b.on_message(
+            t(0),
+            id(1_000_000),
+            BcastKind::Echo,
+            id(2),
+            7,
+            1,
+            Some(t(0)),
+            &mut out,
+        );
+        b.on_message(
+            t(0),
+            id(2),
+            BcastKind::Echo,
+            id(1_000_000),
+            7,
+            1,
+            Some(t(0)),
+            &mut out,
+        );
+        assert!(out.is_empty());
+        assert_eq!(b.triplet_count(), 0);
+    }
+
+    #[test]
     fn bogus_rounds_rejected() {
         let p = params4();
         let mut b = bc();
         let mut out = Vec::new();
-        b.on_message(t(0), id(2), BcastKind::Echo, id(2), 7, 0, Some(t(0)), &mut out);
+        b.on_message(
+            t(0),
+            id(2),
+            BcastKind::Echo,
+            id(2),
+            7,
+            0,
+            Some(t(0)),
+            &mut out,
+        );
         b.on_message(
             t(0),
             id(2),
@@ -588,9 +895,27 @@ mod tests {
         let mut out = Vec::new();
         // Two fresh echoes should now be exactly a weak quorum (the bogus
         // future echo from id(0) is gone).
-        b.on_message(t(1), id(1), BcastKind::Echo, id(2), 7, 1, Some(t(0)), &mut out);
+        b.on_message(
+            t(1),
+            id(1),
+            BcastKind::Echo,
+            id(2),
+            7,
+            1,
+            Some(t(0)),
+            &mut out,
+        );
         assert!(sends(&out).is_empty());
-        b.on_message(t(2), id(3), BcastKind::Echo, id(2), 7, 1, Some(t(0)), &mut out);
+        b.on_message(
+            t(2),
+            id(3),
+            BcastKind::Echo,
+            id(2),
+            7,
+            1,
+            Some(t(0)),
+            &mut out,
+        );
         assert_eq!(sends(&out), vec![BcastKind::InitPrime]);
     }
 
@@ -599,7 +924,16 @@ mod tests {
         let mut b = bc();
         let mut out = Vec::new();
         for s in [0u32, 2, 3] {
-            b.on_message(t(1), id(s), BcastKind::InitPrime, id(2), 7, 1, Some(t(0)), &mut out);
+            b.on_message(
+                t(1),
+                id(s),
+                BcastKind::InitPrime,
+                id(2),
+                7,
+                1,
+                Some(t(0)),
+                &mut out,
+            );
         }
         assert_eq!(b.broadcaster_count(), 1);
         b.reset();

@@ -395,7 +395,7 @@ mod tests {
         let params = p(10, 3);
         assert_eq!(params.quorum(), 7);
         assert_eq!(params.weak_quorum(), 4);
-        assert!(params.weak_quorum() >= params.f() + 1);
+        assert!(params.weak_quorum() > params.f());
         assert_eq!(params.max_round(), 4);
     }
 
@@ -405,7 +405,7 @@ mod tests {
         for n in 4..40 {
             let f = (n - 1) / 3;
             let params = Params::from_d(n, f, Duration::from_millis(1), 0).unwrap();
-            assert!(params.weak_quorum() >= f + 1, "n={n}, f={f}");
+            assert!(params.weak_quorum() > f, "n={n}, f={f}");
         }
     }
 }

@@ -13,9 +13,92 @@
 //! * [`TimedVar`] — a variable with a change history, answering *"what was
 //!   the value at τq − d?"* (needed by line K1 of `Initiator-Accept`).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
-use ssbyz_types::{Duration, LocalTime, NodeId};
+use ssbyz_types::{Duration, LocalTime, NodeBitSet, NodeId};
+
+/// Fixed-size inline buffer of one sender's recent arrival times, oldest
+/// first in insertion order. Eight `LocalTime`s fit one cache line, so a
+/// whole per-sender history is inspected without touching the heap.
+#[derive(Debug, Clone, Copy)]
+struct ArrivalSlot {
+    times: [LocalTime; ArrivalLog::MAX_PER_SENDER],
+    len: u8,
+}
+
+impl PartialEq for ArrivalSlot {
+    fn eq(&self, other: &Self) -> bool {
+        // Only the live prefix counts: `retain` compacts in place and
+        // leaves stale values beyond `len`.
+        self.times() == other.times()
+    }
+}
+
+impl Eq for ArrivalSlot {}
+
+impl Default for ArrivalSlot {
+    fn default() -> Self {
+        ArrivalSlot {
+            times: [LocalTime::ZERO; ArrivalLog::MAX_PER_SENDER],
+            len: 0,
+        }
+    }
+}
+
+impl ArrivalSlot {
+    #[inline]
+    fn times(&self) -> &[LocalTime] {
+        &self.times[..usize::from(self.len)]
+    }
+
+    /// Appends `t`, evicting the oldest retained arrival when full.
+    #[inline]
+    fn push(&mut self, t: LocalTime) {
+        let len = usize::from(self.len);
+        if len == ArrivalLog::MAX_PER_SENDER {
+            self.times.copy_within(1.., 0);
+            self.times[len - 1] = t;
+        } else {
+            self.times[len] = t;
+            self.len += 1;
+        }
+    }
+
+    #[inline]
+    fn contains(&self, t: LocalTime) -> bool {
+        self.times().contains(&t)
+    }
+
+    /// In-place retain preserving insertion order.
+    fn retain(&mut self, mut keep: impl FnMut(LocalTime) -> bool) {
+        let mut kept = 0usize;
+        for i in 0..usize::from(self.len) {
+            let t = self.times[i];
+            if keep(t) {
+                self.times[kept] = t;
+                kept += 1;
+            }
+        }
+        self.len = kept as u8;
+    }
+
+    /// Any retained arrival inside the window? Checks the most recent
+    /// insertion first — on the hot path (monotone recording) that is the
+    /// arrival most likely to still be in the window.
+    #[inline]
+    fn any_in_window(&self, now: LocalTime, window: Duration) -> bool {
+        let len = usize::from(self.len);
+        if len == 0 {
+            return false;
+        }
+        if in_window(self.times[len - 1], now, window) {
+            return true;
+        }
+        self.times[..len - 1]
+            .iter()
+            .any(|t| in_window(*t, now, window))
+    }
+}
 
 /// Arrival times of one message type, per authenticated sender.
 ///
@@ -23,6 +106,15 @@ use ssbyz_types::{Duration, LocalTime, NodeId};
 /// sender (a correct node may legitimately resend; a Byzantine one may
 /// spam — the cap bounds memory). All queries are phrased over the local
 /// clock of the owning node and use wrap-safe interval arithmetic.
+///
+/// Internally the log is **dense**: a flat `Vec` of inline time buffers
+/// indexed by [`NodeId::index`], plus a [`NodeBitSet`] of senders holding
+/// at least one arrival. The set and its population count are maintained
+/// incrementally on [`ArrivalLog::record`] / [`ArrivalLog::prune`], so
+/// [`ArrivalLog::distinct_total`] is O(1) and the windowed quorum queries
+/// scan contiguous memory guided by set bits instead of walking a
+/// `BTreeMap` (see `reference::ReferenceArrivalLog` for the tree-based
+/// model it replaced).
 ///
 /// # Example
 ///
@@ -38,9 +130,10 @@ use ssbyz_types::{Duration, LocalTime, NodeId};
 /// assert_eq!(log.distinct_in_window(now, Duration::from_nanos(10)), 2);
 /// assert_eq!(log.distinct_in_window(now, Duration::from_nanos(5)), 1);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct ArrivalLog {
-    per_sender: BTreeMap<NodeId, VecDeque<LocalTime>>,
+    slots: Vec<ArrivalSlot>,
+    occupied: NodeBitSet,
 }
 
 impl ArrivalLog {
@@ -55,55 +148,61 @@ impl ArrivalLog {
 
     /// Records an arrival from `sender` at local time `now`.
     ///
-    /// Duplicate timestamps for the same sender are collapsed; the log
-    /// keeps the most recent [`ArrivalLog::MAX_PER_SENDER`] arrivals.
+    /// Duplicate timestamps for the same sender are collapsed — wherever
+    /// they sit in the retained history, not just at the most recent slot,
+    /// so an out-of-order duplicate (replayed delivery) cannot inflate the
+    /// per-sender history. The log keeps the most recently recorded
+    /// [`ArrivalLog::MAX_PER_SENDER`] arrivals.
     pub fn record(&mut self, now: LocalTime, sender: NodeId) {
-        let times = self.per_sender.entry(sender).or_default();
-        if times.back() == Some(&now) {
+        let slot = self.slot_mut(sender);
+        if slot.contains(now) {
             return;
         }
-        times.push_back(now);
-        while times.len() > Self::MAX_PER_SENDER {
-            times.pop_front();
-        }
+        slot.push(now);
+        self.occupied.insert(sender);
     }
 
     /// Drops arrivals older than `retention` and arrivals stamped in the
     /// future of `now` (bogus state from a transient fault).
     pub fn prune(&mut self, now: LocalTime, retention: Duration) {
-        self.per_sender.retain(|_, times| {
-            times.retain(|t| !t.is_after(now) && now.since(*t) <= retention);
-            !times.is_empty()
-        });
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot.len == 0 {
+                continue;
+            }
+            slot.retain(|t| !t.is_after(now) && now.since(t) <= retention);
+            if slot.len == 0 {
+                self.occupied.remove(NodeId::new(i as u32));
+            }
+        }
     }
 
     /// Number of distinct senders with at least one arrival in
     /// `[now − window, now]`.
     #[must_use]
     pub fn distinct_in_window(&self, now: LocalTime, window: Duration) -> usize {
-        self.per_sender
-            .values()
-            .filter(|times| times.iter().any(|t| in_window(*t, now, window)))
+        self.occupied
+            .iter()
+            .filter(|s| self.slots[s.index()].any_in_window(now, window))
             .count()
     }
 
     /// Number of distinct senders with any retained arrival (used for the
-    /// cumulative, untimed counts of `msgd-broadcast` and block N).
+    /// cumulative, untimed counts of `msgd-broadcast` and block N). O(1):
+    /// the count is maintained incrementally on record/prune.
     #[must_use]
     pub fn distinct_total(&self) -> usize {
-        self.per_sender.len()
+        self.occupied.count()
     }
 
-    /// The senders with an arrival in `[now − window, now]`.
+    /// The senders with an arrival in `[now − window, now]`, ascending.
     pub fn senders_in_window(
         &self,
         now: LocalTime,
         window: Duration,
     ) -> impl Iterator<Item = NodeId> + '_ {
-        self.per_sender
+        self.occupied
             .iter()
-            .filter(move |(_, times)| times.iter().any(|t| in_window(*t, now, window)))
-            .map(|(s, _)| *s)
+            .filter(move |s| self.slots[s.index()].any_in_window(now, window))
     }
 
     /// For the shortest-suffix-window test of line L1: considering each
@@ -122,10 +221,11 @@ impl ArrivalLog {
             return None;
         }
         let mut latest: Vec<LocalTime> = self
-            .per_sender
-            .values()
-            .filter_map(|times| {
-                times
+            .occupied
+            .iter()
+            .filter_map(|s| {
+                self.slots[s.index()]
+                    .times()
                     .iter()
                     .copied()
                     .filter(|t| in_window(*t, now, window))
@@ -143,31 +243,170 @@ impl ArrivalLog {
     /// Whether `sender` has an arrival within `[now − window, now]`.
     #[must_use]
     pub fn sender_in_window(&self, now: LocalTime, window: Duration, sender: NodeId) -> bool {
-        self.per_sender
-            .get(&sender)
-            .is_some_and(|times| times.iter().any(|t| in_window(*t, now, window)))
+        self.slots
+            .get(sender.index())
+            .is_some_and(|slot| slot.any_in_window(now, window))
     }
 
     /// Whether the log holds no arrivals at all.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.per_sender.is_empty()
+        self.occupied.is_empty()
     }
 
-    /// Removes everything.
+    /// Removes everything (keeps allocations for reuse).
     pub fn clear(&mut self) {
-        self.per_sender.clear();
+        for slot in &mut self.slots {
+            slot.len = 0;
+        }
+        self.occupied.clear();
     }
 
     /// Inserts a raw (possibly bogus) arrival — used only by the
     /// state-corruption harness to model transient faults.
     pub fn inject_raw(&mut self, sender: NodeId, t: LocalTime) {
-        self.per_sender.entry(sender).or_default().push_back(t);
+        self.slot_mut(sender).push(t);
+        self.occupied.insert(sender);
+    }
+
+    fn slot_mut(&mut self, sender: NodeId) -> &mut ArrivalSlot {
+        if sender.index() >= self.slots.len() {
+            self.slots
+                .resize_with(sender.index() + 1, ArrivalSlot::default);
+        }
+        &mut self.slots[sender.index()]
     }
 }
 
+impl PartialEq for ArrivalLog {
+    fn eq(&self, other: &Self) -> bool {
+        // Semantic equality: same senders with identical retained
+        // histories; backing-vector capacity is irrelevant.
+        self.occupied == other.occupied
+            && self
+                .occupied
+                .iter()
+                .all(|s| self.slots[s.index()] == other.slots[s.index()])
+    }
+}
+
+impl Eq for ArrivalLog {}
+
 fn in_window(t: LocalTime, now: LocalTime, window: Duration) -> bool {
     !t.is_after(now) && now.since(t) <= window
+}
+
+pub mod reference {
+    //! The `BTreeMap`-backed arrival log the dense implementation
+    //! replaced. Kept as the **golden reference model** for equivalence
+    //! tests (`crates/core/tests/store_equivalence.rs`) and as the
+    //! baseline side of the `store_hot_path` criterion bench — not used on
+    //! any protocol path.
+
+    use std::collections::{BTreeMap, VecDeque};
+
+    use ssbyz_types::{Duration, LocalTime, NodeId};
+
+    use super::in_window;
+
+    /// Tree-based arrival log with the exact query semantics of
+    /// [`super::ArrivalLog`].
+    #[derive(Debug, Clone, Default, PartialEq, Eq)]
+    pub struct ReferenceArrivalLog {
+        per_sender: BTreeMap<NodeId, VecDeque<LocalTime>>,
+    }
+
+    impl ReferenceArrivalLog {
+        /// Creates an empty log.
+        #[must_use]
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Records an arrival (duplicates collapsed anywhere in history).
+        pub fn record(&mut self, now: LocalTime, sender: NodeId) {
+            let times = self.per_sender.entry(sender).or_default();
+            if times.contains(&now) {
+                return;
+            }
+            times.push_back(now);
+            while times.len() > super::ArrivalLog::MAX_PER_SENDER {
+                times.pop_front();
+            }
+        }
+
+        /// Drops old and future-stamped arrivals.
+        pub fn prune(&mut self, now: LocalTime, retention: Duration) {
+            self.per_sender.retain(|_, times| {
+                times.retain(|t| !t.is_after(now) && now.since(*t) <= retention);
+                !times.is_empty()
+            });
+        }
+
+        /// Distinct senders with an arrival in `[now − window, now]`.
+        #[must_use]
+        pub fn distinct_in_window(&self, now: LocalTime, window: Duration) -> usize {
+            self.per_sender
+                .values()
+                .filter(|times| times.iter().any(|t| in_window(*t, now, window)))
+                .count()
+        }
+
+        /// Distinct senders with any retained arrival.
+        #[must_use]
+        pub fn distinct_total(&self) -> usize {
+            self.per_sender.len()
+        }
+
+        /// Senders with an arrival in the window, ascending.
+        pub fn senders_in_window(
+            &self,
+            now: LocalTime,
+            window: Duration,
+        ) -> impl Iterator<Item = NodeId> + '_ {
+            self.per_sender
+                .iter()
+                .filter(move |(_, times)| times.iter().any(|t| in_window(*t, now, window)))
+                .map(|(s, _)| *s)
+        }
+
+        /// The k-th most recent of the per-sender latest in-window arrivals.
+        #[must_use]
+        pub fn kth_latest_in_window(
+            &self,
+            now: LocalTime,
+            window: Duration,
+            k: usize,
+        ) -> Option<LocalTime> {
+            if k == 0 {
+                return None;
+            }
+            let mut latest: Vec<LocalTime> = self
+                .per_sender
+                .values()
+                .filter_map(|times| {
+                    times
+                        .iter()
+                        .copied()
+                        .filter(|t| in_window(*t, now, window))
+                        .min_by_key(|t| now.since(*t).as_nanos())
+                })
+                .collect();
+            if latest.len() < k {
+                return None;
+            }
+            latest.sort_by_key(|t| now.since(*t).as_nanos());
+            Some(latest[k - 1])
+        }
+
+        /// Whether `sender` arrived within the window.
+        #[must_use]
+        pub fn sender_in_window(&self, now: LocalTime, window: Duration, sender: NodeId) -> bool {
+            self.per_sender
+                .get(&sender)
+                .is_some_and(|times| times.iter().any(|t| in_window(*t, now, window)))
+        }
+    }
 }
 
 /// A protocol variable with a bounded change history.
@@ -275,10 +514,7 @@ impl<T: Clone> TimedVar<T> {
             }
         }
         if let Some(&(t, _)) = self.history.front() {
-            if self.history.len() == 1
-                && now.since(t) > horizon
-                && self.history[0].1.is_none()
-            {
+            if self.history.len() == 1 && now.since(t) > horizon && self.history[0].1.is_none() {
                 self.history.clear();
             }
         }
@@ -328,10 +564,47 @@ mod tests {
         log.record(t(100), id(1));
         log.record(t(100), id(1));
         assert_eq!(log.distinct_total(), 1);
-        assert_eq!(
-            log.kth_latest_in_window(t(100), dur(10), 1),
-            Some(t(100))
-        );
+        assert_eq!(log.kth_latest_in_window(t(100), dur(10), 1), Some(t(100)));
+    }
+
+    #[test]
+    fn arrival_log_equality_ignores_stale_slot_tails() {
+        // Regression: retain() compacts in place, leaving stale values
+        // beyond `len`; equality must compare only the live prefix.
+        let mut a = ArrivalLog::new();
+        a.record(t(10), id(1));
+        a.record(t(20), id(1));
+        a.prune(t(25), dur(5)); // drops t(10), leaves a stale tail entry
+        let mut b = ArrivalLog::new();
+        b.record(t(20), id(1));
+        assert_eq!(a, b);
+        b.record(t(21), id(1));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrival_log_collapses_out_of_order_duplicates() {
+        // Regression: a duplicate timestamp that is *not* the most recent
+        // retained arrival (an out-of-order replay) must also collapse,
+        // instead of occupying a second history slot.
+        let mut log = ArrivalLog::new();
+        log.record(t(100), id(1));
+        log.record(t(150), id(1));
+        log.record(t(100), id(1)); // replayed duplicate, not at the back
+                                   // Exactly two retained arrivals: fill the remaining capacity and
+                                   // check the oldest surviving arrival is t(100), which would have
+                                   // been evicted one record earlier if the duplicate had been kept.
+        for i in 0..(ArrivalLog::MAX_PER_SENDER as u64 - 2) {
+            log.record(t(200 + i), id(1));
+        }
+        assert!(log.sender_in_window(t(200), dur(100), id(1)));
+        assert_eq!(log.kth_latest_in_window(t(205), dur(200), 1), Some(t(205)));
+        // t(100) still present: the suffix window reaching back to it
+        // counts the sender, and one more record evicts it.
+        assert!(log.sender_in_window(t(100), dur(0), id(1)));
+        log.record(t(300), id(1));
+        assert!(!log.sender_in_window(t(100), dur(0), id(1)));
+        assert!(log.sender_in_window(t(150), dur(0), id(1)));
     }
 
     #[test]
@@ -342,8 +615,9 @@ mod tests {
         }
         // Oldest arrivals dropped; the sender is still present.
         assert_eq!(log.distinct_total(), 1);
-        assert!(!log.sender_in_window(t(200), dur(200 - 100), id(1)) || true);
         assert!(log.sender_in_window(t(112), dur(0), id(1)));
+        // The very first arrival (t=100) was evicted by the cap.
+        assert!(!log.sender_in_window(t(100), dur(0), id(1)));
     }
 
     #[test]

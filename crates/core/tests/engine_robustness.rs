@@ -23,12 +23,12 @@ fn id(n: u32) -> NodeId {
     NodeId::new(n)
 }
 
+type Trace = Vec<(NodeId, Msg<u64>)>;
+type EventLog = Vec<(NodeId, Event<u64>)>;
+
 /// Drives four engines through a complete agreement, returning the
 /// delivered message trace so tests can replay/permute it.
-fn run_to_decision(
-    engines: &mut [Engine<u64>],
-    dup: bool,
-) -> (Vec<(NodeId, Msg<u64>)>, Vec<(NodeId, Event<u64>)>) {
+fn run_to_decision(engines: &mut [Engine<u64>], dup: bool) -> (Trace, EventLog) {
     let mut events = Vec::new();
     let mut trace = Vec::new();
     let t0 = t(0);
@@ -45,7 +45,7 @@ fn run_to_decision(
         if wave.is_empty() {
             break;
         }
-        now = now + d() / 2;
+        now += d() / 2;
         let mut next = Vec::new();
         for (sender, msg) in &wave {
             trace.push((*sender, msg.clone()));
@@ -113,7 +113,7 @@ fn stale_replay_does_not_double_decide() {
     let mut replay_events = Vec::new();
     let mut now = t(0) + d() * 20u64;
     for (sender, msg) in &trace {
-        now = now + Duration::from_nanos(1000);
+        now += Duration::from_nanos(1000);
         for e in engines.iter_mut() {
             for o in e.on_message(now, *sender, msg.clone()) {
                 if let Output::Event(ev) = o {
@@ -180,7 +180,7 @@ fn hostile_shapes_absorbed() {
     ];
     let mut now = t(0);
     for (i, msg) in shapes.into_iter().enumerate() {
-        now = now + d();
+        now += d();
         let outs = e.on_message(now, id((i % 4) as u32), msg);
         assert!(
             !outs

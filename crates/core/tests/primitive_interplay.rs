@@ -4,7 +4,7 @@
 //! control over timing.
 
 use ssbyz_core::{
-    Agreement, AgrAction, BcastKind, Duration, IaAction, IaKind, InitiatorAccept, LocalTime,
+    AgrAction, Agreement, BcastKind, Duration, IaAction, IaKind, InitiatorAccept, LocalTime,
     MsgdAction, MsgdBroadcast, NodeId, Params,
 };
 
@@ -96,7 +96,7 @@ fn ia_lockstep_anchors_agree() {
         if wave.is_empty() {
             break;
         }
-        now = now + d() / 2;
+        now += d() / 2;
         wave = net.deliver_wave(now, wave);
     }
     let anchors: Vec<LocalTime> = net
@@ -124,14 +124,14 @@ fn ia_replay_cannot_double_accept() {
         if wave.is_empty() {
             break;
         }
-        now = now + d() / 2;
+        now += d() / 2;
         all_sends.extend(wave.clone());
         wave = net.deliver_wave(now, wave);
     }
     assert!(net.accepted.iter().all(Option::is_some));
     let first = net.accepted.clone();
     // Replay everything.
-    now = now + d();
+    now += d();
     let _ = net.deliver_wave(now, all_sends);
     assert_eq!(net.accepted, first, "replay must not change accepts");
 }
@@ -248,7 +248,15 @@ fn decider_relay_enables_chain_decision() {
     late.on_i_accept(tau_g + d() * 5u64, 7, tau_g, &mut out);
     assert!(!late.has_returned());
     // The decider's init arrives (from node 1, broadcaster 1, round 1).
-    late.on_bcast(tau_g + d() * 6u64, id(1), BcastKind::Init, id(1), 7, 1, &mut out);
+    late.on_bcast(
+        tau_g + d() * 6u64,
+        id(1),
+        BcastKind::Init,
+        id(1),
+        7,
+        1,
+        &mut out,
+    );
     // Echoes from everyone (node 2's own echo comes back too).
     for s in [0u32, 2, 3] {
         late.on_bcast(

@@ -92,8 +92,10 @@ impl<V: Value> Process<Msg<V>, NodeEvent<V>> for EngineProcess<V> {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg<V>, NodeEvent<V>>, from: NodeId, msg: Msg<V>) {
-        let outputs = self.engine.on_message(ctx.now(), from, msg);
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg<V>, NodeEvent<V>>, from: NodeId, msg: &Msg<V>) {
+        // Broadcast payloads are Arc-shared by the simulator; the by-ref
+        // engine path clones the embedded value only where it is stored.
+        let outputs = self.engine.on_message_ref(ctx.now(), from, msg);
         self.apply(ctx, outputs);
     }
 

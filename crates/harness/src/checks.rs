@@ -208,11 +208,7 @@ pub fn check_timeliness_validity(
 pub fn check_termination(res: &ScenarioResult, general: NodeId, slack: Duration) -> Violations {
     let mut v = Violations::default();
     let bound = res.params.delta_agr() + slack;
-    for rec in res
-        .decisions
-        .iter()
-        .filter(|r| r.general == general)
-    {
+    for rec in res.decisions.iter().filter(|r| r.general == general) {
         let took = rec.real_at.saturating_since(rec.tau_g_real);
         if took > bound {
             v.push(format!(

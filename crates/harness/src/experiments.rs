@@ -42,9 +42,10 @@ pub fn run_correct_general(
     let mut sc = b.build();
     // t0: General initiates `initiate_off` after ITS local start; real
     // time of that is clock-dependent. With boot at real 0:
-    let t0 = sc.sim().clock(NodeId::new(0)).real_of_local(
-        sc.sim().clock(NodeId::new(0)).local_at(RealTime::ZERO) + initiate_off,
-    );
+    let t0 = sc
+        .sim()
+        .clock(NodeId::new(0))
+        .real_of_local(sc.sim().clock(NodeId::new(0)).local_at(RealTime::ZERO) + initiate_off);
     sc.run_until(RealTime::ZERO + params.delta_agr() + params.d() * 30u64);
     (sc.result(), t0)
 }
@@ -100,8 +101,7 @@ pub fn e1_validity(n: usize, f: usize, seeds: u64) -> E1Row {
             max_latency = max_latency.max(rec.real_at.saturating_since(t0));
             for other in res.decides_for(NodeId::new(0)) {
                 max_decision_skew = max_decision_skew.max(rec.real_at.abs_diff(other.real_at));
-                max_anchor_skew =
-                    max_anchor_skew.max(rec.tau_g_real.abs_diff(other.tau_g_real));
+                max_anchor_skew = max_anchor_skew.max(rec.tau_g_real.abs_diff(other.tau_g_real));
             }
         }
     }
@@ -157,9 +157,10 @@ pub fn e4_early_stopping(n: usize, f: usize, f_actual: usize, seeds: u64) -> E4R
             }
         }
         let mut sc = b.build();
-        let t0 = sc.sim().clock(NodeId::new(0)).real_of_local(
-            sc.sim().clock(NodeId::new(0)).local_at(RealTime::ZERO) + initiate_off,
-        );
+        let t0 = sc
+            .sim()
+            .clock(NodeId::new(0))
+            .real_of_local(sc.sim().clock(NodeId::new(0)).local_at(RealTime::ZERO) + initiate_off);
         sc.run_until(RealTime::ZERO + params.delta_agr() * 2u64 + params.d() * 40u64);
         let res = sc.result();
         if let Some(last) = res
@@ -226,9 +227,8 @@ pub struct E5Row {
 #[must_use]
 pub fn e5_message_driven(n: usize, f: usize, delay_pct: u32, seeds: u64) -> E5Row {
     let delta = Duration::from_millis(9);
-    let actual_max = Duration::from_nanos(
-        (delta.as_nanos() * u64::from(delay_pct) / 100).max(1_000),
-    );
+    let actual_max =
+        Duration::from_nanos((delta.as_nanos() * u64::from(delay_pct) / 100).max(1_000));
     let actual_min = actual_max / 10;
     let mut total = Duration::ZERO;
     let mut runs = 0u32;
@@ -304,9 +304,7 @@ pub fn e6_convergence(n: usize, f: usize, seeds: u64, settle_frac_percent: u32) 
         let params = cfg.params().expect("valid");
         delta_stb = params.delta_stb();
         let storm_len = params.delta_rmv();
-        settle = Duration::from_nanos(
-            delta_stb.as_nanos() * u64::from(settle_frac_percent) / 100,
-        );
+        settle = Duration::from_nanos(delta_stb.as_nanos() * u64::from(settle_frac_percent) / 100);
         let storm_end = RealTime::ZERO + storm_len;
         let initiate_real = storm_end + settle;
         // Planned initiation offset on the General's local clock: clocks
@@ -323,9 +321,10 @@ pub fn e6_convergence(n: usize, f: usize, seeds: u64, settle_frac_percent: u32) 
             b = b.scrambled();
         }
         let mut sc = b.build();
-        let t0 = sc.sim().clock(NodeId::new(0)).real_of_local(
-            sc.sim().clock(NodeId::new(0)).local_at(RealTime::ZERO) + initiate_off,
-        );
+        let t0 = sc
+            .sim()
+            .clock(NodeId::new(0))
+            .real_of_local(sc.sim().clock(NodeId::new(0)).local_at(RealTime::ZERO) + initiate_off);
         sc.run_until(initiate_real + params.delta_agr() + params.d() * 40u64);
         let res = sc.result();
         // Only the probe agreement counts: filter to events near t0.
@@ -334,13 +333,8 @@ pub fn e6_convergence(n: usize, f: usize, seeds: u64, settle_frac_percent: u32) 
             t0 - params.d() * 2u64,
             t0 + params.delta_agr() + params.d() * 10u64,
         );
-        let v = checks::check_correct_general_run(
-            &probe,
-            NodeId::new(0),
-            13,
-            t0,
-            slack(params.d()),
-        );
+        let v =
+            checks::check_correct_general_run(&probe, NodeId::new(0), 13, t0, slack(params.d()));
         if v.is_ok() {
             converged += 1;
         } else {
@@ -361,8 +355,10 @@ pub fn e6_convergence(n: usize, f: usize, seeds: u64, settle_frac_percent: u32) 
 #[must_use]
 pub fn filter_window(res: &ScenarioResult, from: RealTime, to: RealTime) -> ScenarioResult {
     let mut out = res.clone();
-    out.decisions.retain(|r| r.real_at >= from && r.real_at <= to);
-    out.iaccepts.retain(|r| r.real_at >= from && r.real_at <= to);
+    out.decisions
+        .retain(|r| r.real_at >= from && r.real_at <= to);
+    out.iaccepts
+        .retain(|r| r.real_at >= from && r.real_at <= to);
     out
 }
 
@@ -668,11 +664,7 @@ pub fn e8_unforgeability(n: usize, f: usize, seeds: u64) -> E8Row {
         let mut sc = b.build();
         sc.run_until(RealTime::ZERO + params.delta_agr() * 2u64 + params.d() * 60u64);
         let res = sc.result();
-        forged_accepts += res
-            .iaccepts
-            .iter()
-            .filter(|r| r.value == FORGED)
-            .count();
+        forged_accepts += res.iaccepts.iter().filter(|r| r.value == FORGED).count();
         forged_decisions += res
             .decisions
             .iter()

@@ -11,9 +11,7 @@ use rand::{Rng, SeedableRng};
 use ssbyz_adversary::{u64_corruptor, u64_injector, RngEntropy};
 use ssbyz_core::corrupt::ScrambleConfig;
 use ssbyz_core::{Engine, Event, Msg, Params};
-use ssbyz_simnet::{
-    DriftClock, LinkConfig, Metrics, Process, SimBuilder, Simulation, StormConfig,
-};
+use ssbyz_simnet::{DriftClock, LinkConfig, Metrics, Process, SimBuilder, Simulation, StormConfig};
 use ssbyz_types::{ConfigError, Duration, LocalTime, NodeId, RealTime};
 
 use crate::adapter::{EngineProcess, NodeEvent};
@@ -236,7 +234,10 @@ impl ScenarioBuilder {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5ca1_ab1e);
         let mut correct = Vec::new();
         let mut builder = SimBuilder::new(self.cfg.seed)
-            .link(LinkConfig::uniform(self.cfg.actual_min, self.cfg.actual_max))
+            .link(LinkConfig::uniform(
+                self.cfg.actual_min,
+                self.cfg.actual_max,
+            ))
             .tagger(Msg::tag);
         if let Some(storm) = self.storm {
             builder = builder
@@ -248,21 +249,18 @@ impl ScenarioBuilder {
         for (i, role) in self.roles.into_iter().enumerate() {
             let id = NodeId::new(i as u32);
             let clock = if let Some(readings) = &self.boot_readings {
-                let rate =
-                    rng.gen_range(-(self.cfg.rho_ppm as i32)..=self.cfg.rho_ppm as i32);
+                let rate = rng.gen_range(-(self.cfg.rho_ppm as i32)..=self.cfg.rho_ppm as i32);
                 DriftClock::new(RealTime::ZERO, readings[i], rate)
             } else if self.ideal_clocks {
                 DriftClock::ideal()
             } else {
                 let offset = LocalTime::from_nanos(rng.gen_range(0..skew));
-                let rate =
-                    rng.gen_range(-(self.cfg.rho_ppm as i32)..=self.cfg.rho_ppm as i32);
+                let rate = rng.gen_range(-(self.cfg.rho_ppm as i32)..=self.cfg.rho_ppm as i32);
                 DriftClock::new(RealTime::ZERO, offset, rate)
             };
             let process: ScenarioProcess = match role {
                 Role::Correct { initiations } => {
-                    let mut p =
-                        EngineProcess::new(Engine::new(id, self.params), self.cfg.tick);
+                    let mut p = EngineProcess::new(Engine::new(id, self.params), self.cfg.tick);
                     for (off, v) in initiations {
                         p = p.with_initiation(off, v);
                     }
@@ -270,8 +268,7 @@ impl ScenarioBuilder {
                     Box::new(p)
                 }
                 Role::Scrambled { initiations } => {
-                    let mut p =
-                        EngineProcess::new(Engine::new(id, self.params), self.cfg.tick);
+                    let mut p = EngineProcess::new(Engine::new(id, self.params), self.cfg.tick);
                     for (off, v) in initiations {
                         p = p.with_initiation(off, v);
                     }

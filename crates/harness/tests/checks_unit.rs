@@ -1,9 +1,9 @@
 //! Unit tests for the property checkers themselves: they must catch
 //! planted violations and accept clean data (checker-of-the-checker).
 
+use ssbyz_core::Params;
 use ssbyz_harness::scenario::{DecisionRecord, IaRecord, ScenarioResult};
 use ssbyz_harness::{checks, Violations};
-use ssbyz_core::Params;
 use ssbyz_types::{Duration, LocalTime, NodeId, RealTime};
 
 fn params() -> Params {
@@ -49,7 +49,8 @@ fn accept(node: u32, value: u64, at_ms: u64, anchor_ms: u64) -> IaRecord {
 fn agreement_checker_accepts_uniform_decisions() {
     let mut res = base_result();
     for node in 0..4 {
-        res.decisions.push(decision(node, Some(7), 120 + u64::from(node), 100));
+        res.decisions
+            .push(decision(node, Some(7), 120 + u64::from(node), 100));
     }
     assert!(checks::check_agreement(&res, NodeId::new(0)).is_ok());
 }
@@ -74,7 +75,10 @@ fn agreement_checker_catches_mixed_abort() {
     res.decisions.push(decision(2, Some(7), 122, 100));
     res.decisions.push(decision(3, Some(7), 123, 100));
     let v = checks::check_agreement(&res, NodeId::new(0));
-    assert!(v.0.iter().any(|m| m.contains("aborted while others decided")));
+    assert!(v
+        .0
+        .iter()
+        .any(|m| m.contains("aborted while others decided")));
 }
 
 #[test]

@@ -215,8 +215,13 @@ impl Process<Msg<u64>, PulseEvent> for PulseNode {
         self.arm_cycle(ctx, stagger);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg<u64>, PulseEvent>, from: NodeId, msg: Msg<u64>) {
-        let outputs = self.engine.on_message(ctx.now(), from, msg);
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg<u64>, PulseEvent>,
+        from: NodeId,
+        msg: &Msg<u64>,
+    ) {
+        let outputs = self.engine.on_message_ref(ctx.now(), from, msg);
         self.apply(ctx, outputs);
     }
 

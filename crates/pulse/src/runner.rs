@@ -126,9 +126,7 @@ pub fn run_pulse_with_faults(
     let mut waves: Vec<Wave> = Vec::new();
     for (node, t) in firings {
         match waves.last_mut() {
-            Some(w)
-                if t.since(w.firings.last().expect("non-empty").1) <= gap =>
-            {
+            Some(w) if t.since(w.firings.last().expect("non-empty").1) <= gap => {
                 w.firings.push((node, t));
             }
             _ => waves.push(Wave {
@@ -157,10 +155,7 @@ mod tests {
         // Pulse skew within a wave should be a small multiple of d —
         // decisions land within 3d of each other, plus delivery jitter.
         let skew = res.max_skew(4);
-        assert!(
-            skew <= d * 8u64,
-            "pulse skew {skew} too large (d = {d})"
-        );
+        assert!(skew <= d * 8u64, "pulse skew {skew} too large (d = {d})");
     }
 
     #[test]

@@ -63,7 +63,7 @@ impl Default for RuntimeConfig {
 
 /// Commands accepted by a node thread.
 enum NodeCmd<V> {
-    Deliver { from: NodeId, msg: Msg<V> },
+    Deliver { from: NodeId, msg: Arc<Msg<V>> },
     Initiate(V),
     Shutdown,
 }
@@ -84,7 +84,9 @@ struct RouterMsg<V> {
     seq: u64,
     from: NodeId,
     to: NodeId,
-    msg: Msg<V>,
+    /// Shared payload: a broadcast enqueues one `Arc` per destination
+    /// instead of deep-cloning the message n times.
+    msg: Arc<Msg<V>>,
 }
 
 impl<V> PartialEq for RouterMsg<V> {
@@ -185,7 +187,7 @@ impl<V: Value> Cluster<V> {
                 seq: 0,
                 from,
                 to,
-                msg,
+                msg: Arc::new(msg),
             })
             .map_err(|_| "router is gone")
     }
@@ -275,8 +277,9 @@ fn node_loop<V: Value>(
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ (u64::from(id.as_u32()) << 32));
     let mut seq: u64 = 1;
     let n = params.n();
-    let now_local =
-        |start: Instant| LocalTime::from_nanos(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    let now_local = |start: Instant| {
+        LocalTime::from_nanos(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    };
     let tick: std::time::Duration = cfg.tick.into();
     let mut next_tick = Instant::now() + tick;
     loop {
@@ -284,7 +287,7 @@ fn node_loop<V: Value>(
         let cmd = rx.recv_timeout(timeout);
         let now = now_local(start);
         let outputs = match cmd {
-            Ok(NodeCmd::Deliver { from, msg }) => engine.on_message(now, from, msg),
+            Ok(NodeCmd::Deliver { from, msg }) => engine.on_message_ref(now, from, &msg),
             Ok(NodeCmd::Initiate(value)) => engine.initiate(now, value).unwrap_or_default(),
             Ok(NodeCmd::Shutdown) => return,
             Err(RecvTimeoutError::Timeout) => {
@@ -296,6 +299,9 @@ fn node_loop<V: Value>(
         for o in outputs {
             match o {
                 Output::Broadcast(msg) => {
+                    // One allocation per broadcast; per-destination sends
+                    // share the payload through the Arc.
+                    let shared = Arc::new(msg);
                     for dst in 0..n {
                         let delay_ns = if cfg.delay_min == cfg.delay_max {
                             cfg.delay_min.as_nanos()
@@ -308,7 +314,7 @@ fn node_loop<V: Value>(
                             seq,
                             from: id,
                             to: NodeId::new(dst as u32),
-                            msg: msg.clone(),
+                            msg: Arc::clone(&shared),
                         });
                     }
                 }

@@ -1,0 +1,209 @@
+//! Offline shim for the `criterion` subset this workspace uses.
+//!
+//! Implements wall-clock benchmarking with warm-up, calibrated iteration
+//! counts and mean/min reporting. Results print as
+//! `bench: <group>/<name> ... <mean> ns/iter (min <min> ns, <iters> iters)`
+//! and, when the `SSBYZ_BENCH_JSON` environment variable names a file, are
+//! appended there as JSON lines for tooling to collect.
+
+use std::fmt::Display;
+use std::hint;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (forwards to `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Per-benchmark time budget once calibrated.
+const TARGET_BUDGET: Duration = Duration::from_millis(300);
+/// Hard cap on timed iterations.
+const MAX_ITERS: u64 = 50_000_000;
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `<function>/<parameter>` form.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    mean_ns: f64,
+    min_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up and calibrating an iteration count
+    /// that fits the time budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: run until we have a usable estimate.
+        let cal_start = Instant::now();
+        let mut cal_iters: u64 = 0;
+        while cal_start.elapsed() < Duration::from_millis(30) && cal_iters < MAX_ITERS {
+            black_box(routine());
+            cal_iters += 1;
+        }
+        let est_ns = (cal_start.elapsed().as_nanos() as f64 / cal_iters as f64).max(0.5);
+        let iters = ((TARGET_BUDGET.as_nanos() as f64 / est_ns) as u64).clamp(1, MAX_ITERS);
+        // Timed phase, in a few batches so `min` smooths scheduler noise.
+        let batches = 5u64.min(iters);
+        let per_batch = (iters / batches).max(1);
+        let mut total = Duration::ZERO;
+        let mut best = f64::INFINITY;
+        let mut done = 0u64;
+        for _ in 0..batches {
+            let t0 = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            total += dt;
+            done += per_batch;
+            best = best.min(dt.as_nanos() as f64 / per_batch as f64);
+        }
+        self.mean_ns = total.as_nanos() as f64 / done as f64;
+        self.min_ns = best;
+        self.iters = done;
+    }
+}
+
+fn report(group: Option<&str>, name: &str, b: &Bencher) {
+    let full = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    println!(
+        "bench: {full} ... {:.1} ns/iter (min {:.1} ns, {} iters)",
+        b.mean_ns, b.min_ns, b.iters
+    );
+    if let Ok(path) = std::env::var("SSBYZ_BENCH_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"bench\":\"{full}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"iters\":{}}}",
+                b.mean_ns, b.min_ns, b.iters
+            );
+        }
+    }
+}
+
+/// A named collection of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim auto-calibrates instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            min_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(Some(&self.name), &id.label, &b);
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            min_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(Some(&self.name), &id.label, &b);
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _c: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            min_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(None, name, &b);
+    }
+}
+
+/// Declares a benchmark group function list, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench` and filter args; the shim runs
+            // everything unconditionally.
+            $( $group(); )+
+        }
+    };
+}

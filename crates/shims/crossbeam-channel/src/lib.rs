@@ -1,0 +1,108 @@
+//! Offline shim for the `crossbeam-channel` subset this workspace uses:
+//! [`bounded`] / [`unbounded`] channels with cloneable [`Sender`]s and a
+//! [`Receiver::recv_timeout`], implemented over `std::sync::mpsc`.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+pub use std::sync::mpsc::{RecvTimeoutError, SendError};
+
+/// The sending half of a channel. Cloneable for both flavours.
+pub enum Sender<T> {
+    /// Backed by a rendezvous/bounded std channel.
+    Bounded(mpsc::SyncSender<T>),
+    /// Backed by an unbounded std channel.
+    Unbounded(mpsc::Sender<T>),
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Sender::Bounded(tx) => Sender::Bounded(tx.clone()),
+            Sender::Unbounded(tx) => Sender::Unbounded(tx.clone()),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, blocking while a bounded channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back if all receivers disconnected.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        match self {
+            Sender::Bounded(tx) => tx.send(value),
+            Sender::Unbounded(tx) => tx.send(value),
+        }
+    }
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Receives, waiting at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] when nothing arrived in time,
+    /// [`RecvTimeoutError::Disconnected`] when all senders are gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.inner.recv_timeout(timeout)
+    }
+
+    /// Receives, blocking indefinitely.
+    ///
+    /// # Errors
+    ///
+    /// Fails when all senders disconnected.
+    pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+        self.inner.recv()
+    }
+}
+
+/// Creates a channel with a capacity bound.
+#[must_use]
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (Sender::Bounded(tx), Receiver { inner: rx })
+}
+
+/// Creates a channel with unbounded capacity.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender::Unbounded(tx), Receiver { inner: rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_round_trip() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        ));
+        drop(tx);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        ));
+    }
+}

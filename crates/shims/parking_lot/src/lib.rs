@@ -1,0 +1,53 @@
+//! Offline shim for `parking_lot`: a [`Mutex`] whose `lock()` returns the
+//! guard directly (no `Result`), implemented over `std::sync::Mutex`.
+//! A poisoned lock panics, matching `parking_lot`'s absence of poisoning
+//! closely enough for this workspace (panics while holding a lock are
+//! programming errors here).
+
+use std::sync::MutexGuard;
+
+/// A mutual-exclusion lock with `parking_lot`'s panic-free `lock()` API.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wraps `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking the current thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder panicked (std poisoning).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().expect("mutex poisoned")
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mutex was poisoned.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect("mutex poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_round_trip() {
+        let m = Mutex::new(1u32);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+}

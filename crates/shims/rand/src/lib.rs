@@ -1,0 +1,201 @@
+//! Offline shim for the subset of the `rand` crate this workspace uses.
+//!
+//! Provides a deterministic [`rngs::StdRng`] (splitmix64 — **not**
+//! bit-compatible with the real `StdRng`), the [`RngCore`] and
+//! [`SeedableRng`] traits, and [`Rng::gen_range`] / [`Rng::gen_ratio`]
+//! over integer ranges. Everything is seed-deterministic, which is all the
+//! simulator needs.
+
+/// Low-level random word generation.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range by the shim.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+fn uniform_u64(rng: &mut dyn RngCore, lo: u64, span: u64) -> u64 {
+    // span == 0 encodes the full u64 range.
+    if span == 0 {
+        return rng.next_u64();
+    }
+    lo.wrapping_add(rng.next_u64() % span)
+}
+
+macro_rules! impl_unsigned_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u64) - (self.start as u64);
+                uniform_u64(rng, self.start as u64, span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                uniform_u64(rng, lo as u64, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_unsigned_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                let off = uniform_u64(rng, 0, span);
+                ((self.start as i64).wrapping_add(off as i64)) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                let span = span.wrapping_add(1);
+                let off = uniform_u64(rng, 0, span);
+                ((lo as i64).wrapping_add(off as i64)) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// High-level sampling helpers, blanket-implemented over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0` or `num > den`.
+    fn gen_ratio(&mut self, num: u32, den: u32) -> bool {
+        assert!(den > 0, "gen_ratio denominator must be positive");
+        assert!(num <= den, "gen_ratio numerator exceeds denominator");
+        if num == 0 {
+            return false;
+        }
+        (self.next_u64() % u64::from(den)) < u64::from(num)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The shim's standard generator: splitmix64. Deterministic per seed;
+    /// not cryptographic and not bit-compatible with the real `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                // Decorrelate trivially related seeds before the stream starts.
+                state: seed ^ 0x6a09_e667_f3bc_c909,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let wa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let wb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let wc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(wa, wb);
+        assert_ne!(wa, wc);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(10u64..=20);
+            assert!((10..=20).contains(&w));
+            let s = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn ratio_edges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert!(rng.gen_ratio(1, 1));
+            assert!(!rng.gen_ratio(0, 4));
+        }
+        let hits = (0..10_000).filter(|_| rng.gen_ratio(1, 4)).count();
+        assert!((1_800..3_200).contains(&hits), "~25%: {hits}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 11];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|b| *b != 0));
+    }
+}

@@ -150,10 +150,7 @@ mod tests {
             for l in [0u64, 1, 13, 1_000, 999_999_937] {
                 let local = LocalTime::from_nanos(123_456_789 + l);
                 let real = c.real_of_local(local);
-                assert!(
-                    c.local_at(real).is_at_or_after(local),
-                    "rate={rate}, l={l}"
-                );
+                assert!(c.local_at(real).is_at_or_after(local), "rate={rate}, l={l}");
             }
         }
     }
@@ -170,11 +167,7 @@ mod tests {
 
     #[test]
     fn arbitrary_boot_reading_wraps() {
-        let c = DriftClock::new(
-            RealTime::ZERO,
-            LocalTime::from_nanos(u64::MAX - 10),
-            0,
-        );
+        let c = DriftClock::new(RealTime::ZERO, LocalTime::from_nanos(u64::MAX - 10), 0);
         let local = c.local_at(RealTime::from_nanos(100));
         assert_eq!(local.as_nanos(), 89); // wrapped
         assert_eq!(c.real_of_local(local), RealTime::from_nanos(100));

@@ -96,7 +96,12 @@ pub trait Process<M, O>: Send {
     fn on_start(&mut self, ctx: &mut Ctx<'_, M, O>);
 
     /// Called when an authenticated message from `from` is delivered.
-    fn on_message(&mut self, ctx: &mut Ctx<'_, M, O>, from: NodeId, msg: M);
+    ///
+    /// The payload arrives by reference: broadcast fan-out shares one
+    /// `Arc`-held message among all destinations, so a process that needs
+    /// ownership clones explicitly — and one that drops or filters the
+    /// message (the common case under load) never pays for a deep copy.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M, O>, from: NodeId, msg: &M);
 
     /// Called when a previously scheduled timer fires.
     fn on_timer(&mut self, ctx: &mut Ctx<'_, M, O>, token: u64);

@@ -2,6 +2,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -57,8 +58,17 @@ pub type Corruptor<M> = Box<dyn FnMut(M, &mut StdRng) -> Option<M> + Send>;
 pub type Injector<M> = Box<dyn FnMut(&mut StdRng, usize) -> (NodeId, NodeId, M) + Send>;
 
 enum EventKind<M> {
-    Deliver { to: NodeId, from: NodeId, msg: M },
-    Timer { node: NodeId, token: u64 },
+    /// Delivery of a (possibly broadcast-shared) payload. Fan-out pushes
+    /// one `Arc` clone per destination — never a deep copy of `M`.
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        msg: Arc<M>,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
     Injection,
 }
 
@@ -183,6 +193,7 @@ impl<M, O> SimBuilder<M, O> {
             metrics: Metrics::default(),
             started: false,
             events_processed: 0,
+            scratch_outbox: Vec::new(),
         };
         if sim.storm.is_some() && sim.injector.is_some() {
             let seq = sim.seq;
@@ -213,8 +224,8 @@ impl<M, O> SimBuilder<M, O> {
 ///             ctx.broadcast(1);
 ///         }
 ///     }
-///     fn on_message(&mut self, ctx: &mut Ctx<'_, u32, u32>, _from: NodeId, msg: u32) {
-///         ctx.observe(msg);
+///     fn on_message(&mut self, ctx: &mut Ctx<'_, u32, u32>, _from: NodeId, msg: &u32) {
+///         ctx.observe(*msg);
 ///     }
 ///     fn on_timer(&mut self, _ctx: &mut Ctx<'_, u32, u32>, _token: u64) {}
 /// }
@@ -243,6 +254,9 @@ pub struct Simulation<M, O> {
     metrics: Metrics,
     started: bool,
     events_processed: u64,
+    /// Reused per-handler effect buffer: every dispatch borrows this Vec
+    /// instead of allocating a fresh outbox per event.
+    scratch_outbox: Vec<Effect<M, O>>,
 }
 
 impl<M: Clone, O> Simulation<M, O> {
@@ -307,7 +321,14 @@ impl<M: Clone, O> Simulation<M, O> {
     pub fn inject_message(&mut self, at: RealTime, from: NodeId, to: NodeId, msg: M) {
         let at = at.max(self.now);
         self.metrics.injected += 1;
-        self.push(at, EventKind::Deliver { to, from, msg });
+        self.push(
+            at,
+            EventKind::Deliver {
+                to,
+                from,
+                msg: Arc::new(msg),
+            },
+        );
     }
 
     /// Runs until real time `t` (inclusive of events at `t`).
@@ -352,7 +373,7 @@ impl<M: Clone, O> Simulation<M, O> {
         self.started = true;
         for i in 0..self.nodes.len() {
             let node = NodeId::new(i as u32);
-            let mut outbox = Vec::new();
+            let mut outbox = std::mem::take(&mut self.scratch_outbox);
             {
                 let n = self.nodes.len();
                 let slot = &mut self.nodes[i];
@@ -368,7 +389,8 @@ impl<M: Clone, O> Simulation<M, O> {
                 };
                 slot.process.on_start(&mut ctx);
             }
-            self.apply_effects(node, outbox);
+            self.apply_effects(node, &mut outbox);
+            self.scratch_outbox = outbox;
         }
     }
 
@@ -392,7 +414,7 @@ impl<M: Clone, O> Simulation<M, O> {
                     self.metrics.swallowed += 1;
                     return;
                 }
-                let mut outbox = Vec::new();
+                let mut outbox = std::mem::take(&mut self.scratch_outbox);
                 {
                     let n = self.nodes.len();
                     let slot = &mut self.nodes[to.index()];
@@ -406,16 +428,17 @@ impl<M: Clone, O> Simulation<M, O> {
                         outbox: &mut outbox,
                         rng_words: &mut words,
                     };
-                    slot.process.on_message(&mut ctx, from, msg);
+                    slot.process.on_message(&mut ctx, from, &msg);
                 }
                 self.metrics.delivered += 1;
-                self.apply_effects(to, outbox);
+                self.apply_effects(to, &mut outbox);
+                self.scratch_outbox = outbox;
             }
             EventKind::Timer { node, token } => {
                 if self.is_down(node, at) {
                     return;
                 }
-                let mut outbox = Vec::new();
+                let mut outbox = std::mem::take(&mut self.scratch_outbox);
                 {
                     let n = self.nodes.len();
                     let slot = &mut self.nodes[node.index()];
@@ -431,7 +454,8 @@ impl<M: Clone, O> Simulation<M, O> {
                     };
                     slot.process.on_timer(&mut ctx, token);
                 }
-                self.apply_effects(node, outbox);
+                self.apply_effects(node, &mut outbox);
+                self.scratch_outbox = outbox;
             }
             EventKind::Injection => {
                 let Some(storm) = self.storm else { return };
@@ -444,7 +468,14 @@ impl<M: Clone, O> Simulation<M, O> {
                     let n = self.nodes.len();
                     let (from, to, msg) = injector(&mut self.rng, n);
                     self.metrics.injected += 1;
-                    self.push(at, EventKind::Deliver { to, from, msg });
+                    self.push(
+                        at,
+                        EventKind::Deliver {
+                            to,
+                            from,
+                            msg: Arc::new(msg),
+                        },
+                    );
                     // Jittered re-arm (±50%).
                     let base = period.as_nanos().max(1);
                     let jitter = self.rng.gen_range(base / 2..=base + base / 2);
@@ -454,10 +485,10 @@ impl<M: Clone, O> Simulation<M, O> {
         }
     }
 
-    fn apply_effects(&mut self, node: NodeId, effects: Vec<Effect<M, O>>) {
-        for e in effects {
+    fn apply_effects(&mut self, node: NodeId, effects: &mut Vec<Effect<M, O>>) {
+        for e in effects.drain(..) {
             match e {
-                Effect::Send { to, msg } => self.route(node, to, msg),
+                Effect::Send { to, msg } => self.route(node, to, Arc::new(msg)),
                 Effect::Broadcast { msg } => self.route_broadcast(node, msg),
                 Effect::TimerAtLocal { at, token } => {
                     let clock = self.nodes[node.index()].clock;
@@ -482,13 +513,17 @@ impl<M: Clone, O> Simulation<M, O> {
         }
     }
 
+    /// Fans one payload out to every node. The message is wrapped in an
+    /// [`Arc`] exactly once; each destination's queue entry is a
+    /// reference-count bump, not a deep clone.
     fn route_broadcast(&mut self, from: NodeId, msg: M) {
+        let shared = Arc::new(msg);
         for i in 0..self.nodes.len() {
-            self.route(from, NodeId::new(i as u32), msg.clone());
+            self.route(from, NodeId::new(i as u32), Arc::clone(&shared));
         }
     }
 
-    fn route(&mut self, from: NodeId, to: NodeId, msg: M) {
+    fn route(&mut self, from: NodeId, to: NodeId, msg: Arc<M>) {
         if to.index() >= self.nodes.len() {
             self.metrics.blocked += 1;
             return; // destination outside the membership — drop
@@ -516,10 +551,15 @@ impl<M: Clone, O> Simulation<M, O> {
             }
             if storm.corrupt_den > 0 && self.rng.gen_ratio(storm.corrupt_num, storm.corrupt_den) {
                 if let Some(corruptor) = self.corruptor.as_mut() {
-                    match corruptor(payload, &mut self.rng) {
+                    // Corruption is the one storm path that needs an owned
+                    // message: unwrap the Arc when this delivery is its
+                    // only holder, deep-clone otherwise (rare — only when
+                    // corruption hits a broadcast copy).
+                    let owned = Arc::try_unwrap(payload).unwrap_or_else(|shared| (*shared).clone());
+                    match corruptor(owned, &mut self.rng) {
                         Some(m) => {
                             self.metrics.corrupted += 1;
-                            payload = m;
+                            payload = Arc::new(m);
                         }
                         None => {
                             self.metrics.dropped += 1;
@@ -541,7 +581,7 @@ impl<M: Clone, O> Simulation<M, O> {
                     EventKind::Deliver {
                         to,
                         from,
-                        msg: payload.clone(),
+                        msg: Arc::clone(&payload),
                     },
                 );
             }
@@ -550,7 +590,14 @@ impl<M: Clone, O> Simulation<M, O> {
             self.sample_delay(self.link.delay_min, self.link.delay_max)
         };
         let at = self.now + delay;
-        self.push(at, EventKind::Deliver { to, from, msg: payload });
+        self.push(
+            at,
+            EventKind::Deliver {
+                to,
+                from,
+                msg: payload,
+            },
+        );
     }
 
     fn sample_delay(&mut self, min: Duration, max: Duration) -> Duration {
@@ -579,10 +626,10 @@ mod tests {
                 ctx.send(NodeId::new(1), 0);
             }
         }
-        fn on_message(&mut self, ctx: &mut Ctx<'_, u32, String>, from: NodeId, msg: u32) {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u32, String>, from: NodeId, msg: &u32) {
             self.count += 1;
             ctx.observe(format!("got {msg}"));
-            if msg < self.limit {
+            if *msg < self.limit {
                 ctx.send(from, msg + 1);
             }
         }
@@ -649,7 +696,7 @@ mod tests {
             ctx.set_timer_after(Duration::from_millis(5), 42);
             ctx.set_timer_at(ctx.now() + Duration::from_millis(1), 43);
         }
-        fn on_message(&mut self, _ctx: &mut Ctx<'_, u32, u64>, _from: NodeId, _msg: u32) {}
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, u32, u64>, _from: NodeId, _msg: &u32) {}
         fn on_timer(&mut self, ctx: &mut Ctx<'_, u32, u64>, token: u64) {
             ctx.observe(token);
         }
@@ -658,7 +705,10 @@ mod tests {
     #[test]
     fn timers_fire_in_local_time() {
         let mut sim: Simulation<u32, u64> = SimBuilder::new(5)
-            .node(Box::new(TimerBeep), DriftClock::new(RealTime::ZERO, LocalTime::ZERO, 1000))
+            .node(
+                Box::new(TimerBeep),
+                DriftClock::new(RealTime::ZERO, LocalTime::ZERO, 1000),
+            )
             .build();
         sim.run_until(RealTime::from_nanos(100_000_000));
         let tokens: Vec<u64> = sim.observations().iter().map(|o| o.event).collect();

@@ -2,9 +2,7 @@
 //! duplication, taggers and counters.
 
 use rand::RngCore;
-use ssbyz_simnet::{
-    Ctx, DriftClock, LinkConfig, Process, SimBuilder, Simulation, StormConfig,
-};
+use ssbyz_simnet::{Ctx, DriftClock, LinkConfig, Process, SimBuilder, Simulation, StormConfig};
 use ssbyz_types::{Duration, NodeId, RealTime};
 
 /// A chatty node: broadcasts `count` numbered messages on start, records
@@ -22,14 +20,18 @@ impl Process<u32, u32> for Chatty {
             }
         }
     }
-    fn on_message(&mut self, ctx: &mut Ctx<'_, u32, u32>, _from: NodeId, msg: u32) {
-        self.received.push(msg);
-        ctx.observe(msg);
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u32, u32>, _from: NodeId, msg: &u32) {
+        self.received.push(*msg);
+        ctx.observe(*msg);
     }
     fn on_timer(&mut self, _ctx: &mut Ctx<'_, u32, u32>, _token: u64) {}
 }
 
-fn chatty_pair(seed: u64, storm: Option<StormConfig>, with_corruptor: bool) -> Simulation<u32, u32> {
+fn chatty_pair(
+    seed: u64,
+    storm: Option<StormConfig>,
+    with_corruptor: bool,
+) -> Simulation<u32, u32> {
     let mut b = SimBuilder::new(seed)
         .link(LinkConfig::uniform(
             Duration::from_micros(10),
@@ -151,8 +153,8 @@ fn post_storm_traffic_is_clean() {
         fn on_start(&mut self, ctx: &mut Ctx<'_, u32, u32>) {
             ctx.set_timer_after(Duration::from_millis(5), 1);
         }
-        fn on_message(&mut self, ctx: &mut Ctx<'_, u32, u32>, _from: NodeId, msg: u32) {
-            ctx.observe(msg);
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u32, u32>, _from: NodeId, msg: &u32) {
+            ctx.observe(*msg);
         }
         fn on_timer(&mut self, ctx: &mut Ctx<'_, u32, u32>, _token: u64) {
             ctx.broadcast(7);

@@ -30,7 +30,10 @@ impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConfigError::Resilience { n, f: faults } => {
-                write!(f, "resilience bound violated: need n > 3f, got n={n}, f={faults}")
+                write!(
+                    f,
+                    "resilience bound violated: need n > 3f, got n={n}, f={faults}"
+                )
             }
             ConfigError::Timing(what) => write!(f, "invalid timing parameter: {what}"),
             ConfigError::TooFewNodes { n, min } => {

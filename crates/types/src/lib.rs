@@ -21,12 +21,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dense;
 mod duration;
 mod error;
 mod id;
 mod time;
 mod value;
 
+pub use dense::{DenseNodeMap, NodeBitSet};
 pub use duration::Duration;
 pub use error::ConfigError;
 pub use id::NodeId;

@@ -18,6 +18,8 @@ use core::hash::Hash;
 /// assert_value::<String>();
 /// assert_value::<(u32, bool)>();
 /// ```
-pub trait Value: Clone + Eq + Ord + Hash + Debug + Send + 'static {}
+/// (`Sync` is required so broadcast payloads can be shared across node
+/// threads behind an `Arc` instead of deep-cloned per destination.)
+pub trait Value: Clone + Eq + Ord + Hash + Debug + Send + Sync + 'static {}
 
-impl<T> Value for T where T: Clone + Eq + Ord + Hash + Debug + Send + 'static {}
+impl<T> Value for T where T: Clone + Eq + Ord + Hash + Debug + Send + Sync + 'static {}

@@ -34,7 +34,10 @@ fn main() {
     assert!(cluster.wait_for_decisions(8, std::time::Duration::from_secs(5)));
     for e in cluster.events() {
         if let ssbyz::Event::Decided { general, value, .. } = &e.event {
-            println!("  [{:?}] {} decided {value:?} (General {general})", e.elapsed, e.node);
+            println!(
+                "  [{:?}] {} decided {value:?} (General {general})",
+                e.elapsed, e.node
+            );
         }
     }
     println!("elapsed: {:?}", cluster.elapsed());

@@ -38,9 +38,16 @@ fn main() {
     let mut scenario = builder.build();
 
     let t0 = scenario.sim().clock(NodeId::new(0)).real_of_local(
-        scenario.sim().clock(NodeId::new(0)).local_at(RealTime::ZERO) + initiate_off,
+        scenario
+            .sim()
+            .clock(NodeId::new(0))
+            .local_at(RealTime::ZERO)
+            + initiate_off,
     );
-    println!("\nphase 2: coherence restored, state decaying (≤ Δ_stb = {})", params.delta_stb());
+    println!(
+        "\nphase 2: coherence restored, state decaying (≤ Δ_stb = {})",
+        params.delta_stb()
+    );
     println!("phase 3: probe agreement initiated at {t0:?}");
 
     scenario.run_until(t0 + params.delta_agr() + params.d() * 40u64);
@@ -53,7 +60,10 @@ fn main() {
 
     println!("\nprobe decisions:");
     for rec in probe.decides_for(NodeId::new(0)) {
-        println!("  {} decided {:?} at {:?}", rec.node, rec.value, rec.real_at);
+        println!(
+            "  {} decided {:?} at {:?}",
+            rec.node, rec.value, rec.real_at
+        );
     }
     let battery = checks::check_correct_general_run(
         &probe,
@@ -63,7 +73,9 @@ fn main() {
         experiments::slack(params.d()),
     );
     battery.assert_ok("post-recovery agreement");
-    println!("\nstorm metrics: {} dropped, {} corrupted, {} spurious",
-        result.metrics.dropped, result.metrics.corrupted, result.metrics.injected);
+    println!(
+        "\nstorm metrics: {} dropped, {} corrupted, {} spurious",
+        result.metrics.dropped, result.metrics.corrupted, result.metrics.injected
+    );
     println!("recovered from arbitrary state and passed the full property battery ✓");
 }

@@ -67,4 +67,6 @@ pub use ssbyz_runtime as runtime;
 pub use ssbyz_simnet as simnet;
 
 pub use ssbyz_core::{Engine, Event, Msg, Output, Params};
-pub use ssbyz_types::{ConfigError, Duration, LocalTime, NodeId, RealTime, Value};
+pub use ssbyz_types::{
+    ConfigError, DenseNodeMap, Duration, LocalTime, NodeBitSet, NodeId, RealTime, Value,
+};

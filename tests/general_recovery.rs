@@ -33,13 +33,17 @@ fn failed_initiation_backs_off_then_recovers() {
 
     // The first initiation failed and was detected ([IG3]).
     assert!(
-        res.failures.iter().any(|(n, v, _)| *n == NodeId::new(0) && *v == 1),
+        res.failures
+            .iter()
+            .any(|(n, v, _)| *n == NodeId::new(0) && *v == 1),
         "the isolated initiation must be detected as failed: {:?}",
         res.failures
     );
     // The second was refused by the backoff.
     assert!(
-        res.refused.iter().any(|(n, v, _)| *n == NodeId::new(0) && *v == 2),
+        res.refused
+            .iter()
+            .any(|(n, v, _)| *n == NodeId::new(0) && *v == 2),
         "the mid-backoff initiation must be refused: {:?}",
         res.refused
     );

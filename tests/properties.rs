@@ -19,8 +19,14 @@ fn battery_matrix_correct_general() {
                 Duration::from_millis(9),
                 1_000 + seed,
             );
-            checks::check_correct_general_run(&res, NodeId::new(0), 1_000 + seed, t0, slack(res.params.d()))
-                .assert_ok(&format!("n={n}, f={f}, seed={seed}"));
+            checks::check_correct_general_run(
+                &res,
+                NodeId::new(0),
+                1_000 + seed,
+                t0,
+                slack(res.params.d()),
+            )
+            .assert_ok(&format!("n={n}, f={f}, seed={seed}"));
         }
     }
 }

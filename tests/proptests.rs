@@ -21,11 +21,7 @@ struct NaiveLog {
 
 impl NaiveLog {
     fn record(&mut self, now: u64, sender: u32) {
-        if self
-            .entries
-            .iter()
-            .any(|&(s, t)| s == sender && t == now)
-        {
+        if self.entries.iter().any(|&(s, t)| s == sender && t == now) {
             return;
         }
         self.entries.push((sender, now));
@@ -39,8 +35,7 @@ impl NaiveLog {
         if times.len() > ArrivalLog::MAX_PER_SENDER {
             times.sort_unstable();
             let cutoff = times[times.len() - ArrivalLog::MAX_PER_SENDER];
-            self.entries
-                .retain(|&(s, t)| s != sender || t >= cutoff);
+            self.entries.retain(|&(s, t)| s != sender || t >= cutoff);
         }
     }
 
@@ -210,7 +205,7 @@ proptest! {
         prop_assert_eq!(params.delta_rmv(), params.delta_agr() + params.delta_0());
         prop_assert_eq!(params.delta_stb(), params.delta_reset() * 2u64);
         // Quorum sanity: weak quorum always contains a correct node.
-        prop_assert!(params.weak_quorum() >= f + 1);
+        prop_assert!(params.weak_quorum() > f);
         prop_assert!(params.quorum() > params.weak_quorum() || f == 0);
         // Ordering of the horizon constants.
         prop_assert!(params.delta_0() < params.delta_rmv());

@@ -36,9 +36,10 @@ fn scrambled_engine_decays_without_reboot() {
         b = b.scrambled();
     }
     let mut sc = b.build();
-    let t0 = sc.sim().clock(NodeId::new(0)).real_of_local(
-        sc.sim().clock(NodeId::new(0)).local_at(RealTime::ZERO) + off,
-    );
+    let t0 = sc
+        .sim()
+        .clock(NodeId::new(0))
+        .real_of_local(sc.sim().clock(NodeId::new(0)).local_at(RealTime::ZERO) + off);
     sc.run_until(t0 + params.delta_agr() + params.d() * 30u64);
     let res = sc.result();
     let probe = filter_window(
@@ -71,9 +72,10 @@ fn survives_long_heavy_storm() {
         b = b.scrambled();
     }
     let mut sc = b.build();
-    let t0 = sc.sim().clock(NodeId::new(0)).real_of_local(
-        sc.sim().clock(NodeId::new(0)).local_at(RealTime::ZERO) + off,
-    );
+    let t0 = sc
+        .sim()
+        .clock(NodeId::new(0))
+        .real_of_local(sc.sim().clock(NodeId::new(0)).local_at(RealTime::ZERO) + off);
     sc.run_until(t0 + params.delta_agr() + params.d() * 40u64);
     let res = sc.result();
     let probe = filter_window(
@@ -82,7 +84,10 @@ fn survives_long_heavy_storm() {
         t0 + params.delta_agr() + params.d() * 10u64,
     );
     checks::check_validity(&probe, NodeId::new(0), 3).assert_ok("post-storm validity");
-    assert!(res.metrics.injected > 0, "the storm must have injected junk");
+    assert!(
+        res.metrics.injected > 0,
+        "the storm must have injected junk"
+    );
 }
 
 /// Scramble is deterministic per seed and the scrambled engine keeps
@@ -113,7 +118,7 @@ fn scramble_decays_to_dormant() {
     // Tick well past every decay horizon.
     let mut t = now;
     for _ in 0..600 {
-        t = t + params.d();
+        t += params.d();
         let _ = engine.on_tick(t);
     }
     // All bogus I-accept candidates and guards must be gone.

@@ -17,11 +17,7 @@ fn agreement_across_wrap_on_all_clocks() {
     // middle of the Initiator-Accept wave.
     let wrap_at = params.d() * 6u64;
     let boots: Vec<LocalTime> = (0..4)
-        .map(|i| {
-            LocalTime::from_nanos(0u64.wrapping_sub(
-                wrap_at.as_nanos() + i as u64 * 1_000,
-            ))
-        })
+        .map(|i| LocalTime::from_nanos(0u64.wrapping_sub(wrap_at.as_nanos() + i as u64 * 1_000)))
         .collect();
     let mut sc = ScenarioBuilder::new(cfg)
         .correct_general(off, 88)
@@ -83,11 +79,7 @@ fn recurrent_agreements_across_wrap() {
     // Wrap lands between the two agreements.
     let wrap_at = d * 4u64 + gap / 2;
     let boots: Vec<LocalTime> = (0..4)
-        .map(|i| {
-            LocalTime::from_nanos(
-                0u64.wrapping_sub(wrap_at.as_nanos() + i as u64 * 7_000),
-            )
-        })
+        .map(|i| LocalTime::from_nanos(0u64.wrapping_sub(wrap_at.as_nanos() + i as u64 * 7_000)))
         .collect();
     let mut sc = ScenarioBuilder::new(cfg)
         .correct_with_initiations(vec![(offs[0], 1), (offs[1], 2)])
