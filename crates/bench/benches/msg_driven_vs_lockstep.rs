@@ -1,6 +1,9 @@
 //! E5 companion bench: ours vs the lock-step baseline on a fast network
 //! (actual delay 5% of δ). The protocol-level latency table is printed by
 //! `experiments e5`; here Criterion compares the cost of simulating each.
+//! The `n64` group re-baselines the message-driven simulation at n = 64
+//! (f = 21) — the scale where event-queue cost dominates dispatch and
+//! the timer wheel replaced the `BinaryHeap`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ssbyz_baseline::run_baseline;
@@ -42,5 +45,22 @@ fn bench_comparison(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_comparison);
+fn bench_n64(c: &mut Criterion) {
+    let mut g = c.benchmark_group("msg_driven_vs_lockstep/n64");
+    g.sample_size(10);
+    let actual_min = Duration::from_micros(45);
+    let actual_max = Duration::from_micros(450);
+    g.bench_function("ss_byz_agree", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let (res, _) = run_correct_general(64, 21, seed, actual_min, actual_max, 1);
+            assert!(!res.decisions.is_empty());
+            res.metrics.sent
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_comparison, bench_n64);
 criterion_main!(benches);

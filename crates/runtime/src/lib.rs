@@ -25,7 +25,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -35,6 +34,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ssbyz_core::{Engine, Event, LocalTime, Msg, Output, Params};
+use ssbyz_sched::{EventQueue, TimerWheel};
 use ssbyz_types::{Duration, NodeId, Value};
 
 /// Wall-clock runtime knobs.
@@ -81,30 +81,11 @@ pub struct ClusterEvent<V> {
 
 struct RouterMsg<V> {
     due: Instant,
-    seq: u64,
     from: NodeId,
     to: NodeId,
     /// Shared payload: a broadcast enqueues one `Arc` per destination
     /// instead of deep-cloning the message n times.
     msg: Arc<Msg<V>>,
-}
-
-impl<V> PartialEq for RouterMsg<V> {
-    fn eq(&self, other: &Self) -> bool {
-        self.due == other.due && self.seq == other.seq
-    }
-}
-impl<V> Eq for RouterMsg<V> {}
-impl<V> PartialOrd for RouterMsg<V> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<V> Ord for RouterMsg<V> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed so the BinaryHeap acts as a min-heap on (due, seq).
-        (other.due, other.seq).cmp(&(self.due, self.seq))
-    }
 }
 
 /// A live cluster of engine threads.
@@ -135,8 +116,9 @@ impl<V: Value> Cluster<V> {
         let mut threads = Vec::new();
         {
             let cmd_txs = cmd_txs.clone();
+            let delay_max = cfg.delay_max;
             threads.push(std::thread::spawn(move || {
-                router_loop(router_rx, cmd_txs);
+                router_loop(router_rx, cmd_txs, delay_max);
             }));
         }
         for (i, rx) in cmd_rxs.into_iter().enumerate() {
@@ -184,7 +166,6 @@ impl<V: Value> Cluster<V> {
         self.router_tx
             .send(RouterMsg {
                 due: Instant::now(),
-                seq: 0,
                 from,
                 to,
                 msg: Arc::new(msg),
@@ -242,20 +223,35 @@ impl<V: Value> Cluster<V> {
     }
 }
 
-fn router_loop<V: Value>(rx: Receiver<RouterMsg<V>>, cmd_txs: Vec<Sender<NodeCmd<V>>>) {
-    let mut heap: BinaryHeap<RouterMsg<V>> = BinaryHeap::new();
+/// The delay router: messages wait on the shared timer wheel until their
+/// injected link delay elapses, then are handed to the destination node
+/// thread. Due times are nanoseconds since the router's epoch; wheel seq
+/// numbers preserve channel-arrival FIFO order within a due time, exactly
+/// as the replaced `BinaryHeap`'s `(due, seq)` ordering did.
+fn router_loop<V: Value>(
+    rx: Receiver<RouterMsg<V>>,
+    cmd_txs: Vec<Sender<NodeCmd<V>>>,
+    delay_max: Duration,
+) {
+    let epoch = Instant::now();
+    let now_ns = |epoch: Instant| u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let mut wheel: TimerWheel<RouterMsg<V>> = TimerWheel::for_span_hint(delay_max.as_nanos());
     loop {
-        let timeout = heap
-            .peek()
-            .map(|m| m.due.saturating_duration_since(Instant::now()))
+        let timeout = wheel
+            .peek_due()
+            .map(|due| std::time::Duration::from_nanos(due.saturating_sub(now_ns(epoch))))
             .unwrap_or(std::time::Duration::from_millis(50));
         match rx.recv_timeout(timeout) {
-            Ok(m) => heap.push(m),
+            Ok(m) => {
+                let due_ns = u64::try_from(m.due.saturating_duration_since(epoch).as_nanos())
+                    .unwrap_or(u64::MAX);
+                wheel.insert(due_ns, m);
+            }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => return,
         }
-        while heap.peek().is_some_and(|m| m.due <= Instant::now()) {
-            let m = heap.pop().expect("peeked");
+        while wheel.peek_due().is_some_and(|due| due <= now_ns(epoch)) {
+            let m = wheel.pop().expect("peeked").payload;
             let _ = cmd_txs[m.to.index()].send(NodeCmd::Deliver {
                 from: m.from,
                 msg: m.msg,
@@ -275,7 +271,6 @@ fn node_loop<V: Value>(
 ) {
     let mut engine: Engine<V> = Engine::new(id, params);
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ (u64::from(id.as_u32()) << 32));
-    let mut seq: u64 = 1;
     let n = params.n();
     let now_local = |start: Instant| {
         LocalTime::from_nanos(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX))
@@ -308,10 +303,8 @@ fn node_loop<V: Value>(
                         } else {
                             rng.gen_range(cfg.delay_min.as_nanos()..=cfg.delay_max.as_nanos())
                         };
-                        seq += 1;
                         let _ = router_tx.send(RouterMsg {
                             due: Instant::now() + std::time::Duration::from_nanos(delay_ns),
-                            seq,
                             from: id,
                             to: NodeId::new(dst as u32),
                             msg: Arc::clone(&shared),

@@ -1,0 +1,539 @@
+//! The hierarchical timer wheel.
+
+use std::collections::BTreeMap;
+
+use crate::{EventQueue, Expired, TimerHandle};
+
+/// log2 of the slot count per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level — 64, so one `u64` occupancy bitmap per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of wheel levels; horizons beyond `tick · 64^6` overflow.
+const LEVELS: usize = 6;
+/// Null link in the intrusive slot lists.
+const NIL: u32 = u32::MAX;
+
+/// Where a slab entry currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// On the free list.
+    Free,
+    /// In the sorted near buffer (due within the cursor tick or earlier).
+    Near,
+    /// Linked into wheel slot `slot` of `level`.
+    Wheel { level: u8, slot: u8 },
+    /// In the far-future overflow map.
+    Overflow,
+}
+
+struct Entry<T> {
+    due: u64,
+    seq: u64,
+    /// Generation counter, bumped on every free: stale handles miss.
+    gen: u32,
+    prev: u32,
+    next: u32,
+    loc: Loc,
+    payload: Option<T>,
+}
+
+/// A hierarchical timer wheel over absolute nanosecond due times.
+///
+/// # Geometry
+///
+/// Level 0 buckets time into `2^tick_shift`-nanosecond ticks, one slot
+/// per tick across a 64-tick frame; each higher level widens the slot by
+/// 64×, so six levels cover a horizon of `2^(tick_shift + 36)` ns (the
+/// default `tick_shift = 14` ⇒ 16.4 µs ticks, ~13 days). Entries beyond
+/// the horizon live in a far-future overflow map and are batch-migrated
+/// into the wheel when the cursor reaches their frame. Insert and cancel
+/// are O(1) for everything inside the horizon.
+///
+/// # Determinism
+///
+/// Pop order is globally ascending `(due, seq)` — identical to a
+/// min-heap over the same keys, hence bit-identical event traces. The
+/// argument: the *near buffer* always holds exactly the entries at or
+/// before the cursor tick, kept sorted; every wheel entry is on a
+/// strictly later tick than the cursor (inserts at the cursor tick or
+/// earlier go straight to the near buffer), and every overflow entry is
+/// in a strictly later top-level frame than every wheel entry. Advancing
+/// the cursor dumps one level-0 slot at a time into the near buffer,
+/// sorting the (single-tick) slot by `(due, seq)` — so the head of the
+/// near buffer is always the global minimum.
+pub struct TimerWheel<T> {
+    tick_shift: u32,
+    /// Cursor tick: `near` holds all entries with `due >> tick_shift`
+    /// at or below this.
+    cur: u64,
+    seq: u64,
+    entries: Vec<Entry<T>>,
+    free: Vec<u32>,
+    /// Entry indices sorted by `(due, seq)` **descending** — pop takes
+    /// from the back.
+    near: Vec<u32>,
+    /// Head of the intrusive doubly-linked list per slot.
+    slots: [[u32; SLOTS]; LEVELS],
+    /// Per-level slot-occupancy bitmaps.
+    bitmap: [u64; LEVELS],
+    /// Far-future entries keyed by `(due, seq)`.
+    overflow: BTreeMap<(u64, u64), u32>,
+    /// Reused cascade buffer — refills never allocate in steady state.
+    scratch: Vec<u32>,
+    live: usize,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        TimerWheel::new()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    /// A wheel with the default 2^14 ns (16.4 µs) tick.
+    #[must_use]
+    pub fn new() -> Self {
+        TimerWheel::with_tick_shift(14)
+    }
+
+    /// A wheel whose level-0 tick is `2^tick_shift` nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick_shift >= 64`.
+    #[must_use]
+    pub fn with_tick_shift(tick_shift: u32) -> Self {
+        assert!(tick_shift < 64, "tick_shift must leave room for ticks");
+        TimerWheel {
+            tick_shift,
+            cur: 0,
+            seq: 0,
+            entries: Vec::new(),
+            free: Vec::new(),
+            near: Vec::new(),
+            slots: [[NIL; SLOTS]; LEVELS],
+            bitmap: [0; LEVELS],
+            overflow: BTreeMap::new(),
+            scratch: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// A wheel scaled to a workload horizon hint (e.g. the network's
+    /// `d`/`δ` bound): the tick is chosen so one 64-slot level-0 frame
+    /// spans roughly `span_ns`, clamped to [2^10, 2^20] ns ticks.
+    #[must_use]
+    pub fn for_span_hint(span_ns: u64) -> Self {
+        let per_slot = (span_ns >> SLOT_BITS).max(1);
+        let shift = (63 - per_slot.leading_zeros()).clamp(10, 20);
+        TimerWheel::with_tick_shift(shift)
+    }
+
+    /// The configured level-0 tick, in nanoseconds.
+    #[must_use]
+    pub fn tick_ns(&self) -> u64 {
+        1 << self.tick_shift
+    }
+
+    fn alloc(&mut self, due: u64, seq: u64, payload: T) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            let e = &mut self.entries[idx as usize];
+            e.due = due;
+            e.seq = seq;
+            e.prev = NIL;
+            e.next = NIL;
+            e.payload = Some(payload);
+            idx
+        } else {
+            let idx = u32::try_from(self.entries.len()).expect("slab capacity");
+            self.entries.push(Entry {
+                due,
+                seq,
+                gen: 0,
+                prev: NIL,
+                next: NIL,
+                loc: Loc::Free,
+                payload: Some(payload),
+            });
+            idx
+        }
+    }
+
+    fn release(&mut self, idx: u32) -> (u64, u64, T) {
+        let e = &mut self.entries[idx as usize];
+        debug_assert!(e.loc != Loc::Free);
+        e.loc = Loc::Free;
+        e.gen = e.gen.wrapping_add(1);
+        let payload = e.payload.take().expect("live entry has payload");
+        let key = (e.due, e.seq);
+        self.free.push(idx);
+        self.live -= 1;
+        (key.0, key.1, payload)
+    }
+
+    /// Sorted insert into the (descending) near buffer.
+    fn near_insert(&mut self, idx: u32) {
+        let key = {
+            let e = &self.entries[idx as usize];
+            (e.due, e.seq)
+        };
+        self.entries[idx as usize].loc = Loc::Near;
+        let pos = self.near.partition_point(|&i| {
+            let e = &self.entries[i as usize];
+            (e.due, e.seq) > key
+        });
+        self.near.insert(pos, idx);
+    }
+
+    /// Links `idx` into the wheel slot / near buffer / overflow map
+    /// appropriate for its due time relative to the current cursor.
+    fn place(&mut self, idx: u32) {
+        let (due, seq) = {
+            let e = &self.entries[idx as usize];
+            (e.due, e.seq)
+        };
+        let ticks = due >> self.tick_shift;
+        if ticks <= self.cur {
+            self.near_insert(idx);
+            return;
+        }
+        let diff = ticks ^ self.cur;
+        let group = (63 - diff.leading_zeros()) / SLOT_BITS;
+        if group as usize >= LEVELS {
+            self.entries[idx as usize].loc = Loc::Overflow;
+            self.overflow.insert((due, seq), idx);
+            return;
+        }
+        let level = group as usize;
+        let slot = ((ticks >> (SLOT_BITS * group)) & (SLOTS as u64 - 1)) as usize;
+        let head = self.slots[level][slot];
+        {
+            let e = &mut self.entries[idx as usize];
+            e.loc = Loc::Wheel {
+                level: level as u8,
+                slot: slot as u8,
+            };
+            e.prev = NIL;
+            e.next = head;
+        }
+        if head != NIL {
+            self.entries[head as usize].prev = idx;
+        }
+        self.slots[level][slot] = idx;
+        self.bitmap[level] |= 1 << slot;
+    }
+
+    /// Unlinks `idx` from the wheel slot list it currently occupies.
+    fn unlink(&mut self, idx: u32, level: u8, slot: u8) {
+        let (prev, next) = {
+            let e = &self.entries[idx as usize];
+            (e.prev, e.next)
+        };
+        if prev == NIL {
+            self.slots[level as usize][slot as usize] = next;
+        } else {
+            self.entries[prev as usize].next = next;
+        }
+        if next != NIL {
+            self.entries[next as usize].prev = prev;
+        }
+        if self.slots[level as usize][slot as usize] == NIL {
+            self.bitmap[level as usize] &= !(1u64 << slot);
+        }
+    }
+
+    /// Detaches every entry of a slot's list, appending to `out`.
+    fn collect_slot(
+        entries: &mut [Entry<T>],
+        slots: &mut [[u32; SLOTS]; LEVELS],
+        bitmap: &mut [u64; LEVELS],
+        level: usize,
+        slot: usize,
+        out: &mut Vec<u32>,
+    ) {
+        let mut idx = slots[level][slot];
+        slots[level][slot] = NIL;
+        bitmap[level] &= !(1u64 << slot);
+        while idx != NIL {
+            let e = &mut entries[idx as usize];
+            let next = e.next;
+            e.prev = NIL;
+            e.next = NIL;
+            out.push(idx);
+            idx = next;
+        }
+    }
+
+    /// Occupied slots of `level` strictly after the cursor's slot index
+    /// within the current frame.
+    fn slots_ahead(&self, level: usize) -> u64 {
+        let cursor = ((self.cur >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as u32;
+        self.bitmap[level] & u64::MAX.checked_shl(cursor + 1).unwrap_or(0)
+    }
+
+    /// Refills the near buffer from the wheel/overflow when it is empty:
+    /// advances the cursor to the next occupied tick and dumps it, in
+    /// `(due, seq)` order.
+    fn refill_near(&mut self) {
+        debug_assert!(self.near.is_empty());
+        'advance: loop {
+            for level in 0..LEVELS {
+                let ahead = self.slots_ahead(level);
+                if ahead == 0 {
+                    continue;
+                }
+                let s = u64::from(ahead.trailing_zeros());
+                if level == 0 {
+                    // Jump the cursor to the slot's tick and dump it: a
+                    // level-0 slot is one tick wide, so these entries
+                    // are exactly the next tick's — sort by (due, seq).
+                    self.cur = (self.cur & !(SLOTS as u64 - 1)) | s;
+                    Self::collect_slot(
+                        &mut self.entries,
+                        &mut self.slots,
+                        &mut self.bitmap,
+                        0,
+                        s as usize,
+                        &mut self.near,
+                    );
+                    let entries = &self.entries;
+                    self.near.sort_unstable_by_key(|&i| {
+                        let e = &entries[i as usize];
+                        std::cmp::Reverse((e.due, e.seq))
+                    });
+                    for &i in &self.near {
+                        self.entries[i as usize].loc = Loc::Near;
+                    }
+                    return;
+                }
+                // Cascade: advance the cursor to the start of the
+                // level-`level` slot and re-place its entries one level
+                // down (or into the near buffer if due at the new
+                // cursor tick).
+                let scale = SLOT_BITS * level as u32;
+                let hi = (self.cur >> scale) & !(SLOTS as u64 - 1);
+                self.cur = (hi | s) << scale;
+                let mut batch = std::mem::take(&mut self.scratch);
+                Self::collect_slot(
+                    &mut self.entries,
+                    &mut self.slots,
+                    &mut self.bitmap,
+                    level,
+                    s as usize,
+                    &mut batch,
+                );
+                for &i in &batch {
+                    self.place(i);
+                }
+                batch.clear();
+                self.scratch = batch;
+                if !self.near.is_empty() {
+                    return;
+                }
+                continue 'advance;
+            }
+            // Wheel exhausted: migrate the next overflow frame in.
+            let Some((&(due, _), _)) = self.overflow.first_key_value() else {
+                return;
+            };
+            self.cur = due >> self.tick_shift;
+            let frame_shift = SLOT_BITS * LEVELS as u32;
+            while let Some((&(d, _), _)) = self.overflow.first_key_value() {
+                if ((d >> self.tick_shift) ^ self.cur) >> frame_shift != 0 {
+                    break;
+                }
+                let (_, idx) = self.overflow.pop_first().expect("peeked");
+                self.place(idx);
+            }
+            if !self.near.is_empty() {
+                return;
+            }
+        }
+    }
+}
+
+impl<T> EventQueue<T> for TimerWheel<T> {
+    fn insert(&mut self, due: u64, payload: T) -> TimerHandle {
+        let seq = self.seq;
+        self.seq += 1;
+        let idx = self.alloc(due, seq, payload);
+        self.live += 1;
+        self.place(idx);
+        TimerHandle::pack(idx, self.entries[idx as usize].gen)
+    }
+
+    fn cancel(&mut self, handle: TimerHandle) -> bool {
+        let idx = handle.idx();
+        let Some(e) = self.entries.get(idx as usize) else {
+            return false;
+        };
+        if e.gen != handle.gen() || e.loc == Loc::Free {
+            return false;
+        }
+        match e.loc {
+            Loc::Free => unreachable!("checked above"),
+            Loc::Near => {
+                let key = (e.due, e.seq);
+                let pos = self.near.partition_point(|&i| {
+                    let n = &self.entries[i as usize];
+                    (n.due, n.seq) > key
+                });
+                debug_assert_eq!(self.near[pos], idx);
+                self.near.remove(pos);
+            }
+            Loc::Wheel { level, slot } => self.unlink(idx, level, slot),
+            Loc::Overflow => {
+                self.overflow.remove(&(e.due, e.seq));
+            }
+        }
+        self.release(idx);
+        true
+    }
+
+    fn peek_due(&mut self) -> Option<u64> {
+        if self.near.is_empty() {
+            self.refill_near();
+        }
+        self.near.last().map(|&i| self.entries[i as usize].due)
+    }
+
+    fn pop(&mut self) -> Option<Expired<T>> {
+        if self.near.is_empty() {
+            self.refill_near();
+        }
+        let idx = self.near.pop()?;
+        let (due, seq, payload) = self.release(idx);
+        Some(Expired { due, seq, payload })
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn occupancy(&self) -> usize {
+        // Cancellation unlinks and frees immediately: no garbage, ever.
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<T>(q: &mut TimerWheel<T>) -> Vec<(u64, u64, T)> {
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push((e.due, e.seq, e.payload));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_due_then_fifo_order() {
+        let mut q: TimerWheel<&str> = TimerWheel::with_tick_shift(4);
+        q.insert(500, "b");
+        q.insert(20, "a");
+        q.insert(500, "c"); // same due as "b" — FIFO after it
+        q.insert(1_000_000, "d");
+        let got = drain(&mut q);
+        let labels: Vec<&str> = got.iter().map(|(_, _, p)| *p).collect();
+        assert_eq!(labels, ["a", "b", "c", "d"]);
+        assert!(got.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+    }
+
+    #[test]
+    fn same_tick_different_due_sorts_by_due() {
+        // tick = 2^10: 100 and 900 share a level-0 slot but must pop in
+        // due order regardless of insertion order.
+        let mut q: TimerWheel<u32> = TimerWheel::with_tick_shift(10);
+        q.insert(900, 1);
+        q.insert(100, 2);
+        let got = drain(&mut q);
+        assert_eq!(got, vec![(100, 1, 2), (900, 0, 1)]);
+    }
+
+    #[test]
+    fn cancel_removes_from_every_location() {
+        let mut q: TimerWheel<u32> = TimerWheel::with_tick_shift(4);
+        let near = q.insert(1, 0); // tick 0 == cursor → near buffer
+        let low = q.insert(100, 1); // level 0
+        let high = q.insert(1 << 20, 2); // higher level
+        let far = q.insert(u64::MAX / 2, 3); // overflow
+        let keep = q.insert(200, 4);
+        assert_eq!(q.len(), 5);
+        for h in [near, low, high, far] {
+            assert!(q.cancel(h));
+            assert!(!q.cancel(h), "second cancel must be stale");
+        }
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.occupancy(), 1);
+        let got = drain(&mut q);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].2, 4);
+        assert!(!q.cancel(keep), "fired handle is stale");
+    }
+
+    #[test]
+    fn stale_handle_against_reused_slab_slot_is_rejected() {
+        let mut q: TimerWheel<u32> = TimerWheel::with_tick_shift(4);
+        let h1 = q.insert(100, 1);
+        assert!(q.cancel(h1));
+        let h2 = q.insert(100, 2); // reuses the slab slot
+        assert!(!q.cancel(h1), "generation must have advanced");
+        assert!(q.cancel(h2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_insert_and_pop_stays_ordered() {
+        let mut q: TimerWheel<u64> = TimerWheel::with_tick_shift(6);
+        let mut rng = 0x1234_5678_9abc_def0u64;
+        let mut step = || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            rng >> 33
+        };
+        let mut last = (0u64, 0u64);
+        let mut now = 0u64;
+        for round in 0..2_000u64 {
+            let due = now + step() % 100_000;
+            q.insert(due, round);
+            if round % 3 == 0 {
+                if let Some(e) = q.pop() {
+                    assert!((e.due, e.seq) > last, "order violated at {round}");
+                    assert!(e.due >= now, "time went backwards");
+                    last = (e.due, e.seq);
+                    now = e.due;
+                }
+            }
+        }
+        let rest = drain(&mut q);
+        for e in rest {
+            assert!((e.0, e.1) > last);
+            last = (e.0, e.1);
+        }
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn overflow_entries_migrate_into_the_wheel() {
+        let mut q: TimerWheel<u32> = TimerWheel::with_tick_shift(0);
+        // With tick 1ns and 6 levels the horizon is 2^36 ns.
+        let horizon = 1u64 << 36;
+        q.insert(horizon + 5, 1);
+        q.insert(horizon + 1, 2);
+        q.insert(3 * horizon + 7, 3);
+        q.insert(10, 4);
+        let got = drain(&mut q);
+        let payloads: Vec<u32> = got.iter().map(|e| e.2).collect();
+        assert_eq!(payloads, [4, 2, 1, 3]);
+    }
+
+    #[test]
+    fn empty_queue_behaves() {
+        let mut q: TimerWheel<u32> = TimerWheel::new();
+        assert_eq!(q.peek_due(), None);
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+        assert_eq!(q.occupancy(), 0);
+    }
+}

@@ -27,6 +27,12 @@ mod network;
 mod process;
 mod sim;
 
+/// The shared hierarchical timer-wheel scheduler (re-exported from
+/// `ssbyz-sched`): the event queue under this simulator and the
+/// `ssbyz-runtime` router, plus the retained `BinaryHeap` golden model
+/// the equivalence property tests compare against.
+pub use ssbyz_sched as sched;
+
 pub use clock::{DriftClock, PPM};
 pub use network::{LinkBlock, LinkConfig, StormConfig};
 pub use process::{Ctx, Process};

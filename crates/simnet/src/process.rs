@@ -23,6 +23,7 @@ pub(crate) enum Effect<M, O> {
     Broadcast { msg: M },
     TimerAtLocal { at: LocalTime, token: u64 },
     TimerAfter { after: Duration, token: u64 },
+    CancelTimer { token: u64 },
     Observe(O),
 }
 
@@ -58,13 +59,28 @@ impl<'a, M, O> Ctx<'a, M, O> {
 
     /// Schedules `on_timer(token)` at local time `at` (fires immediately
     /// if `at` is already past).
+    ///
+    /// Timers are identified by `(token, due time)`: scheduling one
+    /// identical to a timer already pending is a no-op, so re-emitting
+    /// the same deadline never accumulates duplicate queue entries.
     pub fn set_timer_at(&mut self, at: LocalTime, token: u64) {
         self.outbox.push(Effect::TimerAtLocal { at, token });
     }
 
-    /// Schedules `on_timer(token)` after a local-clock span.
+    /// Schedules `on_timer(token)` after a local-clock span (same
+    /// `(token, due time)` identity as [`Ctx::set_timer_at`]).
     pub fn set_timer_after(&mut self, after: Duration, token: u64) {
         self.outbox.push(Effect::TimerAfter { after, token });
+    }
+
+    /// Cancels **all** pending timers of this node carrying `token`.
+    ///
+    /// The scheduler removes the entries in place (O(1) per timer on the
+    /// wheel) — rescheduling via cancel + set keeps queue occupancy
+    /// bounded by live timers instead of leaving stale entries to be
+    /// filtered at pop.
+    pub fn cancel_timer(&mut self, token: u64) {
+        self.outbox.push(Effect::CancelTimer { token });
     }
 
     /// Emits an observation record for harnesses and property checkers.

@@ -1,11 +1,11 @@
 //! The deterministic discrete-event simulation core.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
+use ssbyz_sched::{EventQueue, TimerHandle, TimerWheel};
 use ssbyz_types::{Duration, LocalTime, NodeId, RealTime};
 
 use crate::clock::DriftClock;
@@ -72,34 +72,15 @@ enum EventKind<M> {
     Injection,
 }
 
-struct Scheduled<M> {
-    at: RealTime,
-    seq: u64,
-    kind: EventKind<M>,
-}
-
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Scheduled<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 struct NodeSlot<M, O> {
     process: Box<dyn Process<M, O>>,
     clock: DriftClock,
     /// Down (crashed / storm-disabled) until this real time.
     down_until: Option<RealTime>,
+    /// Pending timers keyed by `(token, real-due ns)`: the handle lets a
+    /// reschedule cancel the wheel entry outright instead of leaving
+    /// stale garbage, and makes identical re-requests no-ops.
+    timers: BTreeMap<(u64, u64), TimerHandle>,
 }
 
 /// Builder for a [`Simulation`].
@@ -171,16 +152,20 @@ impl<M, O> SimBuilder<M, O> {
             process,
             clock,
             down_until: None,
+            timers: BTreeMap::new(),
         });
         self
     }
 
     /// Finalizes the simulation.
     pub fn build(self) -> Simulation<M, O> {
+        // Scale the wheel's tick to the link's delay bound (the paper's
+        // δ/d horizon): most deliveries then land within the first
+        // levels, where insert and cancel are single bucket pushes.
+        let queue = TimerWheel::for_span_hint(self.link.delay_max.as_nanos());
         let mut sim = Simulation {
             now: RealTime::ZERO,
-            seq: 0,
-            queue: BinaryHeap::new(),
+            queue,
             nodes: self.nodes,
             link: self.link,
             storm: self.storm,
@@ -196,13 +181,8 @@ impl<M, O> SimBuilder<M, O> {
             scratch_outbox: Vec::new(),
         };
         if sim.storm.is_some() && sim.injector.is_some() {
-            let seq = sim.seq;
-            sim.seq += 1;
-            sim.queue.push(Reverse(Scheduled {
-                at: RealTime::ZERO,
-                seq,
-                kind: EventKind::Injection,
-            }));
+            sim.queue
+                .insert(RealTime::ZERO.as_nanos(), EventKind::Injection);
         }
         sim
     }
@@ -240,8 +220,9 @@ impl<M, O> SimBuilder<M, O> {
 /// ```
 pub struct Simulation<M, O> {
     now: RealTime,
-    seq: u64,
-    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    /// The hierarchical timer wheel holding every pending event
+    /// (deliveries, timers, storm injections) in `(due, seq)` order.
+    queue: TimerWheel<EventKind<M>>,
     nodes: Vec<NodeSlot<M, O>>,
     link: LinkConfig,
     storm: Option<StormConfig>,
@@ -334,14 +315,14 @@ impl<M: Clone, O> Simulation<M, O> {
     /// Runs until real time `t` (inclusive of events at `t`).
     pub fn run_until(&mut self, t: RealTime) {
         self.start_if_needed();
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > t {
+        while let Some(due) = self.queue.peek_due() {
+            if due > t.as_nanos() {
                 break;
             }
-            let Reverse(ev) = self.queue.pop().expect("peeked");
-            self.now = ev.at;
+            let ev = self.queue.pop().expect("peeked");
+            self.now = RealTime::from_nanos(ev.due);
             self.events_processed += 1;
-            self.dispatch(ev);
+            self.dispatch(self.now, ev.payload);
         }
         self.now = self.now.max(t);
     }
@@ -356,14 +337,30 @@ impl<M: Clone, O> Simulation<M, O> {
     pub fn step(&mut self) -> bool {
         self.start_if_needed();
         match self.queue.pop() {
-            Some(Reverse(ev)) => {
-                self.now = ev.at;
+            Some(ev) => {
+                self.now = RealTime::from_nanos(ev.due);
                 self.events_processed += 1;
-                self.dispatch(ev);
+                self.dispatch(self.now, ev.payload);
                 true
             }
             None => false,
         }
+    }
+
+    /// Number of pending (live) events in the scheduler.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Physical scheduler occupancy, including any not-yet-reclaimed
+    /// cancelled entries. For the timer wheel this always equals
+    /// [`Simulation::queue_len`] — rescheduling cancels in place rather
+    /// than leaving stale entries to be filtered at pop — which the
+    /// stale-`WakeAt` regression test pins down.
+    #[must_use]
+    pub fn queue_occupancy(&self) -> usize {
+        self.queue.occupancy()
     }
 
     fn start_if_needed(&mut self) {
@@ -395,9 +392,43 @@ impl<M: Clone, O> Simulation<M, O> {
     }
 
     fn push(&mut self, at: RealTime, kind: EventKind<M>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, kind }));
+        self.queue.insert(at.as_nanos(), kind);
+    }
+
+    /// Schedules `on_timer(token)` for `node` at real time `at`.
+    ///
+    /// Timers are identified by `(token, due)`: requesting one identical
+    /// to a pending timer is a no-op, so re-emitted deadlines (the
+    /// engine's `WakeAt` pattern) occupy a single wheel entry instead of
+    /// accumulating stale duplicates.
+    fn schedule_timer(&mut self, node: NodeId, at: RealTime, token: u64) {
+        let key = (token, at.as_nanos());
+        if self.nodes[node.index()].timers.contains_key(&key) {
+            return;
+        }
+        let handle = self
+            .queue
+            .insert(at.as_nanos(), EventKind::Timer { node, token });
+        self.nodes[node.index()].timers.insert(key, handle);
+    }
+
+    /// Cancels every pending timer of `node` carrying `token`; returns
+    /// how many were removed from the wheel. Allocation-free: the
+    /// registry holds 0–1 entries per token in the common reschedule
+    /// pattern.
+    fn cancel_timers(&mut self, node: NodeId, token: u64) -> usize {
+        let mut cancelled = 0;
+        loop {
+            let slot = &mut self.nodes[node.index()].timers;
+            let Some((&key, _)) = slot.range((token, 0)..=(token, u64::MAX)).next() else {
+                break;
+            };
+            let handle = slot.remove(&key).expect("key just observed");
+            if self.queue.cancel(handle) {
+                cancelled += 1;
+            }
+        }
+        cancelled
     }
 
     fn is_down(&self, node: NodeId, at: RealTime) -> bool {
@@ -406,9 +437,8 @@ impl<M: Clone, O> Simulation<M, O> {
             .is_some_and(|until| at < until)
     }
 
-    fn dispatch(&mut self, ev: Scheduled<M>) {
-        let at = ev.at;
-        match ev.kind {
+    fn dispatch(&mut self, at: RealTime, kind: EventKind<M>) {
+        match kind {
             EventKind::Deliver { to, from, msg } => {
                 if self.is_down(to, at) {
                     self.metrics.swallowed += 1;
@@ -435,6 +465,11 @@ impl<M: Clone, O> Simulation<M, O> {
                 self.scratch_outbox = outbox;
             }
             EventKind::Timer { node, token } => {
+                // The wheel entry just fired: forget its handle whether
+                // or not the node is up to receive it.
+                self.nodes[node.index()]
+                    .timers
+                    .remove(&(token, at.as_nanos()));
                 if self.is_down(node, at) {
                     return;
                 }
@@ -493,12 +528,15 @@ impl<M: Clone, O> Simulation<M, O> {
                 Effect::TimerAtLocal { at, token } => {
                     let clock = self.nodes[node.index()].clock;
                     let real = clock.real_of_local(at).max(self.now);
-                    self.push(real, EventKind::Timer { node, token });
+                    self.schedule_timer(node, real, token);
                 }
                 Effect::TimerAfter { after, token } => {
                     let clock = self.nodes[node.index()].clock;
                     let real = self.now + clock.scale_to_real(after);
-                    self.push(real, EventKind::Timer { node, token });
+                    self.schedule_timer(node, real, token);
+                }
+                Effect::CancelTimer { token } => {
+                    self.cancel_timers(node, token);
                 }
                 Effect::Observe(obs) => {
                     let clock = self.nodes[node.index()].clock;

@@ -1,0 +1,123 @@
+//! Regression tests for stale-`WakeAt` accumulation: rescheduling a
+//! node's deadline timer must *cancel* the old scheduler entry (via the
+//! wheel's timer handles) rather than leaving garbage to be filtered at
+//! pop, and re-requesting an identical `(token, due)` timer must be a
+//! no-op. Queue occupancy therefore stays O(nodes) under arbitrarily
+//! many reschedules.
+
+use ssbyz_simnet::{Ctx, DriftClock, LinkConfig, Process, SimBuilder, Simulation};
+use ssbyz_types::{Duration, LocalTime, NodeId, RealTime};
+
+const T_TICK: u64 = 0;
+const T_WAKE: u64 = 1;
+
+/// The engine's `WakeAt` pattern, distilled: a fast periodic tick that on
+/// every fire pushes a long deadline timer further into the future. The
+/// deadline is rescheduled ~10× before it could ever fire; without
+/// explicit cancellation each reschedule would strand a stale entry.
+struct Rescheduler {
+    period: Duration,
+    fires: u64,
+}
+
+impl Process<u32, u64> for Rescheduler {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u32, u64>) {
+        ctx.set_timer_after(self.period, T_TICK);
+        ctx.set_timer_after(self.period * 10u64, T_WAKE);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, u32, u64>, _from: NodeId, _msg: &u32) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, u32, u64>, token: u64) {
+        match token {
+            T_TICK => {
+                self.fires += 1;
+                ctx.set_timer_after(self.period, T_TICK);
+                // Reschedule: tombstone the pending deadline, arm a new
+                // one. This is the paper's `WakeAt` churn — every event
+                // pushes the next deadline out by another window.
+                ctx.cancel_timer(T_WAKE);
+                ctx.set_timer_after(self.period * 10u64, T_WAKE);
+            }
+            T_WAKE => ctx.observe(self.fires),
+            _ => unreachable!("unknown token"),
+        }
+    }
+}
+
+fn build(n: usize) -> Simulation<u32, u64> {
+    let mut b = SimBuilder::new(7).link(LinkConfig::fixed(Duration::from_micros(300)));
+    for i in 0..n {
+        // A mix of drift rates so per-node real due times interleave.
+        let clock = match i % 3 {
+            0 => DriftClock::ideal(),
+            1 => DriftClock::new(RealTime::ZERO, LocalTime::from_nanos(17), 400),
+            _ => DriftClock::new(RealTime::ZERO, LocalTime::from_nanos(23_000), -250),
+        };
+        b = b.node(
+            Box::new(Rescheduler {
+                period: Duration::from_millis(1),
+                fires: 0,
+            }),
+            clock,
+        );
+    }
+    b.build()
+}
+
+#[test]
+fn repeated_reschedules_keep_queue_occupancy_bounded_by_nodes() {
+    let n = 16;
+    let mut sim = build(n);
+    let mut max_occupancy = 0;
+    // ~2000 ticks per node, each rescheduling the deadline timer.
+    for _ in 0..(n as u64 * 2_000) {
+        if !sim.step() {
+            break;
+        }
+        max_occupancy = max_occupancy.max(sim.queue_occupancy());
+    }
+    assert!(
+        sim.events_processed() > n as u64 * 1_000,
+        "the reschedule churn must actually run (got {} events)",
+        sim.events_processed()
+    );
+    // Exactly two live timers per node (tick + deadline); no stale
+    // entries survive a reschedule, at any point in the run.
+    assert_eq!(sim.queue_len(), 2 * n);
+    assert_eq!(sim.queue_occupancy(), sim.queue_len());
+    assert!(
+        max_occupancy <= 2 * n,
+        "occupancy peaked at {max_occupancy} for {n} nodes — stale entries leaked"
+    );
+    // The deadline timer was genuinely rescheduled, never fired.
+    assert!(sim.observations().is_empty());
+}
+
+/// Scheduling an identical `(token, due)` timer twice yields one firing:
+/// duplicate `WakeAt` re-emissions collapse instead of double-firing.
+struct DoubleSetter;
+
+impl Process<u32, u64> for DoubleSetter {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u32, u64>) {
+        let due = ctx.now() + Duration::from_millis(2);
+        ctx.set_timer_at(due, T_WAKE);
+        ctx.set_timer_at(due, T_WAKE); // identical — must be a no-op
+        ctx.set_timer_at(due + Duration::from_millis(1), T_WAKE);
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, u32, u64>, _from: NodeId, _msg: &u32) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, u32, u64>, token: u64) {
+        ctx.observe(token);
+    }
+}
+
+#[test]
+fn identical_timer_requests_coalesce_but_distinct_deadlines_all_fire() {
+    let mut sim: Simulation<u32, u64> = SimBuilder::new(1)
+        .node(Box::new(DoubleSetter), DriftClock::ideal())
+        .build();
+    sim.run_until(RealTime::from_nanos(10_000_000));
+    // Two distinct deadlines → exactly two firings, not three.
+    assert_eq!(sim.observations().len(), 2);
+    assert_eq!(sim.queue_len(), 0);
+}
