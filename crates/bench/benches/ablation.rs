@@ -18,7 +18,13 @@ fn abort_latency(params: Params) -> Duration {
     let mut agr: Agreement<u64> = Agreement::new(NodeId::new(1), NodeId::new(0), params);
     let mut out = Vec::new();
     // A late anchor (outside block R) with no broadcasters.
-    agr.on_i_accept(tau_g + params.d() * 5u64, 7, tau_g, &mut out);
+    agr.on_i_accept(
+        tau_g + params.d() * 5u64,
+        7,
+        tau_g,
+        &mut Vec::new(),
+        &mut out,
+    );
     let step = params.d();
     let mut now = tau_g;
     for _ in 0..((2 * params.f() as u64 + 2) * 8 + 8) {

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ssbyz_core::store::{ArrivalLog, TimedVar};
-use ssbyz_core::{Engine, IaKind, Msg, Params};
+use ssbyz_core::{Engine, IaKind, Msg, Outbox, Params};
 use ssbyz_types::{Duration, LocalTime, NodeId};
 
 fn bench_arrival_log(c: &mut Criterion) {
@@ -62,12 +62,13 @@ fn bench_engine_throughput(c: &mut Criterion) {
     g.bench_function("ia_support_message_throughput_n7", |b| {
         let params = Params::from_d(7, 2, Duration::from_millis(10), 0).unwrap();
         let mut engine: Engine<u64> = Engine::new(NodeId::new(0), params);
+        let mut ob = Outbox::new();
         let mut t = 1_000_000_000u64;
         let mut sender = 0u32;
         b.iter(|| {
             t += 10_000;
             sender = (sender + 1) % 7;
-            let outs = engine.on_message(
+            engine.on_message(
                 LocalTime::from_nanos(t),
                 NodeId::new(sender),
                 Msg::Ia {
@@ -75,8 +76,9 @@ fn bench_engine_throughput(c: &mut Criterion) {
                     general: NodeId::new(1),
                     value: 7u64,
                 },
+                &mut ob,
             );
-            outs.len()
+            ob.len()
         });
     });
     g.finish();

@@ -8,9 +8,10 @@
 //! `SSBYZ_BENCH_JSON=/tmp/b.json cargo bench --bench store_hot_path`).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssbyz_core::engine::reference::ReferenceEngine;
 use ssbyz_core::store::reference::ReferenceArrivalLog;
 use ssbyz_core::store::ArrivalLog;
-use ssbyz_core::{Engine, IaKind, Msg, Params};
+use ssbyz_core::{Engine, IaKind, Msg, Outbox, Params};
 use ssbyz_types::{Duration, LocalTime, NodeId};
 
 const SIZES: [usize; 3] = [4, 16, 64];
@@ -85,11 +86,40 @@ fn params_for(n: usize) -> Params {
 
 /// Engine message throughput on the Initiator-Accept support path: every
 /// delivery records an arrival and runs the windowed quorum evaluation.
+/// Pooled-outbox dispatch: the steady state allocates nothing.
 fn bench_engine_ia_support(c: &mut Criterion) {
     let mut g = c.benchmark_group("store_hot_path/engine_ia_support");
     for n in SIZES {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let mut engine: Engine<u64> = Engine::new(NodeId::new(0), params_for(n));
+            let mut ob: Outbox<u64> = Outbox::new();
+            let mut t = 1_000_000_000u64;
+            let mut sender = 0u32;
+            b.iter(|| {
+                t += 10_000;
+                sender = (sender + 1) % n as u32;
+                let msg = Msg::Ia {
+                    kind: IaKind::Support,
+                    general: NodeId::new(1),
+                    value: 7u64,
+                };
+                engine.on_message_ref(LocalTime::from_nanos(t), NodeId::new(sender), &msg, &mut ob);
+                black_box(ob.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+/// The identical support workload against the retained Vec-returning
+/// dispatch (`engine::reference`): fresh output + staging vectors per
+/// call, same underlying state machines.
+fn bench_engine_ia_support_reference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_hot_path/engine_ia_support_reference");
+    for n in SIZES {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut engine: ReferenceEngine<u64> =
+                ReferenceEngine::new(NodeId::new(0), params_for(n));
             let mut t = 1_000_000_000u64;
             let mut sender = 0u32;
             b.iter(|| {
@@ -110,12 +140,41 @@ fn bench_engine_ia_support(c: &mut Criterion) {
 }
 
 /// Engine message throughput on the msgd-broadcast echo path: the dense
-/// triplet table plus three arrival logs per triplet.
+/// triplet table plus three arrival logs per triplet (pooled outbox).
 fn bench_engine_bcast_echo(c: &mut Criterion) {
     let mut g = c.benchmark_group("store_hot_path/engine_bcast_echo");
     for n in SIZES {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let mut engine: Engine<u64> = Engine::new(NodeId::new(0), params_for(n));
+            let mut ob: Outbox<u64> = Outbox::new();
+            let mut t = 1_000_000_000u64;
+            let mut sender = 0u32;
+            b.iter(|| {
+                t += 10_000;
+                sender = (sender + 1) % n as u32;
+                let msg = Msg::Bcast {
+                    kind: ssbyz_core::BcastKind::Echo,
+                    general: NodeId::new(1),
+                    broadcaster: NodeId::new(2),
+                    value: 7u64,
+                    round: 1,
+                };
+                engine.on_message_ref(LocalTime::from_nanos(t), NodeId::new(sender), &msg, &mut ob);
+                black_box(ob.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+/// The identical echo workload against the Vec-returning reference
+/// dispatch.
+fn bench_engine_bcast_echo_reference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_hot_path/engine_bcast_echo_reference");
+    for n in SIZES {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut engine: ReferenceEngine<u64> =
+                ReferenceEngine::new(NodeId::new(0), params_for(n));
             let mut t = 1_000_000_000u64;
             let mut sender = 0u32;
             b.iter(|| {
@@ -142,6 +201,8 @@ criterion_group!(
     bench_arrival_log_dense,
     bench_arrival_log_baseline,
     bench_engine_ia_support,
-    bench_engine_bcast_echo
+    bench_engine_ia_support_reference,
+    bench_engine_bcast_echo,
+    bench_engine_bcast_echo_reference
 );
 criterion_main!(benches);

@@ -144,11 +144,18 @@ impl<V: Value> Agreement<V> {
     }
 
     /// Feeds the I-accept `⟨G, m′, τ_G⟩` from `Initiator-Accept`.
+    ///
+    /// `msgd_scratch` is a staging buffer for the embedded primitive's
+    /// actions; it must arrive empty and is always fully drained before
+    /// returning. Pooled callers reuse one buffer across calls
+    /// ([`Outbox`](crate::Outbox) owns it); one-shot callers pass
+    /// `&mut Vec::new()`.
     pub fn on_i_accept(
         &mut self,
         now: LocalTime,
         value: V,
         tau_g: LocalTime,
+        msgd_scratch: &mut Vec<MsgdAction<V>>,
         out: &mut Vec<AgrAction<V>>,
     ) {
         if self.returned.is_some() || self.tau_g.is_some() {
@@ -166,16 +173,16 @@ impl<V: Value> Agreement<V> {
         out.push(AgrAction::WakeAt(tau_g + self.params.delta_agr() + eps));
         // Block R: fresh I-accept ⇒ decide immediately.
         if now.since_or_zero(tau_g) <= self.params.d() * 4u64 && !tau_g.is_after(now) {
-            self.decide(now, value, 1, out);
+            self.decide(now, value, 1, msgd_scratch, out);
         } else {
             // Late anchor: evaluate buffered broadcast messages now.
-            let mut macts = Vec::new();
-            self.msgd.on_anchor(now, tau_g, &mut macts);
-            self.absorb_msgd(now, macts, out);
+            self.msgd.on_anchor(now, tau_g, msgd_scratch);
+            self.absorb_msgd(now, msgd_scratch, out);
         }
     }
 
-    /// Feeds a `msgd-broadcast` wire message.
+    /// Feeds a `msgd-broadcast` wire message (owned-payload convenience
+    /// wrapper over [`Agreement::on_bcast_ref`] with a one-shot scratch).
     #[allow(clippy::too_many_arguments)]
     pub fn on_bcast(
         &mut self,
@@ -187,11 +194,21 @@ impl<V: Value> Agreement<V> {
         round: u32,
         out: &mut Vec<AgrAction<V>>,
     ) {
-        self.on_bcast_ref(now, sender, kind, broadcaster, &value, round, out);
+        self.on_bcast_ref(
+            now,
+            sender,
+            kind,
+            broadcaster,
+            &value,
+            round,
+            &mut Vec::new(),
+            out,
+        );
     }
 
     /// By-reference variant of [`Agreement::on_bcast`] for shared
-    /// (`Arc`-delivered) payloads.
+    /// (`Arc`-delivered) payloads. `msgd_scratch` follows the same
+    /// contract as in [`Agreement::on_i_accept`]: empty in, drained out.
     #[allow(clippy::too_many_arguments)]
     pub fn on_bcast_ref(
         &mut self,
@@ -201,9 +218,9 @@ impl<V: Value> Agreement<V> {
         broadcaster: NodeId,
         value: &V,
         round: u32,
+        msgd_scratch: &mut Vec<MsgdAction<V>>,
         out: &mut Vec<AgrAction<V>>,
     ) {
-        let mut macts = Vec::new();
         self.msgd.on_message_ref(
             now,
             sender,
@@ -212,21 +229,22 @@ impl<V: Value> Agreement<V> {
             value,
             round,
             self.tau_g,
-            &mut macts,
+            msgd_scratch,
         );
-        self.absorb_msgd(now, macts, out);
+        self.absorb_msgd(now, msgd_scratch, out);
     }
 
     /// Converts primitive actions into agreement actions, recording accepts
-    /// and running block S.
+    /// and running block S. Drains `macts` completely (so the buffer can
+    /// be reused for the decide relay and by later calls).
     fn absorb_msgd(
         &mut self,
         now: LocalTime,
-        macts: Vec<MsgdAction<V>>,
+        macts: &mut Vec<MsgdAction<V>>,
         out: &mut Vec<AgrAction<V>>,
     ) {
         let mut try_s = false;
-        for act in macts {
+        for act in macts.drain(..) {
             match act {
                 MsgdAction::Send {
                     kind,
@@ -251,7 +269,7 @@ impl<V: Value> Agreement<V> {
             }
         }
         if try_s {
-            self.try_block_s(now, out);
+            self.try_block_s(now, macts, out);
         }
     }
 
@@ -270,7 +288,12 @@ impl<V: Value> Agreement<V> {
 
     /// Block S: decide once a chain of `r` distinct-broadcaster accepts of
     /// one value exists within the round-`r` deadline.
-    fn try_block_s(&mut self, now: LocalTime, out: &mut Vec<AgrAction<V>>) {
+    fn try_block_s(
+        &mut self,
+        now: LocalTime,
+        msgd_scratch: &mut Vec<MsgdAction<V>>,
+        out: &mut Vec<AgrAction<V>>,
+    ) {
         if self.returned.is_some() {
             return;
         }
@@ -309,22 +332,28 @@ impl<V: Value> Agreement<V> {
             }
         }
         if let Some((value, next_round)) = decision {
-            self.decide(now, value, next_round, out);
+            self.decide(now, value, next_round, msgd_scratch, out);
         }
     }
 
     /// Blocks R3/S3 + return: relay the decision and stop.
-    fn decide(&mut self, now: LocalTime, value: V, relay_round: u32, out: &mut Vec<AgrAction<V>>) {
+    fn decide(
+        &mut self,
+        now: LocalTime,
+        value: V,
+        relay_round: u32,
+        msgd_scratch: &mut Vec<MsgdAction<V>>,
+        out: &mut Vec<AgrAction<V>>,
+    ) {
         let tau_g = self.tau_g.expect("decide requires an anchor");
-        let mut macts = Vec::new();
         self.msgd
-            .invoke(now, value.clone(), relay_round, &mut macts);
-        self.absorb_decide_relay(macts, out);
+            .invoke(now, value.clone(), relay_round, msgd_scratch);
+        self.absorb_decide_relay(msgd_scratch, out);
         self.finish(now, Some(value), tau_g, out);
     }
 
-    fn absorb_decide_relay(&mut self, macts: Vec<MsgdAction<V>>, out: &mut Vec<AgrAction<V>>) {
-        for act in macts {
+    fn absorb_decide_relay(&mut self, macts: &mut Vec<MsgdAction<V>>, out: &mut Vec<AgrAction<V>>) {
+        for act in macts.drain(..) {
             if let MsgdAction::Send {
                 kind,
                 broadcaster,
@@ -568,7 +597,7 @@ mod tests {
         let mut agr: Agreement<u64> = Agreement::new(id(1), id(0), params4());
         let mut out = Vec::new();
         let tau_g = t(0);
-        agr.on_i_accept(t(0) + d() * 2u64, 7, tau_g, &mut out);
+        agr.on_i_accept(t(0) + d() * 2u64, 7, tau_g, &mut Vec::new(), &mut out);
         let rets = returns(&out);
         assert_eq!(rets, vec![(Some(7), tau_g)]);
         // The decision was relayed with round 1.
@@ -590,7 +619,7 @@ mod tests {
         let mut out = Vec::new();
         let tau_g = t(0);
         // I-accept arrives 5d after the anchor: R is skipped.
-        agr.on_i_accept(t(0) + d() * 5u64, 7, tau_g, &mut out);
+        agr.on_i_accept(t(0) + d() * 5u64, 7, tau_g, &mut Vec::new(), &mut out);
         assert!(returns(&out).is_empty());
         assert_eq!(agr.tau_g(), Some(tau_g));
     }
@@ -599,8 +628,8 @@ mod tests {
     fn second_i_accept_ignored() {
         let mut agr: Agreement<u64> = Agreement::new(id(1), id(0), params4());
         let mut out = Vec::new();
-        agr.on_i_accept(t(0) + d() * 5u64, 7, t(0), &mut out);
-        agr.on_i_accept(t(1) + d() * 5u64, 9, t(1), &mut out);
+        agr.on_i_accept(t(0) + d() * 5u64, 7, t(0), &mut Vec::new(), &mut out);
+        agr.on_i_accept(t(1) + d() * 5u64, 9, t(1), &mut Vec::new(), &mut out);
         assert_eq!(agr.tau_g(), Some(t(0)), "one τ_G per execution");
     }
 
@@ -611,7 +640,7 @@ mod tests {
         let mut agr: Agreement<u64> = Agreement::new(id(1), id(0), params4());
         let mut out = Vec::new();
         let tau_g = t(0);
-        agr.on_i_accept(t(0) + d() * 5u64, 7, tau_g, &mut out);
+        agr.on_i_accept(t(0) + d() * 5u64, 7, tau_g, &mut Vec::new(), &mut out);
         assert!(returns(&out).is_empty());
         for s in [0u32, 2, 3] {
             agr.on_bcast(
@@ -641,7 +670,7 @@ mod tests {
     fn block_s_ignores_chain_with_general_as_broadcaster() {
         let mut agr: Agreement<u64> = Agreement::new(id(1), id(0), params4());
         let mut out = Vec::new();
-        agr.on_i_accept(t(0) + d() * 5u64, 7, t(0), &mut out);
+        agr.on_i_accept(t(0) + d() * 5u64, 7, t(0), &mut Vec::new(), &mut out);
         // Echo wave for a broadcast by the *General* (id 0): p ≠ G fails.
         for s in [1u32, 2, 3] {
             agr.on_bcast(
@@ -663,7 +692,7 @@ mod tests {
         let mut agr: Agreement<u64> = Agreement::new(id(1), id(0), p);
         let mut out = Vec::new();
         let tau_g = t(0);
-        agr.on_i_accept(t(0) + d() * 5u64, 7, tau_g, &mut out);
+        agr.on_i_accept(t(0) + d() * 5u64, 7, tau_g, &mut Vec::new(), &mut out);
         // Chain of 1 accepted after the (2·1+1)Φ deadline — via Z path.
         let late = tau_g + p.phi() * 3u64 + d();
         for s in [0u32, 2, 3] {
@@ -681,7 +710,7 @@ mod tests {
         let mut agr: Agreement<u64> = Agreement::new(id(1), id(0), p);
         let mut out = Vec::new();
         let tau_g = t(0);
-        agr.on_i_accept(t(0) + d() * 5u64, 7, tau_g, &mut out);
+        agr.on_i_accept(t(0) + d() * 5u64, 7, tau_g, &mut Vec::new(), &mut out);
         agr.on_tick(tau_g + p.delta_agr(), &mut out);
         assert!(returns(&out).is_empty(), "not yet: τq = τ_G + Δ_agr");
         agr.on_tick(tau_g + p.delta_agr() + Duration::from_nanos(2), &mut out);
@@ -699,7 +728,7 @@ mod tests {
         let mut agr: Agreement<u64> = Agreement::new(id(1), id(0), p);
         let mut out = Vec::new();
         let tau_g = t(0);
-        agr.on_i_accept(t(0) + d() * 5u64, 7, tau_g, &mut out);
+        agr.on_i_accept(t(0) + d() * 5u64, 7, tau_g, &mut Vec::new(), &mut out);
         // No broadcasters at all: abort once elapsed > 5Φ (r = 2,
         // |broadcasters| = 0 < 1).
         agr.on_tick(tau_g + p.phi() * 5u64 + Duration::from_nanos(2), &mut out);
@@ -712,7 +741,7 @@ mod tests {
         let mut agr: Agreement<u64> = Agreement::new(id(1), id(0), p);
         let mut out = Vec::new();
         let tau_g = t(0);
-        agr.on_i_accept(t(0) + d() * 5u64, 7, tau_g, &mut out);
+        agr.on_i_accept(t(0) + d() * 5u64, 7, tau_g, &mut Vec::new(), &mut out);
         // One broadcaster detected: weak quorum (n − 2f = 4) of init′.
         for s in [0u32, 2, 3, 4] {
             agr.on_bcast(
@@ -740,7 +769,7 @@ mod tests {
         let mut out = Vec::new();
         let tau_g = t(0);
         let decide_at = t(0) + d() * 2u64;
-        agr.on_i_accept(decide_at, 7, tau_g, &mut out);
+        agr.on_i_accept(decide_at, 7, tau_g, &mut Vec::new(), &mut out);
         assert!(agr.has_returned());
         out.clear();
         agr.on_tick(decide_at + d() * 3u64 - Duration::from_nanos(1), &mut out);
@@ -757,7 +786,7 @@ mod tests {
         let p = params4();
         let mut agr: Agreement<u64> = Agreement::new(id(1), id(0), p);
         let mut out = Vec::new();
-        agr.on_i_accept(t(0) + d(), 7, t(0), &mut out);
+        agr.on_i_accept(t(0) + d(), 7, t(0), &mut Vec::new(), &mut out);
         assert!(agr.has_returned());
         out.clear();
         // An init from node 2 still gets echoed.
@@ -807,6 +836,7 @@ mod tests {
             t(0) + p.agreement_horizon() + d() * 7u64,
             7,
             t(0) + p.agreement_horizon(),
+            &mut Vec::new(),
             &mut out,
         );
         assert!(returns(&out).is_empty());
@@ -818,7 +848,7 @@ mod tests {
         let mut agr: Agreement<u64> = Agreement::new(id(1), id(0), p);
         let mut out = Vec::new();
         let tau_g = t(0);
-        agr.on_i_accept(t(0) + d() * 5u64, 7, tau_g, &mut out);
+        agr.on_i_accept(t(0) + d() * 5u64, 7, tau_g, &mut Vec::new(), &mut out);
         // Δ_agr = (2f+1)Φ = 5Φ for f=2.
         agr.on_tick(tau_g + p.phi() * 5u64 + Duration::from_nanos(2), &mut out);
         assert_eq!(returns(&out), vec![(None, tau_g)]);

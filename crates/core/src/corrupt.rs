@@ -254,7 +254,8 @@ mod tests {
             e.next_u64() % 4
         });
         let later = now + Duration::from_millis(1);
-        engine.on_tick(later);
+        let mut ob = crate::Outbox::new();
+        engine.on_tick(later, &mut ob);
         engine.on_message(
             later + Duration::from_millis(1),
             NodeId::new(0),
@@ -262,12 +263,13 @@ mod tests {
                 general: NodeId::new(0),
                 value: 3,
             },
+            &mut ob,
         );
         // Decay must eventually clean everything (ticks over 2Δ_rmv).
         let mut t = later;
         for _ in 0..200 {
             t += Duration::from_millis(20);
-            engine.on_tick(t);
+            engine.on_tick(t, &mut ob);
         }
     }
 }

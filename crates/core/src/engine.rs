@@ -8,8 +8,14 @@
 //!
 //! The engine is **sans-io**: it never touches a network or a clock. A
 //! harness (the deterministic simulator in `ssbyz-simnet`, or the threaded
-//! runtime in `ssbyz-runtime`) feeds it `(local-time, event)` pairs and
-//! executes the returned [`Output`]s.
+//! runtime in `ssbyz-runtime`) feeds it `(local-time, event)` pairs along
+//! with a caller-owned [`Outbox`], and executes the [`Output`]s left in
+//! it. The outbox is a pooled arena: the no-output common case under
+//! Byzantine spam (duplicate and suppressed deliveries) performs **zero
+//! heap allocations**, and emitting calls reuse the buffers' retained
+//! capacity. The pre-outbox Vec-returning dispatch survives as
+//! [`reference::ReferenceEngine`], the golden model the equivalence
+//! battery checks the pooled dispatch against.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -19,6 +25,7 @@ use ssbyz_types::{DenseNodeMap, Duration, LocalTime, NodeId, Value};
 use crate::agreement::{AgrAction, Agreement};
 use crate::initiator_accept::{IaAction, InitiatorAccept};
 use crate::message::Msg;
+use crate::outbox::Outbox;
 use crate::params::Params;
 
 /// An instruction from the engine to its harness.
@@ -156,17 +163,23 @@ impl<V: Value> Default for GeneralControl<V> {
 
 /// The complete protocol state of one node.
 ///
+/// Every entry point fills a caller-owned [`Outbox`]; each call clears
+/// the previous call's outputs first, so read (or drain) them before the
+/// next call. See the [`crate::outbox`] module docs for the full
+/// ownership rules.
+///
 /// # Example
 ///
 /// ```
-/// use ssbyz_core::{Engine, Output, Params};
+/// use ssbyz_core::{Engine, Outbox, Output, Params};
 /// use ssbyz_types::{Duration, LocalTime, NodeId};
 ///
 /// let params = Params::from_d(4, 1, Duration::from_millis(10), 0)?;
 /// let mut engine: Engine<u64> = Engine::new(NodeId::new(0), params);
+/// let mut outbox: Outbox<u64> = Outbox::new();
 /// let now = LocalTime::from_nanos(1_000_000_000);
-/// let outputs = engine.initiate(now, 42).expect("fresh engine may initiate");
-/// assert!(matches!(outputs[0], Output::Broadcast(_)));
+/// engine.initiate(now, 42, &mut outbox).expect("fresh engine may initiate");
+/// assert!(matches!(outbox.outputs()[0], Output::Broadcast(_)));
 /// # Ok::<(), ssbyz_types::ConfigError>(())
 /// ```
 #[derive(Debug, Clone)]
@@ -208,14 +221,22 @@ impl<V: Value> Engine<V> {
     }
 
     /// Acting as General: initiate agreement on `value` (block Q0),
-    /// subject to the Sending Validity Criteria.
+    /// subject to the Sending Validity Criteria. Outputs (the `Initiator`
+    /// broadcast and the ``[IG3]`` wake-ups) land in `ob`.
     ///
     /// # Errors
     ///
     /// Returns an [`InitiateError`] when any of ``[IG1]``–``[IG3]`` would be
     /// violated; a *correct* General must respect the refusal (a Byzantine
-    /// one bypasses the engine entirely and speaks raw messages).
-    pub fn initiate(&mut self, now: LocalTime, value: V) -> Result<Vec<Output<V>>, InitiateError> {
+    /// one bypasses the engine entirely and speaks raw messages). The
+    /// outbox is left empty on refusal.
+    pub fn initiate(
+        &mut self,
+        now: LocalTime,
+        value: V,
+        ob: &mut Outbox<V>,
+    ) -> Result<(), InitiateError> {
+        ob.begin();
         let p = self.params;
         if let Some(failed) = self.general_ctl.failed_at {
             let elapsed = now.since_or_zero(failed);
@@ -256,61 +277,64 @@ impl<V: Value> Engine<V> {
             accept_ok: false,
         });
         let d = p.d();
-        Ok(vec![
-            Output::Broadcast(Msg::Initiator {
-                general: self.me,
-                value,
-            }),
-            // [IG3] progress checks at +2d, +3d, +4d (lines L4/M4/N4).
-            Output::WakeAt(now + d * 2u64 + Duration::from_nanos(1)),
-            Output::WakeAt(now + d * 3u64 + Duration::from_nanos(1)),
-            Output::WakeAt(now + d * 4u64 + Duration::from_nanos(1)),
-        ])
+        ob.out.push(Output::Broadcast(Msg::Initiator {
+            general: self.me,
+            value,
+        }));
+        // [IG3] progress checks at +2d, +3d, +4d (lines L4/M4/N4).
+        ob.out
+            .push(Output::WakeAt(now + d * 2u64 + Duration::from_nanos(1)));
+        ob.out
+            .push(Output::WakeAt(now + d * 3u64 + Duration::from_nanos(1)));
+        ob.out
+            .push(Output::WakeAt(now + d * 4u64 + Duration::from_nanos(1)));
+        Ok(())
     }
 
-    /// Feeds an authenticated wire message.
-    pub fn on_message(&mut self, now: LocalTime, sender: NodeId, msg: Msg<V>) -> Vec<Output<V>> {
-        self.on_message_ref(now, sender, &msg)
+    /// Feeds an authenticated wire message (owned-payload convenience
+    /// wrapper over [`Engine::on_message_ref`]).
+    pub fn on_message(&mut self, now: LocalTime, sender: NodeId, msg: Msg<V>, ob: &mut Outbox<V>) {
+        self.on_message_ref(now, sender, &msg, ob);
     }
 
-    /// By-reference variant of [`Engine::on_message`] — the hot path for
-    /// `Arc`-shared broadcast payloads: the message is never deep-cloned
-    /// per delivery; the embedded value is cloned only where the protocol
-    /// actually stores or re-sends it.
+    /// By-reference message dispatch — the hot path for `Arc`-shared
+    /// broadcast payloads: the message is never deep-cloned per delivery;
+    /// the embedded value is cloned only where the protocol actually
+    /// stores or re-sends it. Combined with the pooled `ob`, a duplicate
+    /// or suppressed delivery touches the heap **zero** times.
     pub fn on_message_ref(
         &mut self,
         now: LocalTime,
         sender: NodeId,
         msg: &Msg<V>,
-    ) -> Vec<Output<V>> {
-        let mut out = Vec::new();
+        ob: &mut Outbox<V>,
+    ) {
+        ob.begin();
         let n = self.params.n();
         // The membership is fixed and globally known: claims naming ids
         // outside `0..n` can only be transient residue or adversary
         // fabrications — drop them before they allocate any state.
         if sender.index() >= n || msg.general().index() >= n {
-            return out;
+            return;
         }
         self.cleanup_if_due(now);
         match msg {
             Msg::Initiator { general, value } => {
                 if sender != *general {
-                    return out; // forged initiation — identity is authenticated
+                    return; // forged initiation — identity is authenticated
                 }
-                let mut ia_out = Vec::new();
                 self.ia_entry(*general)
-                    .on_initiator_ref(now, value, &mut ia_out);
-                self.absorb_ia(now, *general, ia_out, &mut out);
+                    .on_initiator_ref(now, value, &mut ob.ia);
+                self.absorb_ia(now, *general, ob);
             }
             Msg::Ia {
                 kind,
                 general,
                 value,
             } => {
-                let mut ia_out = Vec::new();
                 self.ia_entry(*general)
-                    .on_message_ref(now, sender, *kind, value, &mut ia_out);
-                self.absorb_ia(now, *general, ia_out, &mut out);
+                    .on_message_ref(now, sender, *kind, value, &mut ob.ia);
+                self.absorb_ia(now, *general, ob);
             }
             Msg::Bcast {
                 kind,
@@ -319,7 +343,16 @@ impl<V: Value> Engine<V> {
                 value,
                 round,
             } => {
-                let mut agr_out = Vec::new();
+                // Claims that can never form legitimate state — a round
+                // outside `1..=max_round` or a broadcaster outside the
+                // membership — are rejected *before* an agreement
+                // instance is allocated for them. (The primitive-level
+                // check inside `msgd-broadcast` still guards direct users; this
+                // engine-level copy stops the cleanup-drop/re-allocate
+                // churn such spam would otherwise cause once per cadence.)
+                if *round == 0 || *round > self.params.max_round() || broadcaster.index() >= n {
+                    return;
+                }
                 self.agr_entry(*general).on_bcast_ref(
                     now,
                     sender,
@@ -327,47 +360,53 @@ impl<V: Value> Engine<V> {
                     *broadcaster,
                     value,
                     *round,
-                    &mut agr_out,
+                    &mut ob.msgd,
+                    &mut ob.agr,
                 );
-                self.absorb_agr(now, *general, agr_out, &mut out);
+                self.absorb_agr(now, *general, ob);
             }
         }
-        out
     }
 
     /// Periodic / scheduled tick: deadline blocks (T/U), post-return
     /// resets, ``[IG3]`` checks, stalled-send recovery and state decay.
-    pub fn on_tick(&mut self, now: LocalTime) -> Vec<Output<V>> {
-        let mut out = Vec::new();
+    ///
+    /// Output ordering is fixed (and pinned by tests): per-General
+    /// agreement actions in ascending General id, then any
+    /// [`Event::InitiationFailed`] from this node's own ``[IG3]`` monitor.
+    pub fn on_tick(&mut self, now: LocalTime, ob: &mut Outbox<V>) {
+        ob.begin();
         self.cleanup_if_due(now);
         // Agreement deadlines & resets.
-        let generals: Vec<NodeId> = self.agr.keys().collect();
-        for g in generals {
-            let mut agr_out = Vec::new();
+        let mut generals = std::mem::take(&mut ob.generals);
+        generals.extend(self.agr.keys());
+        for &g in &generals {
             if let Some(agr) = self.agr.get_mut(g) {
-                agr.on_tick(now, &mut agr_out);
+                agr.on_tick(now, &mut ob.agr);
             }
-            self.absorb_agr(now, g, agr_out, &mut out);
+            self.absorb_agr(now, g, ob);
         }
+        generals.clear();
+        ob.generals = generals;
         // [IG3] failure detection for our own pending initiations.
-        self.check_own_initiations(now, &mut out);
-        out
+        self.check_own_initiations(now, &mut ob.out);
     }
 
     fn check_own_initiations(&mut self, now: LocalTime, out: &mut Vec<Output<V>>) {
         let d = self.params.d();
-        let me = self.me;
-        let mut checks = std::mem::take(&mut self.general_ctl.pending_checks);
-        let mut keep = Vec::new();
-        for mut check in checks.drain(..) {
+        // Disjoint field borrows: the monitor reads this node's own
+        // Initiator-Accept progress while retaining checks in place —
+        // no staging vector, no allocation.
+        let ia = self.ia.get(self.me);
+        let ctl = &mut self.general_ctl;
+        let mut newly_failed = false;
+        ctl.pending_checks.retain_mut(|check| {
             if check.invoked_at.is_after(now) {
-                continue; // corrupted stamp — drop
+                return false; // corrupted stamp — drop
             }
             let elapsed = now.since(check.invoked_at);
             // Latch freshly observed progress.
-            let prog = self
-                .ia
-                .get(me)
+            let prog = ia
                 .map(|ia| ia.own_progress(&check.value))
                 .unwrap_or_default();
             let ok_since =
@@ -376,75 +415,78 @@ impl<V: Value> Engine<V> {
             check.ready_ok |= ok_since(prog.ready_sent);
             check.accept_ok |= ok_since(prog.accepted_at);
             if check.accept_ok && check.ready_ok && check.approve_ok {
-                continue; // all stages satisfied — done
+                return false; // all stages satisfied — done
             }
             let failed = (elapsed > d * 2u64 && !check.approve_ok)
                 || (elapsed > d * 3u64 && !check.ready_ok)
                 || (elapsed > d * 4u64 && !check.accept_ok);
             if failed {
-                self.general_ctl.failed_at = Some(now);
+                newly_failed = true;
                 out.push(Output::Event(Event::InitiationFailed {
-                    value: check.value,
+                    value: check.value.clone(),
                     at: now,
                 }));
-            } else if elapsed <= d * 4u64 {
-                keep.push(check);
+                false
+            } else {
+                elapsed <= d * 4u64
             }
+        });
+        if newly_failed {
+            ctl.failed_at = Some(now);
         }
-        self.general_ctl.pending_checks = keep;
     }
 
-    fn absorb_ia(
-        &mut self,
-        now: LocalTime,
-        general: NodeId,
-        ia_out: Vec<IaAction<V>>,
-        out: &mut Vec<Output<V>>,
-    ) {
-        for act in ia_out {
+    /// Drains the outbox's `Initiator-Accept` staging arena into outputs,
+    /// feeding accepts onward to the agreement layer.
+    fn absorb_ia(&mut self, now: LocalTime, general: NodeId, ob: &mut Outbox<V>) {
+        // Detach the arena so the nested agreement absorb can borrow the
+        // outbox; the (empty, capacity-ful) buffer is reattached below.
+        let mut ia_buf = std::mem::take(&mut ob.ia);
+        for act in ia_buf.drain(..) {
             match act {
-                IaAction::Send { kind, value } => out.push(Output::Broadcast(Msg::Ia {
+                IaAction::Send { kind, value } => ob.out.push(Output::Broadcast(Msg::Ia {
                     kind,
                     general,
                     value,
                 })),
                 IaAction::Accepted { value, tau_g } => {
-                    out.push(Output::Event(Event::IAccepted {
+                    ob.out.push(Output::Event(Event::IAccepted {
                         general,
                         value: value.clone(),
                         tau_g,
                     }));
-                    let mut agr_out = Vec::new();
-                    self.agr_entry(general)
-                        .on_i_accept(now, value, tau_g, &mut agr_out);
-                    self.absorb_agr(now, general, agr_out, out);
+                    self.agr_entry(general).on_i_accept(
+                        now,
+                        value,
+                        tau_g,
+                        &mut ob.msgd,
+                        &mut ob.agr,
+                    );
+                    self.absorb_agr(now, general, ob);
                 }
             }
         }
+        ob.ia = ia_buf;
     }
 
-    fn absorb_agr(
-        &mut self,
-        now: LocalTime,
-        general: NodeId,
-        agr_out: Vec<AgrAction<V>>,
-        out: &mut Vec<Output<V>>,
-    ) {
-        for act in agr_out {
+    /// Drains the outbox's agreement staging arena into outputs.
+    fn absorb_agr(&mut self, now: LocalTime, general: NodeId, ob: &mut Outbox<V>) {
+        let mut agr_buf = std::mem::take(&mut ob.agr);
+        for act in agr_buf.drain(..) {
             match act {
                 AgrAction::SendBcast {
                     kind,
                     broadcaster,
                     value,
                     round,
-                } => out.push(Output::Broadcast(Msg::Bcast {
+                } => ob.out.push(Output::Broadcast(Msg::Bcast {
                     kind,
                     general,
                     broadcaster,
                     value,
                     round,
                 })),
-                AgrAction::WakeAt(t) => out.push(Output::WakeAt(t)),
+                AgrAction::WakeAt(t) => ob.out.push(Output::WakeAt(t)),
                 AgrAction::Returned { decision, tau_g } => {
                     let event = match decision {
                         Some(value) => Event::Decided {
@@ -459,7 +501,7 @@ impl<V: Value> Engine<V> {
                             at: now,
                         },
                     };
-                    out.push(Output::Event(event));
+                    ob.out.push(Output::Event(event));
                 }
                 AgrAction::ExecutionReset => {
                     // Fig. 1 cleanup: "3d after returning a value reset
@@ -470,6 +512,7 @@ impl<V: Value> Engine<V> {
                 }
             }
         }
+        ob.agr = agr_buf;
     }
 
     fn cleanup_if_due(&mut self, now: LocalTime) {
@@ -575,6 +618,330 @@ impl<V: Value> Engine<V> {
     }
 }
 
+pub mod reference {
+    //! The pre-outbox Vec-returning engine dispatch, kept as the **golden
+    //! reference model** — mirroring [`crate::store::reference`] and the
+    //! scheduler's `sched::reference`.
+    //!
+    //! [`ReferenceEngine`] drives the *same* per-General protocol
+    //! instances as [`Engine`](super::Engine) but through the old
+    //! dispatch plumbing: every call returns a fresh `Vec<Output<V>>` and
+    //! stages internal actions in per-call vectors. It exists so that
+    //!
+    //! * the equivalence battery
+    //!   (`crates/core/tests/outbox_equivalence.rs`) can require
+    //!   bit-identical output sequences from the pooled dispatch over
+    //!   random message/tick/initiate interleavings, and
+    //! * the `store_hot_path` engine benches can keep a reproducible
+    //!   allocating baseline in the same binary.
+    //!
+    //! Not used on any protocol path.
+
+    use super::*;
+
+    /// The Vec-returning engine: one node's complete protocol state
+    /// behind the pre-outbox API.
+    #[derive(Debug, Clone)]
+    pub struct ReferenceEngine<V: Value> {
+        inner: Engine<V>,
+    }
+
+    impl<V: Value> ReferenceEngine<V> {
+        /// Creates a node engine with entirely fresh state.
+        #[must_use]
+        pub fn new(me: NodeId, params: Params) -> Self {
+            ReferenceEngine {
+                inner: Engine::new(me, params),
+            }
+        }
+
+        /// Read access to the underlying engine state (shared with the
+        /// pooled API — `ia`/`agreement` introspection etc.).
+        #[must_use]
+        pub fn engine(&self) -> &Engine<V> {
+            &self.inner
+        }
+
+        /// Mutable access (corruption hooks for equivalence tests).
+        pub fn engine_mut(&mut self) -> &mut Engine<V> {
+            &mut self.inner
+        }
+
+        /// Pre-outbox [`Engine::initiate`]: outputs returned by value.
+        ///
+        /// # Errors
+        ///
+        /// Returns an [`InitiateError`] when ``[IG1]``–``[IG3]`` would be
+        /// violated, exactly as the pooled engine does.
+        pub fn initiate(
+            &mut self,
+            now: LocalTime,
+            value: V,
+        ) -> Result<Vec<Output<V>>, InitiateError> {
+            let p = self.inner.params;
+            if let Some(failed) = self.inner.general_ctl.failed_at {
+                let elapsed = now.since_or_zero(failed);
+                if failed.is_after(now) || elapsed < p.delta_reset() {
+                    return Err(InitiateError::BackingOff {
+                        wait: p.delta_reset().saturating_sub(elapsed),
+                    });
+                }
+            }
+            if let Some(last) = self.inner.general_ctl.last_initiation {
+                let elapsed = now.since_or_zero(last);
+                if last.is_after(now) || elapsed < p.delta_0() {
+                    return Err(InitiateError::TooSoon {
+                        wait: p.delta_0().saturating_sub(elapsed),
+                    });
+                }
+            }
+            if let Some(last) = self.inner.general_ctl.last_per_value.get(&value) {
+                let elapsed = now.since_or_zero(*last);
+                if last.is_after(now) || elapsed < p.delta_v() {
+                    return Err(InitiateError::SameValueTooSoon {
+                        wait: p.delta_v().saturating_sub(elapsed),
+                    });
+                }
+            }
+            let me = self.inner.me;
+            self.inner.ia_entry(me).clear_messages_before_initiation();
+            self.inner.general_ctl.last_initiation = Some(now);
+            self.inner
+                .general_ctl
+                .last_per_value
+                .insert(value.clone(), now);
+            self.inner.general_ctl.pending_checks.push(PendingCheck {
+                value: value.clone(),
+                invoked_at: now,
+                approve_ok: false,
+                ready_ok: false,
+                accept_ok: false,
+            });
+            let d = p.d();
+            Ok(vec![
+                Output::Broadcast(Msg::Initiator {
+                    general: self.inner.me,
+                    value,
+                }),
+                Output::WakeAt(now + d * 2u64 + Duration::from_nanos(1)),
+                Output::WakeAt(now + d * 3u64 + Duration::from_nanos(1)),
+                Output::WakeAt(now + d * 4u64 + Duration::from_nanos(1)),
+            ])
+        }
+
+        /// Pre-outbox [`Engine::on_message`].
+        pub fn on_message(
+            &mut self,
+            now: LocalTime,
+            sender: NodeId,
+            msg: Msg<V>,
+        ) -> Vec<Output<V>> {
+            self.on_message_ref(now, sender, &msg)
+        }
+
+        /// Pre-outbox [`Engine::on_message_ref`]: allocates a fresh
+        /// output vector (and internal staging vectors) per call.
+        pub fn on_message_ref(
+            &mut self,
+            now: LocalTime,
+            sender: NodeId,
+            msg: &Msg<V>,
+        ) -> Vec<Output<V>> {
+            let mut out = Vec::new();
+            let n = self.inner.params.n();
+            if sender.index() >= n || msg.general().index() >= n {
+                return out;
+            }
+            self.inner.cleanup_if_due(now);
+            match msg {
+                Msg::Initiator { general, value } => {
+                    if sender != *general {
+                        return out;
+                    }
+                    let mut ia_out = Vec::new();
+                    self.inner
+                        .ia_entry(*general)
+                        .on_initiator_ref(now, value, &mut ia_out);
+                    self.absorb_ia(now, *general, ia_out, &mut out);
+                }
+                Msg::Ia {
+                    kind,
+                    general,
+                    value,
+                } => {
+                    let mut ia_out = Vec::new();
+                    self.inner.ia_entry(*general).on_message_ref(
+                        now,
+                        sender,
+                        *kind,
+                        value,
+                        &mut ia_out,
+                    );
+                    self.absorb_ia(now, *general, ia_out, &mut out);
+                }
+                Msg::Bcast {
+                    kind,
+                    general,
+                    broadcaster,
+                    value,
+                    round,
+                } => {
+                    let mut agr_out = Vec::new();
+                    self.inner.agr_entry(*general).on_bcast_ref(
+                        now,
+                        sender,
+                        *kind,
+                        *broadcaster,
+                        value,
+                        *round,
+                        &mut Vec::new(),
+                        &mut agr_out,
+                    );
+                    self.absorb_agr(now, *general, agr_out, &mut out);
+                }
+            }
+            out
+        }
+
+        /// Pre-outbox [`Engine::on_tick`].
+        pub fn on_tick(&mut self, now: LocalTime) -> Vec<Output<V>> {
+            let mut out = Vec::new();
+            self.inner.cleanup_if_due(now);
+            let generals: Vec<NodeId> = self.inner.agr.keys().collect();
+            for g in generals {
+                let mut agr_out = Vec::new();
+                if let Some(agr) = self.inner.agr.get_mut(g) {
+                    agr.on_tick(now, &mut agr_out);
+                }
+                self.absorb_agr(now, g, agr_out, &mut out);
+            }
+            self.check_own_initiations(now, &mut out);
+            out
+        }
+
+        fn check_own_initiations(&mut self, now: LocalTime, out: &mut Vec<Output<V>>) {
+            let d = self.inner.params.d();
+            let me = self.inner.me;
+            let checks = std::mem::take(&mut self.inner.general_ctl.pending_checks);
+            let mut keep = Vec::new();
+            for mut check in checks {
+                if check.invoked_at.is_after(now) {
+                    continue; // corrupted stamp — drop
+                }
+                let elapsed = now.since(check.invoked_at);
+                let prog = self
+                    .inner
+                    .ia
+                    .get(me)
+                    .map(|ia| ia.own_progress(&check.value))
+                    .unwrap_or_default();
+                let ok_since =
+                    |t: Option<LocalTime>| t.is_some_and(|t| t.is_at_or_after(check.invoked_at));
+                check.approve_ok |= ok_since(prog.approve_sent);
+                check.ready_ok |= ok_since(prog.ready_sent);
+                check.accept_ok |= ok_since(prog.accepted_at);
+                if check.accept_ok && check.ready_ok && check.approve_ok {
+                    continue; // all stages satisfied — done
+                }
+                let failed = (elapsed > d * 2u64 && !check.approve_ok)
+                    || (elapsed > d * 3u64 && !check.ready_ok)
+                    || (elapsed > d * 4u64 && !check.accept_ok);
+                if failed {
+                    self.inner.general_ctl.failed_at = Some(now);
+                    out.push(Output::Event(Event::InitiationFailed {
+                        value: check.value,
+                        at: now,
+                    }));
+                } else if elapsed <= d * 4u64 {
+                    keep.push(check);
+                }
+            }
+            self.inner.general_ctl.pending_checks = keep;
+        }
+
+        fn absorb_ia(
+            &mut self,
+            now: LocalTime,
+            general: NodeId,
+            ia_out: Vec<IaAction<V>>,
+            out: &mut Vec<Output<V>>,
+        ) {
+            for act in ia_out {
+                match act {
+                    IaAction::Send { kind, value } => out.push(Output::Broadcast(Msg::Ia {
+                        kind,
+                        general,
+                        value,
+                    })),
+                    IaAction::Accepted { value, tau_g } => {
+                        out.push(Output::Event(Event::IAccepted {
+                            general,
+                            value: value.clone(),
+                            tau_g,
+                        }));
+                        let mut agr_out = Vec::new();
+                        self.inner.agr_entry(general).on_i_accept(
+                            now,
+                            value,
+                            tau_g,
+                            &mut Vec::new(),
+                            &mut agr_out,
+                        );
+                        self.absorb_agr(now, general, agr_out, out);
+                    }
+                }
+            }
+        }
+
+        fn absorb_agr(
+            &mut self,
+            now: LocalTime,
+            general: NodeId,
+            agr_out: Vec<AgrAction<V>>,
+            out: &mut Vec<Output<V>>,
+        ) {
+            for act in agr_out {
+                match act {
+                    AgrAction::SendBcast {
+                        kind,
+                        broadcaster,
+                        value,
+                        round,
+                    } => out.push(Output::Broadcast(Msg::Bcast {
+                        kind,
+                        general,
+                        broadcaster,
+                        value,
+                        round,
+                    })),
+                    AgrAction::WakeAt(t) => out.push(Output::WakeAt(t)),
+                    AgrAction::Returned { decision, tau_g } => {
+                        let event = match decision {
+                            Some(value) => Event::Decided {
+                                general,
+                                value,
+                                tau_g,
+                                at: now,
+                            },
+                            None => Event::Aborted {
+                                general,
+                                tau_g,
+                                at: now,
+                            },
+                        };
+                        out.push(Output::Event(event));
+                    }
+                    AgrAction::ExecutionReset => {
+                        if let Some(ia) = self.inner.ia.get_mut(general) {
+                            ia.reset_for_next_execution(now);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -598,10 +965,42 @@ mod tests {
         Duration::from_nanos(D)
     }
 
+    /// Pooled-call helpers: run one engine call against a scratch outbox
+    /// and hand back the outputs as an owned vec.
+    fn call_msg(
+        e: &mut Engine<u64>,
+        now: LocalTime,
+        sender: NodeId,
+        msg: &Msg<u64>,
+    ) -> Vec<Output<u64>> {
+        let mut ob = Outbox::new();
+        e.on_message_ref(now, sender, msg, &mut ob);
+        ob.take_outputs()
+    }
+
+    fn call_tick(e: &mut Engine<u64>, now: LocalTime) -> Vec<Output<u64>> {
+        let mut ob = Outbox::new();
+        e.on_tick(now, &mut ob);
+        ob.take_outputs()
+    }
+
+    fn call_initiate(
+        e: &mut Engine<u64>,
+        now: LocalTime,
+        value: u64,
+    ) -> Result<Vec<Output<u64>>, InitiateError> {
+        let mut ob = Outbox::new();
+        e.initiate(now, value, &mut ob)?;
+        Ok(ob.take_outputs())
+    }
+
     /// Delivers `msg` from `sender` to every engine at its own local time
     /// (all clocks identical here), gathering each engine's broadcasts.
+    /// One outbox is shared across all engines — exactly the pooled
+    /// consumption pattern.
     fn deliver_all(
         engines: &mut [Engine<u64>],
+        ob: &mut Outbox<u64>,
         now: LocalTime,
         sender: NodeId,
         msg: &Msg<u64>,
@@ -609,10 +1008,12 @@ mod tests {
     ) -> Vec<(NodeId, Msg<u64>)> {
         let mut sends = Vec::new();
         for e in engines.iter_mut() {
-            for o in e.on_message(now, sender, msg.clone()) {
+            e.on_message_ref(now, sender, msg, ob);
+            let me = e.id();
+            for o in ob.drain() {
                 match o {
-                    Output::Broadcast(m) => sends.push((e.id(), m)),
-                    Output::Event(ev) => events.push((e.id(), ev)),
+                    Output::Broadcast(m) => sends.push((me, m)),
+                    Output::Event(ev) => events.push((me, ev)),
                     Output::WakeAt(_) => {}
                 }
             }
@@ -625,9 +1026,10 @@ mod tests {
     fn run_fault_free() -> Vec<(NodeId, Event<u64>)> {
         let p = params4();
         let mut engines: Vec<Engine<u64>> = (0..4).map(|i| Engine::new(id(i), p)).collect();
+        let mut ob = Outbox::new();
         let mut events = Vec::new();
         let t0 = t(0);
-        let init_out = engines[0].initiate(t0, 7).unwrap();
+        let init_out = call_initiate(&mut engines[0], t0, 7).unwrap();
         let mut wave: Vec<(NodeId, Msg<u64>)> = init_out
             .into_iter()
             .filter_map(|o| match o {
@@ -645,7 +1047,14 @@ mod tests {
             now += step;
             let mut next = Vec::new();
             for (sender, msg) in &wave {
-                next.extend(deliver_all(&mut engines, now, *sender, msg, &mut events));
+                next.extend(deliver_all(
+                    &mut engines,
+                    &mut ob,
+                    now,
+                    *sender,
+                    msg,
+                    &mut events,
+                ));
             }
             // Dedup identical sends within the wave (engines already
             // de-duplicate, but initiators double-send across waves).
@@ -680,51 +1089,62 @@ mod tests {
     fn initiate_respects_ig1() {
         let p = params4();
         let mut e: Engine<u64> = Engine::new(id(0), p);
-        e.initiate(t(0), 7).unwrap();
-        let err = e.initiate(t(1), 8).unwrap_err();
+        call_initiate(&mut e, t(0), 7).unwrap();
+        let err = call_initiate(&mut e, t(1), 8).unwrap_err();
         assert!(matches!(err, InitiateError::TooSoon { .. }));
         // After Δ0 it works again.
-        assert!(e.initiate(t(0) + p.delta_0(), 8).is_ok());
+        assert!(call_initiate(&mut e, t(0) + p.delta_0(), 8).is_ok());
     }
 
     #[test]
     fn initiate_respects_ig2() {
         let p = params4();
         let mut e: Engine<u64> = Engine::new(id(0), p);
-        e.initiate(t(0), 7).unwrap();
-        let err = e.initiate(t(0) + p.delta_0(), 7).unwrap_err();
+        call_initiate(&mut e, t(0), 7).unwrap();
+        let err = call_initiate(&mut e, t(0) + p.delta_0(), 7).unwrap_err();
         assert!(matches!(err, InitiateError::SameValueTooSoon { .. }));
-        assert!(e.initiate(t(0) + p.delta_v(), 7).is_ok());
+        assert!(call_initiate(&mut e, t(0) + p.delta_v(), 7).is_ok());
     }
 
     #[test]
     fn initiate_respects_ig3_backoff() {
         let p = params4();
         let mut e: Engine<u64> = Engine::new(id(0), p);
-        e.initiate(t(0), 7).unwrap();
+        call_initiate(&mut e, t(0), 7).unwrap();
         // No support/approve ever arrives → the +2d check fails.
-        let outs = e.on_tick(t(0) + d() * 2u64 + Duration::from_nanos(2));
+        let outs = call_tick(&mut e, t(0) + d() * 2u64 + Duration::from_nanos(2));
         assert!(
             outs.iter()
                 .any(|o| matches!(o, Output::Event(Event::InitiationFailed { .. }))),
             "stalled initiation must be detected: {outs:?}"
         );
-        let err = e.initiate(t(0) + p.delta_0() * 2u64, 9).unwrap_err();
+        let err = call_initiate(&mut e, t(0) + p.delta_0() * 2u64, 9).unwrap_err();
         assert!(matches!(err, InitiateError::BackingOff { .. }));
         // After Δ_reset the backoff lifts.
-        assert!(e
-            .initiate(t(0) + d() * 2u64 + p.delta_reset() + d(), 9)
-            .is_ok());
+        assert!(call_initiate(&mut e, t(0) + d() * 2u64 + p.delta_reset() + d(), 9).is_ok());
+    }
+
+    #[test]
+    fn refused_initiation_leaves_outbox_empty() {
+        let p = params4();
+        let mut e: Engine<u64> = Engine::new(id(0), p);
+        let mut ob = Outbox::new();
+        e.initiate(t(0), 7, &mut ob).unwrap();
+        assert!(!ob.is_empty());
+        // The refusal clears the previous call's outputs.
+        assert!(e.initiate(t(1), 8, &mut ob).is_err());
+        assert!(ob.is_empty(), "refused initiate leaves no outputs");
     }
 
     #[test]
     fn forged_initiator_ignored() {
         let p = params4();
         let mut e: Engine<u64> = Engine::new(id(1), p);
-        let out = e.on_message(
+        let out = call_msg(
+            &mut e,
             t(0),
             id(2), // claims to be from General 0 but sent by 2
-            Msg::Initiator {
+            &Msg::Initiator {
                 general: id(0),
                 value: 7,
             },
@@ -737,10 +1157,11 @@ mod tests {
     fn ia_send_routes_to_broadcast() {
         let p = params4();
         let mut e: Engine<u64> = Engine::new(id(1), p);
-        let out = e.on_message(
+        let out = call_msg(
+            &mut e,
             t(0),
             id(0),
-            Msg::Initiator {
+            &Msg::Initiator {
                 general: id(0),
                 value: 7,
             },
@@ -761,10 +1182,11 @@ mod tests {
         // Echo messages buffer without an anchor, then a late anchor picks
         // them up via the agreement instance.
         for s in [0u32, 2, 3] {
-            e.on_message(
+            call_msg(
+                &mut e,
                 t(0),
                 id(s),
-                Msg::Bcast {
+                &Msg::Bcast {
                     kind: BcastKind::Echo,
                     general: id(0),
                     broadcaster: id(2),
@@ -782,7 +1204,7 @@ mod tests {
         let mut e: Engine<u64> = Engine::new(id(1), p);
         // Plant an anchor via corruption to simulate a late I-accept.
         e.agreement_raw(id(0)).corrupt_anchor(t(0));
-        let out = e.on_tick(t(0) + p.delta_agr() + Duration::from_nanos(2));
+        let out = call_tick(&mut e, t(0) + p.delta_agr() + Duration::from_nanos(2));
         assert!(out
             .iter()
             .any(|o| matches!(o, Output::Event(Event::Aborted { .. }))));
@@ -792,22 +1214,55 @@ mod tests {
     fn hard_reset_wipes_state() {
         let p = params4();
         let mut e: Engine<u64> = Engine::new(id(0), p);
-        e.initiate(t(0), 7).unwrap();
+        call_initiate(&mut e, t(0), 7).unwrap();
         e.hard_reset();
         assert!(e.ia(id(0)).is_none());
-        assert!(e.initiate(t(1), 7).is_ok(), "guards wiped");
+        assert!(call_initiate(&mut e, t(1), 7).is_ok(), "guards wiped");
     }
 
     #[test]
     fn cleanup_decays_general_guards() {
         let p = params4();
         let mut e: Engine<u64> = Engine::new(id(0), p);
-        e.initiate(t(0), 7).unwrap();
+        call_initiate(&mut e, t(0), 7).unwrap();
         // Force cleanup far in the future: IG1 guard decays after Δ0 and
         // IG2 after Δ_v, so an initiation of the same value succeeds.
         let later = t(0) + p.delta_v() + d() * 2u64;
-        e.on_tick(later);
-        assert!(e.initiate(later, 7).is_ok());
+        call_tick(&mut e, later);
+        assert!(call_initiate(&mut e, later, 7).is_ok());
+    }
+
+    #[test]
+    fn outbox_reused_across_calls_stays_clean() {
+        // One outbox over many calls: each call's outputs replace the
+        // previous call's, and capacity is retained rather than regrown.
+        let p = params4();
+        let mut e: Engine<u64> = Engine::new(id(1), p);
+        let mut ob = Outbox::new();
+        e.on_message_ref(
+            t(0),
+            id(0),
+            &Msg::Initiator {
+                general: id(0),
+                value: 7,
+            },
+            &mut ob,
+        );
+        assert!(!ob.is_empty(), "block K sends support");
+        let cap = ob.capacities();
+        // A duplicate initiation is suppressed — and must not re-show the
+        // previous call's outputs.
+        e.on_message_ref(
+            t(1),
+            id(0),
+            &Msg::Initiator {
+                general: id(0),
+                value: 7,
+            },
+            &mut ob,
+        );
+        assert!(ob.is_empty(), "suppressed delivery produces nothing");
+        assert_eq!(ob.capacities(), cap, "capacity retained, not regrown");
     }
 
     #[test]
@@ -816,5 +1271,27 @@ mod tests {
             wait: Duration::from_millis(5),
         };
         assert!(e.to_string().contains("IG1"));
+    }
+
+    #[test]
+    fn reference_engine_matches_pooled_on_clean_run() {
+        // Smoke-level equivalence (the full battery lives in
+        // crates/core/tests/outbox_equivalence.rs): a support wave
+        // produces identical outputs from both dispatchers.
+        let p = params4();
+        let mut pooled: Engine<u64> = Engine::new(id(1), p);
+        let mut golden = reference::ReferenceEngine::new(id(1), p);
+        let mut ob = Outbox::new();
+        for (i, s) in [0u32, 0, 2, 2, 3].iter().enumerate() {
+            let msg = Msg::Ia {
+                kind: IaKind::Support,
+                general: id(0),
+                value: 7,
+            };
+            let now = t(i as u64);
+            pooled.on_message_ref(now, id(*s), &msg, &mut ob);
+            let want = golden.on_message_ref(now, id(*s), &msg);
+            assert_eq!(ob.outputs(), want.as_slice(), "delivery {i}");
+        }
     }
 }

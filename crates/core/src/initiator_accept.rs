@@ -444,6 +444,10 @@ impl<V: Value> InitiatorAccept<V> {
                 st.last_gm.clear(now);
             }
             st.last_gm.prune(now, gm_expiry + d * 2u64);
+            // Line K1 only ever queries the history at τq − d: superseded
+            // entries past 2d of lookback are dead weight minted at spam
+            // rate — compact them.
+            st.last_gm.compact_history(now, d * 2u64);
             if expired(st.touched, rmv * 2u64 + d * 16u64) {
                 st.touched = None;
             }
@@ -454,6 +458,7 @@ impl<V: Value> InitiatorAccept<V> {
             self.last_g.clear(now);
         }
         self.last_g.prune(now, p.last_g_expiry() + d * 2u64);
+        self.last_g.compact_history(now, d * 2u64);
         self.own_support_times
             .retain(|t| !t.is_after(now) && now.since(*t) <= d * 2u64);
     }

@@ -30,16 +30,19 @@
 //! ## Quickstart
 //!
 //! ```
-//! use ssbyz_core::{Engine, Event, Msg, Output, Params};
+//! use ssbyz_core::{Engine, Event, Msg, Outbox, Output, Params};
 //! use ssbyz_types::{Duration, LocalTime, NodeId};
 //!
 //! // n = 4 nodes tolerating f = 1 Byzantine, d = 10ms.
 //! let params = Params::from_d(4, 1, Duration::from_millis(10), 0)?;
 //! let mut general: Engine<&'static str> = Engine::new(NodeId::new(0), params);
+//! // The caller owns a pooled outbox; every engine call refills it and
+//! // the no-output common case allocates nothing.
+//! let mut outbox: Outbox<&'static str> = Outbox::new();
 //! let now = LocalTime::from_nanos(1_000_000_000);
-//! let outputs = general.initiate(now, "attack at dawn")?;
+//! general.initiate(now, "attack at dawn", &mut outbox)?;
 //! // The harness broadcasts these to all nodes (including the General).
-//! assert!(matches!(outputs[0], Output::Broadcast(Msg::Initiator { .. })));
+//! assert!(matches!(outbox.outputs()[0], Output::Broadcast(Msg::Initiator { .. })));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -52,6 +55,7 @@ pub mod engine;
 pub mod initiator_accept;
 pub mod message;
 pub mod msgd_broadcast;
+pub mod outbox;
 pub mod params;
 pub mod proposer;
 pub mod store;
@@ -62,6 +66,7 @@ pub use engine::{Engine, Event, InitiateError, Output};
 pub use initiator_accept::{IaAction, InitiatorAccept, OwnProgress};
 pub use message::{BcastKind, IaKind, Msg};
 pub use msgd_broadcast::{MsgdAction, MsgdBroadcast};
+pub use outbox::Outbox;
 pub use params::Params;
 pub use proposer::Proposer;
 

@@ -341,9 +341,20 @@ impl<V: Value> MsgdBroadcast<V> {
         else {
             return;
         };
-        let mut send: Vec<BcastKind> = Vec::new();
         let mut accepted = false;
         let mut detected = false;
+        // All `Send` actions precede `BroadcasterDetected`/`Accepted` in
+        // the output (the order tests pin); sends are pushed inline as
+        // blocks W–Z fire, which keeps the no-output common case free of
+        // any staging allocation.
+        let send = |kind: BcastKind, out: &mut Vec<MsgdAction<V>>| {
+            out.push(MsgdAction::Send {
+                kind,
+                broadcaster,
+                value: value.clone(),
+                round,
+            });
+        };
 
         // Block W — by τ_G + 2kΦ.
         if elapsed <= phi * (2 * k)
@@ -351,13 +362,13 @@ impl<V: Value> MsgdBroadcast<V> {
             && !st.sent[BcastKind::Echo as usize]
         {
             st.sent[BcastKind::Echo as usize] = true;
-            send.push(BcastKind::Echo);
+            send(BcastKind::Echo, out);
         }
         // Block X — by τ_G + (2k+1)Φ.
         if elapsed <= phi * (2 * k + 1) {
             if st.echo.distinct_total() >= weak && !st.sent[BcastKind::InitPrime as usize] {
                 st.sent[BcastKind::InitPrime as usize] = true;
-                send.push(BcastKind::InitPrime);
+                send(BcastKind::InitPrime, out);
             }
             if st.echo.distinct_total() >= strong && st.accepted_at.is_none() {
                 st.accepted_at = Some(now);
@@ -371,26 +382,17 @@ impl<V: Value> MsgdBroadcast<V> {
             }
             if st.init_prime.distinct_total() >= strong && !st.sent[BcastKind::EchoPrime as usize] {
                 st.sent[BcastKind::EchoPrime as usize] = true;
-                send.push(BcastKind::EchoPrime);
+                send(BcastKind::EchoPrime, out);
             }
         }
         // Block Z — untimed.
         if st.echo_prime.distinct_total() >= weak && !st.sent[BcastKind::EchoPrime as usize] {
             st.sent[BcastKind::EchoPrime as usize] = true;
-            send.push(BcastKind::EchoPrime);
+            send(BcastKind::EchoPrime, out);
         }
         if st.echo_prime.distinct_total() >= strong && st.accepted_at.is_none() {
             st.accepted_at = Some(now);
             accepted = true;
-        }
-
-        for kind in send {
-            out.push(MsgdAction::Send {
-                kind,
-                broadcaster,
-                value: value.clone(),
-                round,
-            });
         }
         if detected {
             self.broadcasters.insert(broadcaster, now);

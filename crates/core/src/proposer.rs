@@ -9,21 +9,23 @@
 //! # Example
 //!
 //! ```
-//! use ssbyz_core::{Engine, Params, Proposer};
+//! use ssbyz_core::{Engine, Outbox, Params, Proposer};
 //! use ssbyz_types::{Duration, LocalTime, NodeId};
 //!
 //! let params = Params::from_d(4, 1, Duration::from_millis(10), 0)?;
 //! let mut engine: Engine<u64> = Engine::new(NodeId::new(0), params);
+//! let mut outbox: Outbox<u64> = Outbox::new();
 //! let mut proposer = Proposer::new();
 //! proposer.enqueue(1);
 //! proposer.enqueue(2);
 //!
 //! let now = LocalTime::from_nanos(1_000_000_000);
-//! let (outputs, retry) = proposer.pump(now, &mut engine);
-//! assert!(!outputs.is_empty(), "value 1 initiated");
+//! let (initiated, retry) = proposer.pump(now, &mut engine, &mut outbox);
+//! assert!(initiated, "value 1 initiated");
+//! assert!(!outbox.is_empty());
 //! // Value 2 must wait at least Δ0: the proposer says for how long.
-//! let (outputs2, retry2) = proposer.pump(now + Duration::from_nanos(1), &mut engine);
-//! assert!(outputs2.is_empty());
+//! let (initiated2, retry2) = proposer.pump(now + Duration::from_nanos(1), &mut engine, &mut outbox);
+//! assert!(!initiated2);
 //! assert!(retry2.is_some());
 //! # let _ = retry;
 //! # Ok::<(), ssbyz_types::ConfigError>(())
@@ -33,7 +35,8 @@ use std::collections::VecDeque;
 
 use ssbyz_types::{Duration, LocalTime, Value};
 
-use crate::engine::{Engine, InitiateError, Output};
+use crate::engine::{Engine, InitiateError};
+use crate::outbox::Outbox;
 
 /// A FIFO of values awaiting initiation by this node as General.
 #[derive(Debug, Clone, Default)]
@@ -73,20 +76,23 @@ impl<V: Value> Proposer<V> {
         self.queue.front()
     }
 
-    /// Tries to initiate the queue head. On success the head is popped
-    /// and the engine outputs returned; on refusal the outputs are empty
-    /// and the second component says how long to wait before pumping
-    /// again (`None` when the queue is empty).
+    /// Tries to initiate the queue head. On success the head is popped,
+    /// the engine outputs land in `ob`, and the first component is
+    /// `true`; on refusal the outbox is left empty and the second
+    /// component says how long to wait before pumping again (`None` when
+    /// the queue is empty).
     pub fn pump(
         &mut self,
         now: LocalTime,
         engine: &mut Engine<V>,
-    ) -> (Vec<Output<V>>, Option<Duration>) {
+        ob: &mut Outbox<V>,
+    ) -> (bool, Option<Duration>) {
         let Some(value) = self.queue.front().cloned() else {
-            return (Vec::new(), None);
+            ob.clear();
+            return (false, None);
         };
-        match engine.initiate(now, value) {
-            Ok(outputs) => {
+        match engine.initiate(now, value, ob) {
+            Ok(()) => {
                 self.queue.pop_front();
                 // If more values wait, they cannot start before Δ0.
                 let next = if self.queue.is_empty() {
@@ -94,13 +100,13 @@ impl<V: Value> Proposer<V> {
                 } else {
                     Some(engine.params().delta_0())
                 };
-                (outputs, next)
+                (true, next)
             }
             Err(
                 InitiateError::TooSoon { wait }
                 | InitiateError::SameValueTooSoon { wait }
                 | InitiateError::BackingOff { wait },
-            ) => (Vec::new(), Some(wait.max(Duration::from_nanos(1)))),
+            ) => (false, Some(wait.max(Duration::from_nanos(1)))),
         }
     }
 }
@@ -123,46 +129,51 @@ mod tests {
     #[test]
     fn pump_empty_is_noop() {
         let (mut engine, mut proposer, now) = setup();
-        let (outs, retry) = proposer.pump(now, &mut engine);
-        assert!(outs.is_empty());
+        let mut ob = Outbox::new();
+        let (initiated, retry) = proposer.pump(now, &mut engine, &mut ob);
+        assert!(!initiated);
+        assert!(ob.is_empty());
         assert_eq!(retry, None);
     }
 
     #[test]
     fn pump_initiates_in_order_respecting_delta0() {
         let (mut engine, mut proposer, now) = setup();
+        let mut ob = Outbox::new();
         let d0 = engine.params().delta_0();
         proposer.enqueue(1);
         proposer.enqueue(2);
-        let (outs, retry) = proposer.pump(now, &mut engine);
-        assert!(!outs.is_empty());
+        let (initiated, retry) = proposer.pump(now, &mut engine, &mut ob);
+        assert!(initiated && !ob.is_empty());
         assert_eq!(retry, Some(d0));
         assert_eq!(proposer.len(), 1);
         // Immediately pumping again is refused with a wait hint.
-        let (outs, retry) = proposer.pump(now + Duration::from_nanos(10), &mut engine);
-        assert!(outs.is_empty());
+        let (initiated, retry) =
+            proposer.pump(now + Duration::from_nanos(10), &mut engine, &mut ob);
+        assert!(!initiated && ob.is_empty());
         let wait = retry.expect("must advise a wait");
         assert!(wait <= d0);
         // After the advised wait, the second value goes out.
         let later = now + Duration::from_nanos(10) + wait;
-        let (outs, _) = proposer.pump(later, &mut engine);
-        assert!(!outs.is_empty());
+        let (initiated, _) = proposer.pump(later, &mut engine, &mut ob);
+        assert!(initiated && !ob.is_empty());
         assert!(proposer.is_empty());
     }
 
     #[test]
     fn same_value_waits_delta_v() {
         let (mut engine, mut proposer, now) = setup();
+        let mut ob = Outbox::new();
         proposer.enqueue(5);
         proposer.enqueue(5);
-        let (_, _) = proposer.pump(now, &mut engine);
+        let (_, _) = proposer.pump(now, &mut engine, &mut ob);
         // After Δ0 the same value is still blocked by Δ_v.
         let after_d0 = now + engine.params().delta_0();
-        let (outs, retry) = proposer.pump(after_d0, &mut engine);
-        assert!(outs.is_empty());
+        let (initiated, retry) = proposer.pump(after_d0, &mut engine, &mut ob);
+        assert!(!initiated && ob.is_empty());
         let wait = retry.expect("wait hint");
-        let (outs, _) = proposer.pump(after_d0 + wait, &mut engine);
-        assert!(!outs.is_empty(), "after Δ_v the duplicate value may go");
+        let (initiated, _) = proposer.pump(after_d0 + wait, &mut engine, &mut ob);
+        assert!(initiated, "after Δ_v the duplicate value may go");
     }
 
     #[test]

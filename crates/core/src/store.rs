@@ -220,24 +220,75 @@ impl ArrivalLog {
         if k == 0 {
             return None;
         }
-        let mut latest: Vec<LocalTime> = self
-            .occupied
-            .iter()
-            .filter_map(|s| {
-                self.slots[s.index()]
-                    .times()
-                    .iter()
-                    .copied()
-                    .filter(|t| in_window(*t, now, window))
-                    .min_by_key(|t| now.since(*t).as_nanos())
-            })
-            .collect();
-        if latest.len() < k {
-            return None;
+        // Allocation-free selection (this runs on every quorum
+        // evaluation): rank senders by the distance from `now` of their
+        // most recent in-window arrival and take the k-th smallest. The
+        // distances live in a stack buffer sized for any realistic
+        // membership and are selected with an in-place unstable sort; a
+        // membership larger than the buffer falls back to a slower
+        // batched scan that still never touches the heap.
+        const INLINE: usize = 128;
+        let latest_dist = |s: NodeId| -> Option<u64> {
+            self.slots[s.index()]
+                .times()
+                .iter()
+                .filter(|t| in_window(**t, now, window))
+                .map(|t| now.since(*t).as_nanos())
+                .min()
+        };
+        let mut buf = [0u64; INLINE];
+        let mut len = 0usize;
+        let mut overflow = false;
+        for s in self.occupied.iter() {
+            let Some(dist) = latest_dist(s) else { continue };
+            if len < INLINE {
+                buf[len] = dist;
+                len += 1;
+            } else {
+                overflow = true;
+                break;
+            }
         }
-        // Sort by recency: smallest distance from `now` first.
-        latest.sort_by_key(|t| now.since(*t).as_nanos());
-        Some(latest[k - 1])
+        if !overflow {
+            if len < k {
+                return None;
+            }
+            let (_, kth, _) = buf[..len].select_nth_unstable(k - 1);
+            return Some(now - Duration::from_nanos(*kth));
+        }
+        // Fallback: find the k-th smallest distance by consuming equal
+        // distances in batches, O(k·n) worst case.
+        let mut consumed = 0usize;
+        // Distances at or below `bound` have already been counted.
+        let mut bound: Option<u64> = None;
+        loop {
+            let mut best: Option<u64> = None;
+            let mut count = 0usize;
+            for s in self.occupied.iter() {
+                let Some(dist) = latest_dist(s) else { continue };
+                if bound.is_some_and(|b| dist <= b) {
+                    continue;
+                }
+                match best {
+                    None => {
+                        best = Some(dist);
+                        count = 1;
+                    }
+                    Some(b) if dist < b => {
+                        best = Some(dist);
+                        count = 1;
+                    }
+                    Some(b) if dist == b => count += 1,
+                    Some(_) => {}
+                }
+            }
+            let dist = best?;
+            if consumed + count >= k {
+                return Some(now - Duration::from_nanos(dist));
+            }
+            consumed += count;
+            bound = Some(dist);
+        }
     }
 
     /// Whether `sender` has an arrival within `[now − window, now]`.
@@ -503,19 +554,34 @@ impl<T: Clone> TimedVar<T> {
     /// if the *current* value has a future stamp the variable resets to ⊥.
     pub fn prune(&mut self, now: LocalTime, horizon: Duration) {
         self.history.retain(|(t, _)| !t.is_after(now));
-        while self.history.len() > 1 {
-            let (t, _) = self.history[1];
-            // Entry 0 is superseded at `t`; drop it once `t` is beyond the
-            // horizon (no query will reach back past it).
-            if now.since(t) > horizon {
-                self.history.pop_front();
-            } else {
-                break;
-            }
-        }
+        // Entry 0 is superseded at its successor's stamp; drop it once
+        // that stamp is beyond the horizon (no query reaches back past
+        // it) — the same rule `compact_history` applies with a tighter
+        // lookback.
+        self.compact_history(now, horizon);
         if let Some(&(t, _)) = self.history.front() {
             if self.history.len() == 1 && now.since(t) > horizon && self.history[0].1.is_none() {
                 self.history.clear();
+            }
+        }
+    }
+
+    /// Drops *superseded* history entries whose successor entry is itself
+    /// older than `lookback` — lossless for [`TimedVar::get`] and for
+    /// [`TimedVar::at`]`(q)` with `q ≥ now − lookback`, which is the only
+    /// history query the protocol issues (line K1 looks back exactly `d`).
+    ///
+    /// This bounds hot-path history growth: the `last(G, m)` guard is
+    /// re-stamped on every quorum evaluation, so under Byzantine spam the
+    /// change log would otherwise accumulate one entry per delivery until
+    /// the (much longer) value-expiry horizon of [`TimedVar::prune`].
+    pub fn compact_history(&mut self, now: LocalTime, lookback: Duration) {
+        while self.history.len() > 1 {
+            let (t, _) = self.history[1];
+            if !t.is_after(now) && now.since(t) > lookback {
+                self.history.pop_front();
+            } else {
+                break;
             }
         }
     }
@@ -565,6 +631,61 @@ mod tests {
         log.record(t(100), id(1));
         assert_eq!(log.distinct_total(), 1);
         assert_eq!(log.kth_latest_in_window(t(100), dur(10), 1), Some(t(100)));
+    }
+
+    /// The k-th-latest query has two branches: the 128-slot stack-buffer
+    /// sort and the heap-free batched-selection fallback for larger
+    /// memberships. Drive both on the same data — with duplicate
+    /// timestamps so tie batches are exercised — and pin every answer
+    /// against the `BTreeMap` reference model.
+    #[test]
+    fn kth_latest_fallback_matches_reference_past_inline_cap() {
+        use super::reference::ReferenceArrivalLog;
+        let senders = 300u32; // well past the 128-slot inline buffer
+        let mut dense = ArrivalLog::new();
+        let mut reference = ReferenceArrivalLog::new();
+        let now = t(1_000_000);
+        for s in 0..senders {
+            // Clustered times: every 5th sender shares an instant (tie
+            // batches), the rest fan out; a third of senders also carry
+            // an older, superseded arrival.
+            let at = t(900_000 + u64::from(s / 5) * 50);
+            dense.record(at, id(s));
+            reference.record(at, id(s));
+            if s.is_multiple_of(3) {
+                let old = t(800_000 + u64::from(s) * 7);
+                dense.record(old, id(s));
+                reference.record(old, id(s));
+            }
+        }
+        for window in [0u64, 3_000, 100_000, 150_000, 500_000] {
+            for k in [1usize, 2, 64, 128, 129, 200, 299, 300, 301] {
+                assert_eq!(
+                    dense.kth_latest_in_window(now, dur(window), k),
+                    reference.kth_latest_in_window(now, dur(window), k),
+                    "kth_latest(window={window}, k={k})"
+                );
+            }
+        }
+        // Exactly at the boundary: 128 in-window senders stay on the
+        // stack path, 129 take the fallback — answers must agree across
+        // the switch.
+        for boundary in [128u32, 129] {
+            let mut d2 = ArrivalLog::new();
+            let mut r2 = ReferenceArrivalLog::new();
+            for s in 0..boundary {
+                let at = t(990_000 + u64::from(s % 13));
+                d2.record(at, id(s));
+                r2.record(at, id(s));
+            }
+            for k in 1..=(boundary as usize + 1) {
+                assert_eq!(
+                    d2.kth_latest_in_window(now, dur(200_000), k),
+                    r2.kth_latest_in_window(now, dur(200_000), k),
+                    "boundary {boundary}, k={k}"
+                );
+            }
+        }
     }
 
     #[test]

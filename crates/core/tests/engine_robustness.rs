@@ -2,8 +2,20 @@
 //! traffic from finished executions, and hostile message shapes.
 
 use ssbyz_core::{
-    BcastKind, Duration, Engine, Event, IaKind, LocalTime, Msg, NodeId, Output, Params,
+    BcastKind, Duration, Engine, Event, IaKind, LocalTime, Msg, NodeId, Outbox, Output, Params,
 };
+
+/// One pooled engine call, outputs handed back by value for the tests.
+fn call_msg(
+    e: &mut Engine<u64>,
+    ob: &mut Outbox<u64>,
+    now: LocalTime,
+    from: NodeId,
+    msg: &Msg<u64>,
+) -> Vec<Output<u64>> {
+    e.on_message_ref(now, from, msg, ob);
+    ob.drain().collect()
+}
 
 const D: u64 = 10_000_000;
 
@@ -32,9 +44,10 @@ fn run_to_decision(engines: &mut [Engine<u64>], dup: bool) -> (Trace, EventLog) 
     let mut events = Vec::new();
     let mut trace = Vec::new();
     let t0 = t(0);
-    let outs = engines[0].initiate(t0, 7).unwrap();
-    let mut wave: Vec<(NodeId, Msg<u64>)> = outs
-        .into_iter()
+    let mut ob = Outbox::new();
+    engines[0].initiate(t0, 7, &mut ob).unwrap();
+    let mut wave: Vec<(NodeId, Msg<u64>)> = ob
+        .drain()
         .filter_map(|o| match o {
             Output::Broadcast(m) => Some((id(0), m)),
             _ => None,
@@ -52,7 +65,7 @@ fn run_to_decision(engines: &mut [Engine<u64>], dup: bool) -> (Trace, EventLog) 
             let copies = if dup { 2 } else { 1 };
             for _ in 0..copies {
                 for e in engines.iter_mut() {
-                    for o in e.on_message(now, *sender, msg.clone()) {
+                    for o in call_msg(e, &mut ob, now, *sender, msg) {
                         match o {
                             Output::Broadcast(m) => next.push((e.id(), m)),
                             Output::Event(ev) => events.push((e.id(), ev)),
@@ -111,11 +124,12 @@ fn stale_replay_does_not_double_decide() {
     // Replay the full trace immediately (within the post-return window
     // and the guard horizon): no new decisions may appear.
     let mut replay_events = Vec::new();
+    let mut ob = Outbox::new();
     let mut now = t(0) + d() * 20u64;
     for (sender, msg) in &trace {
         now += Duration::from_nanos(1000);
         for e in engines.iter_mut() {
-            for o in e.on_message(now, *sender, msg.clone()) {
+            for o in call_msg(e, &mut ob, now, *sender, msg) {
                 if let Output::Event(ev) = o {
                     replay_events.push((e.id(), ev));
                 }
@@ -135,11 +149,13 @@ fn stale_replay_does_not_double_decide() {
 fn own_messages_are_processed_normally() {
     let p = params4();
     let mut e: Engine<u64> = Engine::new(id(0), p);
-    let outs = e.initiate(t(0), 9).unwrap();
+    let mut ob = Outbox::new();
+    e.initiate(t(0), 9, &mut ob).unwrap();
     // The initiator's own broadcast comes back to it.
+    let outs: Vec<Output<u64>> = ob.drain().collect();
     for o in outs {
         if let Output::Broadcast(m) = o {
-            let _ = e.on_message(t(0) + d() / 4, id(0), m);
+            e.on_message(t(0) + d() / 4, id(0), m, &mut ob);
         }
     }
     // The engine supported its own initiation.
@@ -179,11 +195,12 @@ fn hostile_shapes_absorbed() {
         },
     ];
     let mut now = t(0);
+    let mut ob = Outbox::new();
     for (i, msg) in shapes.into_iter().enumerate() {
         now += d();
-        let outs = e.on_message(now, id((i % 4) as u32), msg);
+        e.on_message(now, id((i % 4) as u32), msg, &mut ob);
         assert!(
-            !outs
+            !ob.outputs()
                 .iter()
                 .any(|o| matches!(o, Output::Event(Event::Decided { .. }))),
             "hostile shape {i} produced a decision"
@@ -200,28 +217,32 @@ fn out_of_order_stages_still_accept() {
     let mut e: Engine<u64> = Engine::new(id(1), p);
     let g = id(0);
     let mut events = Vec::new();
-    let mut feed = |e: &mut Engine<u64>, now: LocalTime, from: u32, kind: IaKind| {
-        for o in e.on_message(
-            now,
-            id(from),
-            Msg::Ia {
-                kind,
-                general: g,
-                value: 5,
-            },
-        ) {
-            if let Output::Event(ev) = o {
-                events.push(ev);
+    let mut ob = Outbox::new();
+    let mut feed =
+        |e: &mut Engine<u64>, ob: &mut Outbox<u64>, now: LocalTime, from: u32, kind: IaKind| {
+            e.on_message(
+                now,
+                id(from),
+                Msg::Ia {
+                    kind,
+                    general: g,
+                    value: 5,
+                },
+                ob,
+            );
+            for o in ob.drain() {
+                if let Output::Event(ev) = o {
+                    events.push(ev);
+                }
             }
-        }
-    };
+        };
     // Ready wave first (buffered: the ready flag is not armed yet).
     for s in [0u32, 2, 3] {
-        feed(&mut e, t(10), s, IaKind::Ready);
+        feed(&mut e, &mut ob, t(10), s, IaKind::Ready);
     }
     // Approve wave second (arms ready → N replays on next ready/approve).
     for s in [0u32, 2, 3] {
-        feed(&mut e, t(20), s, IaKind::Approve);
+        feed(&mut e, &mut ob, t(20), s, IaKind::Approve);
     }
     // One more ready re-delivery triggers the N re-evaluation... but the
     // support wave is what seeds i_value; without it the stabilization

@@ -245,7 +245,7 @@ fn decider_relay_enables_chain_decision() {
     // nodes 0, 2, 3 echo its init. Node 2 has a *late* anchor (R missed).
     let mut late: Agreement<u64> = Agreement::new(id(2), id(0), p);
     let mut out = Vec::new();
-    late.on_i_accept(tau_g + d() * 5u64, 7, tau_g, &mut out);
+    late.on_i_accept(tau_g + d() * 5u64, 7, tau_g, &mut Vec::new(), &mut out);
     assert!(!late.has_returned());
     // The decider's init arrives (from node 1, broadcaster 1, round 1).
     late.on_bcast(
@@ -291,7 +291,7 @@ fn duplicate_broadcaster_does_not_lengthen_chain() {
     let tau_g = t(0);
     let mut agr: Agreement<u64> = Agreement::new(id(1), id(0), p);
     let mut out = Vec::new();
-    agr.on_i_accept(tau_g + d() * 5u64, 7, tau_g, &mut out);
+    agr.on_i_accept(tau_g + d() * 5u64, 7, tau_g, &mut Vec::new(), &mut out);
     // Work at elapsed 4Φ: past the r = 1 chain deadline (3Φ), within the
     // r = 2 deadline (5Φ). The round-1 accept must therefore arrive via
     // the *untimed* Z path (echo′ quorum).

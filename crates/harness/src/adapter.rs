@@ -1,7 +1,7 @@
 //! Adapter between the sans-io [`Engine`] and the simulator's
 //! [`Process`] interface.
 
-use ssbyz_core::{Engine, Event, InitiateError, Msg, Output};
+use ssbyz_core::{Engine, Event, InitiateError, Msg, Outbox, Output};
 use ssbyz_simnet::{Ctx, Process};
 use ssbyz_types::{Duration, NodeId, Value};
 
@@ -33,8 +33,14 @@ pub const TOKEN_INITIATE_BASE: u64 = 1_000;
 /// The process drives a periodic tick (default `d`) so cleanup and
 /// deadline blocks run even when no messages arrive; precise `WakeAt`
 /// requests from the engine are honored with dedicated timers.
+///
+/// The process owns one pooled [`Outbox`] for the life of the node: the
+/// edge buffers (the simulator's `scratch_outbox`) and the engine's
+/// dispatch arena are now pooled end to end, so a suppressed delivery
+/// under Byzantine spam performs zero heap allocations.
 pub struct EngineProcess<V: Value> {
     engine: Engine<V>,
+    outbox: Outbox<V>,
     tick: Duration,
     /// Planned initiations: local-time offsets from process start.
     planned: Vec<(Duration, V)>,
@@ -47,6 +53,7 @@ impl<V: Value> EngineProcess<V> {
         assert!(!tick.is_zero(), "tick period must be positive");
         EngineProcess {
             engine,
+            outbox: Outbox::new(),
             tick,
             planned: Vec::new(),
         }
@@ -73,8 +80,17 @@ impl<V: Value> EngineProcess<V> {
         &self.engine
     }
 
-    fn apply(&mut self, ctx: &mut Ctx<'_, Msg<V>, NodeEvent<V>>, outputs: Vec<Output<V>>) {
-        for o in outputs {
+    /// Read access to the pooled outbox (capacity introspection for the
+    /// reuse regression tests).
+    #[must_use]
+    pub fn outbox(&self) -> &Outbox<V> {
+        &self.outbox
+    }
+
+    /// Drains the outbox of the engine call that just ran into simulator
+    /// effects.
+    fn apply(&mut self, ctx: &mut Ctx<'_, Msg<V>, NodeEvent<V>>) {
+        for o in self.outbox.drain() {
             match o {
                 Output::Broadcast(msg) => ctx.broadcast(msg),
                 Output::WakeAt(t) => ctx.set_timer_at(t, TOKEN_WAKE),
@@ -94,27 +110,32 @@ impl<V: Value> Process<Msg<V>, NodeEvent<V>> for EngineProcess<V> {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg<V>, NodeEvent<V>>, from: NodeId, msg: &Msg<V>) {
         // Broadcast payloads are Arc-shared by the simulator; the by-ref
-        // engine path clones the embedded value only where it is stored.
-        let outputs = self.engine.on_message_ref(ctx.now(), from, msg);
-        self.apply(ctx, outputs);
+        // engine path clones the embedded value only where it is stored,
+        // and the pooled outbox keeps the dispatch allocation-free.
+        self.engine
+            .on_message_ref(ctx.now(), from, msg, &mut self.outbox);
+        self.apply(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<V>, NodeEvent<V>>, token: u64) {
         match token {
             TOKEN_TICK => {
-                let outputs = self.engine.on_tick(ctx.now());
-                self.apply(ctx, outputs);
+                self.engine.on_tick(ctx.now(), &mut self.outbox);
+                self.apply(ctx);
                 ctx.set_timer_after(self.tick, TOKEN_TICK);
             }
             TOKEN_WAKE => {
-                let outputs = self.engine.on_tick(ctx.now());
-                self.apply(ctx, outputs);
+                self.engine.on_tick(ctx.now(), &mut self.outbox);
+                self.apply(ctx);
             }
             t if t >= TOKEN_INITIATE_BASE => {
                 let idx = (t - TOKEN_INITIATE_BASE) as usize;
                 if let Some((_, value)) = self.planned.get(idx).cloned() {
-                    match self.engine.initiate(ctx.now(), value.clone()) {
-                        Ok(outputs) => self.apply(ctx, outputs),
+                    match self
+                        .engine
+                        .initiate(ctx.now(), value.clone(), &mut self.outbox)
+                    {
+                        Ok(()) => self.apply(ctx),
                         Err(error) => ctx.observe(NodeEvent::InitiateRefused { value, error }),
                     }
                 }

@@ -24,7 +24,7 @@
 
 use std::collections::BTreeMap;
 
-use ssbyz_core::{Duration, Engine, Event, LocalTime, Msg, NodeId, Output, Params};
+use ssbyz_core::{Duration, Engine, Event, LocalTime, Msg, NodeId, Outbox, Output, Params};
 use ssbyz_simnet::{Ctx, Process};
 
 /// Observations emitted by a [`PulseNode`].
@@ -79,6 +79,8 @@ const T_CYCLE_BASE: u64 = 1 << 32;
 /// A node running the pulse construction over an embedded [`Engine`].
 pub struct PulseNode {
     engine: Engine<u64>,
+    /// Pooled engine outbox: one arena for the life of the node.
+    outbox: Outbox<u64>,
     cfg: PulseConfig,
     tick: Duration,
     /// Latest decision time per General.
@@ -106,6 +108,7 @@ impl PulseNode {
         let tick = p.d();
         PulseNode {
             engine,
+            outbox: Outbox::new(),
             cfg,
             tick,
             decided: BTreeMap::new(),
@@ -138,22 +141,23 @@ impl PulseNode {
         }
         let value = self.init_seq;
         self.init_seq += 1;
-        match self.engine.initiate(now, value) {
-            Ok(outputs) => {
+        match self.engine.initiate(now, value, &mut self.outbox) {
+            Ok(()) => {
                 self.last_initiation = Some(now);
                 ctx.observe(PulseEvent::Initiated { value, hurried });
-                self.apply(ctx, outputs);
+                self.apply(ctx);
             }
             Err(_) => { /* spacing criteria refused — try next cycle */ }
         }
     }
 
-    fn apply(&mut self, ctx: &mut Ctx<'_, Msg<u64>, PulseEvent>, outputs: Vec<Output<u64>>) {
+    /// Consumes the pooled outbox of the engine call that just ran.
+    fn apply(&mut self, ctx: &mut Ctx<'_, Msg<u64>, PulseEvent>) {
         let mut fire = false;
         let mut hurry = false;
         {
             let now = ctx.now();
-            for o in &outputs {
+            for o in self.outbox.outputs() {
                 if let Output::Event(Event::Decided { general, .. }) = o {
                     self.decided.insert(*general, now);
                 }
@@ -171,7 +175,7 @@ impl PulseNode {
                 }
             }
         }
-        for o in outputs {
+        for o in self.outbox.drain() {
             match o {
                 Output::Broadcast(msg) => ctx.broadcast(msg),
                 Output::WakeAt(t) => ctx.set_timer_at(t, T_WAKE),
@@ -221,20 +225,21 @@ impl Process<Msg<u64>, PulseEvent> for PulseNode {
         from: NodeId,
         msg: &Msg<u64>,
     ) {
-        let outputs = self.engine.on_message_ref(ctx.now(), from, msg);
-        self.apply(ctx, outputs);
+        self.engine
+            .on_message_ref(ctx.now(), from, msg, &mut self.outbox);
+        self.apply(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<u64>, PulseEvent>, token: u64) {
         match token {
             T_TICK => {
-                let outputs = self.engine.on_tick(ctx.now());
-                self.apply(ctx, outputs);
+                self.engine.on_tick(ctx.now(), &mut self.outbox);
+                self.apply(ctx);
                 ctx.set_timer_after(self.tick, T_TICK);
             }
             T_WAKE => {
-                let outputs = self.engine.on_tick(ctx.now());
-                self.apply(ctx, outputs);
+                self.engine.on_tick(ctx.now(), &mut self.outbox);
+                self.apply(ctx);
             }
             t if t > T_CYCLE_BASE => {
                 if t - T_CYCLE_BASE != self.cycle_gen {

@@ -33,7 +33,7 @@ use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use ssbyz_core::{Engine, Event, LocalTime, Msg, Output, Params};
+use ssbyz_core::{Engine, Event, LocalTime, Msg, Outbox, Output, Params};
 use ssbyz_sched::{EventQueue, TimerWheel};
 use ssbyz_types::{Duration, NodeId, Value};
 
@@ -270,6 +270,9 @@ fn node_loop<V: Value>(
     start: Instant,
 ) {
     let mut engine: Engine<V> = Engine::new(id, params);
+    // One pooled outbox for the thread's lifetime: dispatch of duplicate
+    // and suppressed deliveries allocates nothing.
+    let mut outbox: Outbox<V> = Outbox::new();
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ (u64::from(id.as_u32()) << 32));
     let n = params.n();
     let now_local = |start: Instant| {
@@ -281,17 +284,22 @@ fn node_loop<V: Value>(
         let timeout = next_tick.saturating_duration_since(Instant::now());
         let cmd = rx.recv_timeout(timeout);
         let now = now_local(start);
-        let outputs = match cmd {
-            Ok(NodeCmd::Deliver { from, msg }) => engine.on_message_ref(now, from, &msg),
-            Ok(NodeCmd::Initiate(value)) => engine.initiate(now, value).unwrap_or_default(),
+        match cmd {
+            Ok(NodeCmd::Deliver { from, msg }) => {
+                engine.on_message_ref(now, from, &msg, &mut outbox);
+            }
+            // A refused initiation leaves the outbox empty.
+            Ok(NodeCmd::Initiate(value)) => {
+                let _ = engine.initiate(now, value, &mut outbox);
+            }
             Ok(NodeCmd::Shutdown) => return,
             Err(RecvTimeoutError::Timeout) => {
                 next_tick = Instant::now() + tick;
-                engine.on_tick(now)
+                engine.on_tick(now, &mut outbox);
             }
             Err(RecvTimeoutError::Disconnected) => return,
         };
-        for o in outputs {
+        for o in outbox.drain() {
             match o {
                 Output::Broadcast(msg) => {
                     // One allocation per broadcast; per-destination sends

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use ssbyz::core::store::{ArrivalLog, TimedVar};
-use ssbyz::core::{Engine, IaKind, Msg, Params};
+use ssbyz::core::{Engine, IaKind, Msg, Outbox, Params};
 use ssbyz::simnet::DriftClock;
 use ssbyz::{Duration, LocalTime, NodeId, RealTime};
 
@@ -248,12 +248,13 @@ proptest! {
     ) {
         let params = Params::from_d(7, 2, Duration::from_millis(10), 0).unwrap();
         let mut engine: Engine<u64> = Engine::new(NodeId::new(3), params);
+        let mut ob = Outbox::new();
         let mut now = 1_000_000_000u64;
         for (sender, msg, dt) in msgs {
             now += dt;
-            let _ = engine.on_message(LocalTime::from_nanos(now), NodeId::new(sender), msg);
+            engine.on_message(LocalTime::from_nanos(now), NodeId::new(sender), msg, &mut ob);
         }
-        let _ = engine.on_tick(LocalTime::from_nanos(now + 1_000_000));
+        engine.on_tick(LocalTime::from_nanos(now + 1_000_000), &mut ob);
     }
 
     /// Unforgeability at the engine level: if the only traffic comes from
@@ -265,6 +266,7 @@ proptest! {
     ) {
         let params = Params::from_d(7, 2, Duration::from_millis(10), 0).unwrap();
         let mut engine: Engine<u64> = Engine::new(NodeId::new(6), params);
+        let mut ob = Outbox::new();
         let mut now = 1_000_000_000u64;
         let mut accepted = false;
         for (sender, msg, dt) in msgs {
@@ -273,8 +275,8 @@ proptest! {
             // Initiator messages: they would make OUR engine participate,
             // which is allowed to support — but even then quorums cannot
             // form; keep them to make the test stronger.
-            let outs = engine.on_message(LocalTime::from_nanos(now), NodeId::new(sender), msg);
-            for o in outs {
+            engine.on_message(LocalTime::from_nanos(now), NodeId::new(sender), msg, &mut ob);
+            for o in ob.outputs() {
                 if let ssbyz::Output::Event(ssbyz::Event::IAccepted { .. }) = o {
                     accepted = true;
                 }

@@ -2,7 +2,7 @@
 //! state, decay of corrupted state without a reboot, and storm survival.
 
 use ssbyz::core::corrupt::ScrambleConfig;
-use ssbyz::core::{Engine, Params};
+use ssbyz::core::{Engine, Outbox, Params};
 use ssbyz::harness::experiments::{e6_convergence, filter_window, slack};
 use ssbyz::harness::{checks, ScenarioBuilder, ScenarioConfig};
 use ssbyz::simnet::StormConfig;
@@ -117,9 +117,10 @@ fn scramble_decays_to_dormant() {
     );
     // Tick well past every decay horizon.
     let mut t = now;
+    let mut ob = Outbox::new();
     for _ in 0..600 {
         t += params.d();
-        let _ = engine.on_tick(t);
+        engine.on_tick(t, &mut ob);
     }
     // All bogus I-accept candidates and guards must be gone.
     for g in 0..4u32 {
