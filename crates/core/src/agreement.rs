@@ -26,8 +26,9 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use ssbyz_types::{DenseNodeMap, Duration, LocalTime, NodeId, Value};
 
+use crate::intern::{ValueId, ValueIdMap, ValueInterner};
 use crate::message::BcastKind;
-use crate::msgd_broadcast::{MsgdAction, MsgdBroadcast};
+use crate::msgd_broadcast::{InternedMsgdBroadcast, MsgdAction, MsgdBroadcast};
 use crate::params::Params;
 
 /// Actions produced by the agreement layer.
@@ -476,6 +477,422 @@ impl<V: Value> Agreement<V> {
     /// Plants a fake returned state (transient-fault harness).
     #[doc(hidden)]
     pub fn corrupt_returned(&mut self, decision: Option<V>, at: LocalTime) {
+        self.returned = Some((decision, at));
+        self.reset_due = Some(at + self.params.d() * 3u64);
+    }
+}
+
+/// The [`ValueId`](crate::intern::ValueId)-keyed `ss-Byz-Agree` body used
+/// on the engine's delivery path: the accepted-broadcast table is keyed by
+/// dense ids ([`ValueIdMap`](crate::intern::ValueIdMap)) and the embedded
+/// primitive is an [`InternedMsgdBroadcast`]. Line-for-line port of the
+/// value-keyed [`Agreement`] (the golden model); where the golden model's
+/// behaviour depends on `BTreeMap` value order — the block-S tie-break
+/// between equal-length chains, and the buffered-triplet evaluation order
+/// when a late anchor arrives — this port resolves ids through the
+/// engine's interner and applies the same value ordering, so the two
+/// dispatches stay bit-identical.
+#[derive(Debug, Clone)]
+pub struct InternedAgreement {
+    me: NodeId,
+    general: NodeId,
+    params: Params,
+    msgd: InternedMsgdBroadcast,
+    /// The anchor `τ_G` of the current execution.
+    tau_g: Option<LocalTime>,
+    /// Accepted broadcasts: value id → flat round table (index
+    /// `round − 1`) → dense broadcaster map with accept times for decay.
+    accepted: ValueIdMap<Vec<DenseNodeMap<LocalTime>>>,
+    /// Set once one of blocks R/S/T/U executed: `(decision, at)`.
+    returned: Option<(Option<ValueId>, LocalTime)>,
+    /// When the post-return reset is due.
+    reset_due: Option<LocalTime>,
+}
+
+impl InternedAgreement {
+    /// Creates a fresh instance for `general` at node `me`.
+    #[must_use]
+    pub fn new(me: NodeId, general: NodeId, params: Params) -> Self {
+        InternedAgreement {
+            me,
+            general,
+            params,
+            msgd: InternedMsgdBroadcast::new(me, params),
+            tau_g: None,
+            accepted: ValueIdMap::new(),
+            returned: None,
+            reset_due: None,
+        }
+    }
+
+    /// The General of this instance.
+    #[must_use]
+    pub fn general(&self) -> NodeId {
+        self.general
+    }
+
+    /// The node this instance runs at.
+    #[must_use]
+    pub fn node_id(&self) -> NodeId {
+        self.me
+    }
+
+    /// The anchor of the current execution, if set.
+    #[must_use]
+    pub fn tau_g(&self) -> Option<LocalTime> {
+        self.tau_g
+    }
+
+    /// Whether the node has returned (decided or aborted) this execution.
+    #[must_use]
+    pub fn has_returned(&self) -> bool {
+        self.returned.is_some()
+    }
+
+    /// The decision of the current execution (as an interned id), if
+    /// returned.
+    #[must_use]
+    pub fn decision(&self) -> Option<&Option<ValueId>> {
+        self.returned.as_ref().map(|(d, _)| d)
+    }
+
+    /// Number of broadcasters detected so far ([TPS-4] feeding block T).
+    #[must_use]
+    pub fn broadcaster_count(&self) -> usize {
+        self.msgd.broadcaster_count()
+    }
+
+    /// Read-only access to the embedded `msgd-broadcast` state.
+    #[must_use]
+    pub fn msgd(&self) -> &InternedMsgdBroadcast {
+        &self.msgd
+    }
+
+    /// Mutable access for the corruption harness.
+    #[doc(hidden)]
+    pub fn msgd_mut(&mut self) -> &mut InternedMsgdBroadcast {
+        &mut self.msgd
+    }
+
+    /// Feeds the I-accept `⟨G, m′, τ_G⟩` from `Initiator-Accept`.
+    pub fn on_i_accept<V: Value>(
+        &mut self,
+        now: LocalTime,
+        value: ValueId,
+        tau_g: LocalTime,
+        interner: &ValueInterner<V>,
+        msgd_scratch: &mut Vec<MsgdAction<ValueId>>,
+        out: &mut Vec<AgrAction<ValueId>>,
+    ) {
+        if self.returned.is_some() || self.tau_g.is_some() {
+            // At most one setting of τ_G per execution.
+            return;
+        }
+        self.tau_g = Some(tau_g);
+        // Schedule the phase-boundary checks for blocks T and U.
+        let eps = Duration::from_nanos(1);
+        for r in 1..=self.params.f() as u64 {
+            out.push(AgrAction::WakeAt(
+                tau_g + self.params.phi() * (2 * r + 1) + eps,
+            ));
+        }
+        out.push(AgrAction::WakeAt(tau_g + self.params.delta_agr() + eps));
+        // Block R: fresh I-accept ⇒ decide immediately.
+        if now.since_or_zero(tau_g) <= self.params.d() * 4u64 && !tau_g.is_after(now) {
+            self.decide(now, value, 1, msgd_scratch, out);
+        } else {
+            // Late anchor: evaluate buffered broadcast messages now.
+            self.msgd.on_anchor(now, tau_g, interner, msgd_scratch);
+            self.absorb_msgd(now, interner, msgd_scratch, out);
+        }
+    }
+
+    /// Feeds an interned `msgd-broadcast` wire message.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_bcast<V: Value>(
+        &mut self,
+        now: LocalTime,
+        sender: NodeId,
+        kind: BcastKind,
+        broadcaster: NodeId,
+        value: ValueId,
+        round: u32,
+        interner: &ValueInterner<V>,
+        msgd_scratch: &mut Vec<MsgdAction<ValueId>>,
+        out: &mut Vec<AgrAction<ValueId>>,
+    ) {
+        self.msgd.on_message(
+            now,
+            sender,
+            kind,
+            broadcaster,
+            value,
+            round,
+            self.tau_g,
+            msgd_scratch,
+        );
+        self.absorb_msgd(now, interner, msgd_scratch, out);
+    }
+
+    /// Converts primitive actions into agreement actions, recording accepts
+    /// and running block S. Drains `macts` completely.
+    fn absorb_msgd<V: Value>(
+        &mut self,
+        now: LocalTime,
+        interner: &ValueInterner<V>,
+        macts: &mut Vec<MsgdAction<ValueId>>,
+        out: &mut Vec<AgrAction<ValueId>>,
+    ) {
+        let mut try_s = false;
+        for act in macts.drain(..) {
+            match act {
+                MsgdAction::Send {
+                    kind,
+                    broadcaster,
+                    value,
+                    round,
+                } => out.push(AgrAction::SendBcast {
+                    kind,
+                    broadcaster,
+                    value,
+                    round,
+                }),
+                MsgdAction::Accepted {
+                    broadcaster,
+                    value,
+                    round,
+                } => {
+                    self.record_accepted(value, round, broadcaster, now);
+                    try_s = true;
+                }
+                MsgdAction::BroadcasterDetected(_) => {}
+            }
+        }
+        if try_s {
+            self.try_block_s(now, interner, macts, out);
+        }
+    }
+
+    /// Records one accepted broadcast in the flat per-round table.
+    fn record_accepted(&mut self, value: ValueId, round: u32, broadcaster: NodeId, now: LocalTime) {
+        if round == 0 || round > self.params.max_round() {
+            return; // no legitimate chain uses such a round
+        }
+        let rounds = self.accepted.get_or_insert_with(value, Vec::new);
+        let idx = round as usize - 1;
+        if idx >= rounds.len() {
+            rounds.resize_with(idx + 1, DenseNodeMap::new);
+        }
+        rounds[idx].insert(broadcaster, now);
+    }
+
+    /// Block S: decide once a chain of `r` distinct-broadcaster accepts of
+    /// one value exists within the round-`r` deadline. The golden model
+    /// scans candidate values in ascending value order and keeps the first
+    /// one whose relay round is strictly smaller — i.e. it minimises
+    /// `(relay round, value)` lexicographically; this port does the same
+    /// through the interner without sorting.
+    fn try_block_s<V: Value>(
+        &mut self,
+        now: LocalTime,
+        interner: &ValueInterner<V>,
+        msgd_scratch: &mut Vec<MsgdAction<ValueId>>,
+        out: &mut Vec<AgrAction<ValueId>>,
+    ) {
+        if self.returned.is_some() {
+            return;
+        }
+        let Some(tau_g) = self.tau_g else { return };
+        let elapsed = now.since_or_zero(tau_g);
+        let mut decision: Option<(ValueId, u32)> = None;
+        for (value, rounds) in self.accepted.iter() {
+            let mut sets: Vec<Vec<NodeId>> = Vec::new();
+            for r in 1..=self.params.f() as u32 {
+                let senders: Vec<NodeId> = rounds
+                    .get(r as usize - 1)
+                    .map(|m| m.keys().filter(|p| *p != self.general).collect())
+                    .unwrap_or_default();
+                if senders.is_empty() {
+                    break;
+                }
+                sets.push(senders);
+            }
+            let r = max_prefix_with_distinct_representatives(&sets);
+            if r == 0 {
+                continue;
+            }
+            let r64 = r as u64;
+            if elapsed <= self.params.phi() * (2 * r64 + 1) {
+                let next_round = r as u32 + 1;
+                let better = match &decision {
+                    Some((cur_v, cur)) => {
+                        next_round < *cur
+                            || (next_round == *cur
+                                && interner.resolve(value) < interner.resolve(*cur_v))
+                    }
+                    None => true,
+                };
+                if better {
+                    decision = Some((value, next_round));
+                }
+            }
+        }
+        if let Some((value, next_round)) = decision {
+            self.decide(now, value, next_round, msgd_scratch, out);
+        }
+    }
+
+    /// Blocks R3/S3 + return: relay the decision and stop.
+    fn decide(
+        &mut self,
+        now: LocalTime,
+        value: ValueId,
+        relay_round: u32,
+        msgd_scratch: &mut Vec<MsgdAction<ValueId>>,
+        out: &mut Vec<AgrAction<ValueId>>,
+    ) {
+        let tau_g = self.tau_g.expect("decide requires an anchor");
+        self.msgd.invoke(now, value, relay_round, msgd_scratch);
+        for act in msgd_scratch.drain(..) {
+            if let MsgdAction::Send {
+                kind,
+                broadcaster,
+                value,
+                round,
+            } = act
+            {
+                out.push(AgrAction::SendBcast {
+                    kind,
+                    broadcaster,
+                    value,
+                    round,
+                });
+            }
+        }
+        self.finish(now, Some(value), tau_g, out);
+    }
+
+    fn finish(
+        &mut self,
+        now: LocalTime,
+        decision: Option<ValueId>,
+        tau_g: LocalTime,
+        out: &mut Vec<AgrAction<ValueId>>,
+    ) {
+        self.returned = Some((decision, now));
+        let due = now + self.params.d() * 3u64;
+        self.reset_due = Some(due);
+        out.push(AgrAction::WakeAt(due));
+        out.push(AgrAction::Returned { decision, tau_g });
+    }
+
+    /// Periodic/deadline tick: runs blocks T and U and the post-return
+    /// reset.
+    pub fn on_tick(&mut self, now: LocalTime, out: &mut Vec<AgrAction<ValueId>>) {
+        // Post-return reset: 3d after returning, drop all execution state.
+        if let Some(due) = self.reset_due {
+            if now.is_at_or_after(due) {
+                self.reset_execution();
+                out.push(AgrAction::ExecutionReset);
+                return;
+            }
+        }
+        if self.returned.is_some() {
+            return;
+        }
+        let Some(tau_g) = self.tau_g else { return };
+        let elapsed = now.since_or_zero(tau_g);
+        // Block U — hard deadline.
+        if elapsed > self.params.delta_agr() {
+            self.finish(now, None, tau_g, out);
+            return;
+        }
+        // Block T — early abort when broadcaster detection has stalled.
+        if !self.params.early_abort() {
+            return;
+        }
+        let b = self.msgd.broadcaster_count();
+        for r in 1..=self.params.f() as u64 {
+            if elapsed > self.params.phi() * (2 * r + 1) && b + 1 < r as usize {
+                self.finish(now, None, tau_g, out);
+                return;
+            }
+        }
+    }
+
+    /// Decay of agreement-level state plus the primitive's own decay —
+    /// identical schedule to the value-keyed model.
+    pub fn cleanup(&mut self, now: LocalTime) {
+        let horizon = self.params.agreement_horizon();
+        for rounds in self.accepted.values_mut() {
+            for senders in rounds.iter_mut() {
+                senders.retain(|_, t| !t.is_after(now) && now.since(*t) <= horizon);
+            }
+            while rounds.last().is_some_and(DenseNodeMap::is_empty) {
+                rounds.pop();
+            }
+        }
+        self.accepted
+            .retain(|_, rounds| rounds.iter().any(|m| !m.is_empty()));
+        if let Some(tau_g) = self.tau_g {
+            if self.returned.is_none()
+                && (tau_g.is_after(now) && tau_g.since(now) > horizon
+                    || now.since_or_zero(tau_g) > horizon)
+            {
+                self.reset_execution();
+            }
+        }
+        if let Some((_, at)) = &self.returned {
+            if at.is_after(now) || now.since(*at) > horizon {
+                self.reset_execution();
+            }
+        }
+        self.msgd.cleanup(now);
+    }
+
+    /// Drops every trace of the current execution.
+    fn reset_execution(&mut self) {
+        self.tau_g = None;
+        self.accepted.clear();
+        self.returned = None;
+        self.reset_due = None;
+        self.msgd.reset();
+    }
+
+    /// Marks every id this instance still references, for the engine's
+    /// interner sweep: accepted-broadcast keys, a pending decision held
+    /// between return and reset, and the embedded primitive's triplets.
+    pub(crate) fn mark_live<V: Value>(&self, interner: &mut ValueInterner<V>) {
+        for id in self.accepted.keys() {
+            interner.mark(id);
+        }
+        if let Some((Some(id), _)) = &self.returned {
+            interner.mark(*id);
+        }
+        self.msgd.mark_live(interner);
+    }
+
+    /// Corruption hooks for the transient-fault harness.
+    #[doc(hidden)]
+    pub fn corrupt_anchor(&mut self, tau_g: LocalTime) {
+        self.tau_g = Some(tau_g);
+    }
+
+    /// Plants a fake accepted broadcast (transient-fault harness).
+    #[doc(hidden)]
+    pub fn corrupt_accepted(
+        &mut self,
+        value: ValueId,
+        round: u32,
+        broadcaster: NodeId,
+        at: LocalTime,
+    ) {
+        self.record_accepted(value, round, broadcaster, at);
+    }
+
+    /// Plants a fake returned state (transient-fault harness).
+    #[doc(hidden)]
+    pub fn corrupt_returned(&mut self, decision: Option<ValueId>, at: LocalTime) {
         self.returned = Some((decision, at));
         self.reset_due = Some(at + self.params.d() * 3u64);
     }

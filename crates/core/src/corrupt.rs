@@ -93,7 +93,7 @@ impl<V: Value> Engine<V> {
             // --- Initiator-Accept corruption ---
             for _ in 0..cfg.values_per_general {
                 let v = gen_value(entropy);
-                let ia = self.ia_raw(g);
+                let mut ia = self.ia_raw(g);
                 if entropy.chance(1, 2) {
                     let s = stamp(entropy);
                     ia.corrupt_i_value(v.clone(), s);

@@ -10,21 +10,37 @@
 //! harness (the deterministic simulator in `ssbyz-simnet`, or the threaded
 //! runtime in `ssbyz-runtime`) feeds it `(local-time, event)` pairs along
 //! with a caller-owned [`Outbox`], and executes the [`Output`]s left in
-//! it. The outbox is a pooled arena: the no-output common case under
-//! Byzantine spam (duplicate and suppressed deliveries) performs **zero
-//! heap allocations**, and emitting calls reuse the buffers' retained
-//! capacity. The pre-outbox Vec-returning dispatch survives as
+//! it.
+//!
+//! Two structural properties define the delivery path:
+//!
+//! * **Pooled dispatch** — the outbox is a caller-owned arena; the
+//!   no-output common case under Byzantine spam (duplicate and suppressed
+//!   deliveries) performs **zero** heap allocations.
+//! * **Value interning** — each wire value is hashed once at the engine
+//!   boundary into a dense [`ValueId`]
+//!   (see [`crate::intern`]); every per-value table downstream
+//!   (`InitiatorAccept::values`, `MsgdBroadcast::triplets`,
+//!   `Agreement::accepted`, the General-side `last_per_value` guard) is a
+//!   flat slot vector indexed by the id, so per-delivery value lookups are
+//!   O(1) array indexings instead of `BTreeMap` walks. Ids are resolved
+//!   back to values only at output emission, and reclaimed by a mark/sweep
+//!   on the cleanup cadence once their state decays.
+//!
+//! The pre-interning, value-keyed `BTreeMap` dispatch survives as
 //! [`reference::ReferenceEngine`], the golden model the equivalence
-//! battery checks the pooled dispatch against.
+//! batteries (`outbox_equivalence.rs`, `intern_equivalence.rs`) check the
+//! interned dispatch against, call by call.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use ssbyz_types::{DenseNodeMap, Duration, LocalTime, NodeId, Value};
 
-use crate::agreement::{AgrAction, Agreement};
-use crate::initiator_accept::{IaAction, InitiatorAccept};
-use crate::message::Msg;
+use crate::agreement::InternedAgreement;
+use crate::initiator_accept::{InternedInitiatorAccept, OwnProgress};
+use crate::intern::{ValueId, ValueIdMap, ValueInterner};
+use crate::message::{BcastKind, IaKind, Msg};
+use crate::msgd_broadcast::InternedMsgdBroadcast;
 use crate::outbox::Outbox;
 use crate::params::Params;
 
@@ -123,17 +139,19 @@ impl fmt::Display for InitiateError {
 impl std::error::Error for InitiateError {}
 
 /// State for this node's own role as General: the Sending Validity
-/// Criteria and the ``[IG3]`` failure monitor.
-#[derive(Debug, Clone)]
-struct GeneralControl<V> {
+/// Criteria and the ``[IG3]`` failure monitor. All value references are
+/// interned ids — `last_per_value` was the fourth (and easiest to miss)
+/// value-keyed map on the initiate path.
+#[derive(Debug, Clone, Default)]
+struct GeneralControl {
     /// Last initiation of any value (``[IG1]``).
     last_initiation: Option<LocalTime>,
     /// Last initiation per value (``[IG2]``); pruned at `Δ_v`.
-    last_per_value: BTreeMap<V, LocalTime>,
+    last_per_value: ValueIdMap<LocalTime>,
     /// Set when ``[IG3]`` failed; blocks initiations until `+ Δ_reset`.
     failed_at: Option<LocalTime>,
     /// Outstanding progress checks.
-    pending_checks: Vec<PendingCheck<V>>,
+    pending_checks: Vec<PendingCheck>,
 }
 
 /// One ``[IG3]`` progress monitor. Stage completion is latched *stickily* at
@@ -142,24 +160,18 @@ struct GeneralControl<V> {
 /// final `+4d` deadline check runs, so the monitor must not re-read them
 /// at the deadline.
 #[derive(Debug, Clone)]
-struct PendingCheck<V> {
-    value: V,
+struct PendingCheck {
+    value: ValueId,
     invoked_at: LocalTime,
     approve_ok: bool,
     ready_ok: bool,
     accept_ok: bool,
 }
 
-impl<V: Value> Default for GeneralControl<V> {
-    fn default() -> Self {
-        GeneralControl {
-            last_initiation: None,
-            last_per_value: BTreeMap::new(),
-            failed_at: None,
-            pending_checks: Vec::new(),
-        }
-    }
-}
+/// Baseline interner occupancy above which the engine forces an
+/// off-cadence mark/sweep (doubling thereafter), so a line-rate
+/// value-minting storm cannot balloon the arena between cleanup cadences.
+const INTERN_SWEEP_BASE: usize = 1024;
 
 /// The complete protocol state of one node.
 ///
@@ -186,12 +198,17 @@ impl<V: Value> Default for GeneralControl<V> {
 pub struct Engine<V: Value> {
     me: NodeId,
     params: Params,
+    /// The per-execution value interner: `V → ValueId` at the boundary,
+    /// `ValueId → V` at emission.
+    interner: ValueInterner<V>,
     /// Per-General `Initiator-Accept` instances, dense by General id.
-    ia: DenseNodeMap<InitiatorAccept<V>>,
+    ia: DenseNodeMap<InternedInitiatorAccept>,
     /// Per-General agreement instances, dense by General id.
-    agr: DenseNodeMap<Agreement<V>>,
-    general_ctl: GeneralControl<V>,
+    agr: DenseNodeMap<InternedAgreement>,
+    general_ctl: GeneralControl,
     last_cleanup: Option<LocalTime>,
+    /// Occupancy threshold for the forced off-cadence sweep.
+    sweep_high_water: usize,
 }
 
 impl<V: Value> Engine<V> {
@@ -201,10 +218,12 @@ impl<V: Value> Engine<V> {
         Engine {
             me,
             params,
+            interner: ValueInterner::new(),
             ia: DenseNodeMap::with_capacity(params.n()),
             agr: DenseNodeMap::with_capacity(params.n()),
             general_ctl: GeneralControl::default(),
             last_cleanup: None,
+            sweep_high_water: INTERN_SWEEP_BASE,
         }
     }
 
@@ -218,6 +237,13 @@ impl<V: Value> Engine<V> {
     #[must_use]
     pub fn params(&self) -> &Params {
         &self.params
+    }
+
+    /// Read access to the value interner (occupancy/capacity
+    /// introspection for the bounded-interner tests).
+    #[must_use]
+    pub fn interner(&self) -> &ValueInterner<V> {
+        &self.interner
     }
 
     /// Acting as General: initiate agreement on `value` (block Q0),
@@ -254,7 +280,11 @@ impl<V: Value> Engine<V> {
                 });
             }
         }
-        if let Some(last) = self.general_ctl.last_per_value.get(&value) {
+        // [IG2] is the per-value guard: intern once, then the lookup is an
+        // array index. (A refused initiation may leave an unreferenced id
+        // behind; the next sweep reclaims it.)
+        let id = self.interner.intern(&value);
+        if let Some(last) = self.general_ctl.last_per_value.get(id) {
             let elapsed = now.since_or_zero(*last);
             if last.is_after(now) || elapsed < p.delta_v() {
                 return Err(InitiateError::SameValueTooSoon {
@@ -268,9 +298,9 @@ impl<V: Value> Engine<V> {
         let me = self.me;
         self.ia_entry(me).clear_messages_before_initiation();
         self.general_ctl.last_initiation = Some(now);
-        self.general_ctl.last_per_value.insert(value.clone(), now);
+        self.general_ctl.last_per_value.insert(id, now);
         self.general_ctl.pending_checks.push(PendingCheck {
-            value: value.clone(),
+            value: id,
             invoked_at: now,
             approve_ok: false,
             ready_ok: false,
@@ -298,10 +328,10 @@ impl<V: Value> Engine<V> {
     }
 
     /// By-reference message dispatch — the hot path for `Arc`-shared
-    /// broadcast payloads: the message is never deep-cloned per delivery;
-    /// the embedded value is cloned only where the protocol actually
-    /// stores or re-sends it. Combined with the pooled `ob`, a duplicate
-    /// or suppressed delivery touches the heap **zero** times.
+    /// broadcast payloads. The embedded value is interned exactly once
+    /// (cloned only on first sight, into the interner's arena); a
+    /// duplicate or suppressed delivery is a hash probe plus array
+    /// indexings and touches the heap **zero** times.
     pub fn on_message_ref(
         &mut self,
         now: LocalTime,
@@ -313,7 +343,8 @@ impl<V: Value> Engine<V> {
         let n = self.params.n();
         // The membership is fixed and globally known: claims naming ids
         // outside `0..n` can only be transient residue or adversary
-        // fabrications — drop them before they allocate any state.
+        // fabrications — drop them before they allocate any state (or
+        // intern-table space).
         if sender.index() >= n || msg.general().index() >= n {
             return;
         }
@@ -323,8 +354,13 @@ impl<V: Value> Engine<V> {
                 if sender != *general {
                     return; // forged initiation — identity is authenticated
                 }
-                self.ia_entry(*general)
-                    .on_initiator_ref(now, value, &mut ob.ia);
+                let id = self.interner.intern(value);
+                let me = self.me;
+                let params = self.params;
+                let ia = self.ia.get_or_insert_with(*general, || {
+                    InternedInitiatorAccept::new(me, *general, params)
+                });
+                ia.on_initiator(now, id, &self.interner, &mut ob.ia);
                 self.absorb_ia(now, *general, ob);
             }
             Msg::Ia {
@@ -332,8 +368,13 @@ impl<V: Value> Engine<V> {
                 general,
                 value,
             } => {
-                self.ia_entry(*general)
-                    .on_message_ref(now, sender, *kind, value, &mut ob.ia);
+                let id = self.interner.intern(value);
+                let me = self.me;
+                let params = self.params;
+                let ia = self.ia.get_or_insert_with(*general, || {
+                    InternedInitiatorAccept::new(me, *general, params)
+                });
+                ia.on_message(now, sender, *kind, id, &self.interner, &mut ob.ia);
                 self.absorb_ia(now, *general, ob);
             }
             Msg::Bcast {
@@ -345,26 +386,35 @@ impl<V: Value> Engine<V> {
             } => {
                 // Claims that can never form legitimate state — a round
                 // outside `1..=max_round` or a broadcaster outside the
-                // membership — are rejected *before* an agreement
-                // instance is allocated for them. (The primitive-level
-                // check inside `msgd-broadcast` still guards direct users; this
-                // engine-level copy stops the cleanup-drop/re-allocate
-                // churn such spam would otherwise cause once per cadence.)
+                // membership — are rejected *before* an agreement instance
+                // (or an intern slot) is allocated for them.
                 if *round == 0 || *round > self.params.max_round() || broadcaster.index() >= n {
                     return;
                 }
-                self.agr_entry(*general).on_bcast_ref(
+                let id = self.interner.intern(value);
+                let me = self.me;
+                let params = self.params;
+                let agr = self
+                    .agr
+                    .get_or_insert_with(*general, || InternedAgreement::new(me, *general, params));
+                agr.on_bcast(
                     now,
                     sender,
                     *kind,
                     *broadcaster,
-                    value,
+                    id,
                     *round,
+                    &self.interner,
                     &mut ob.msgd,
                     &mut ob.agr,
                 );
                 self.absorb_agr(now, *general, ob);
             }
+        }
+        // A value-minting storm faster than the cleanup cadence must not
+        // balloon the arena: force a sweep past the high-water mark.
+        if self.interner.occupancy() > self.sweep_high_water {
+            self.sweep_interner();
         }
     }
 
@@ -395,9 +445,11 @@ impl<V: Value> Engine<V> {
     fn check_own_initiations(&mut self, now: LocalTime, out: &mut Vec<Output<V>>) {
         let d = self.params.d();
         // Disjoint field borrows: the monitor reads this node's own
-        // Initiator-Accept progress while retaining checks in place —
-        // no staging vector, no allocation.
+        // Initiator-Accept progress (and resolves ids for the failure
+        // event) while retaining checks in place — no staging vector, no
+        // allocation.
         let ia = self.ia.get(self.me);
+        let interner = &self.interner;
         let ctl = &mut self.general_ctl;
         let mut newly_failed = false;
         ctl.pending_checks.retain_mut(|check| {
@@ -407,7 +459,7 @@ impl<V: Value> Engine<V> {
             let elapsed = now.since(check.invoked_at);
             // Latch freshly observed progress.
             let prog = ia
-                .map(|ia| ia.own_progress(&check.value))
+                .map(|ia| ia.own_progress(check.value))
                 .unwrap_or_default();
             let ok_since =
                 |t: Option<LocalTime>| t.is_some_and(|t| t.is_at_or_after(check.invoked_at));
@@ -423,7 +475,7 @@ impl<V: Value> Engine<V> {
             if failed {
                 newly_failed = true;
                 out.push(Output::Event(Event::InitiationFailed {
-                    value: check.value.clone(),
+                    value: interner.resolve(check.value).clone(),
                     at: now,
                 }));
                 false
@@ -436,32 +488,34 @@ impl<V: Value> Engine<V> {
         }
     }
 
-    /// Drains the outbox's `Initiator-Accept` staging arena into outputs,
-    /// feeding accepts onward to the agreement layer.
+    /// Drains the outbox's `Initiator-Accept` staging arena into outputs
+    /// (resolving interned ids back to values), feeding accepts onward to
+    /// the agreement layer.
     fn absorb_ia(&mut self, now: LocalTime, general: NodeId, ob: &mut Outbox<V>) {
         // Detach the arena so the nested agreement absorb can borrow the
         // outbox; the (empty, capacity-ful) buffer is reattached below.
         let mut ia_buf = std::mem::take(&mut ob.ia);
         for act in ia_buf.drain(..) {
             match act {
-                IaAction::Send { kind, value } => ob.out.push(Output::Broadcast(Msg::Ia {
-                    kind,
-                    general,
-                    value,
-                })),
-                IaAction::Accepted { value, tau_g } => {
+                crate::initiator_accept::IaAction::Send { kind, value } => {
+                    ob.out.push(Output::Broadcast(Msg::Ia {
+                        kind,
+                        general,
+                        value: self.interner.resolve(value).clone(),
+                    }));
+                }
+                crate::initiator_accept::IaAction::Accepted { value, tau_g } => {
                     ob.out.push(Output::Event(Event::IAccepted {
                         general,
-                        value: value.clone(),
+                        value: self.interner.resolve(value).clone(),
                         tau_g,
                     }));
-                    self.agr_entry(general).on_i_accept(
-                        now,
-                        value,
-                        tau_g,
-                        &mut ob.msgd,
-                        &mut ob.agr,
-                    );
+                    let me = self.me;
+                    let params = self.params;
+                    let agr = self.agr.get_or_insert_with(general, || {
+                        InternedAgreement::new(me, general, params)
+                    });
+                    agr.on_i_accept(now, value, tau_g, &self.interner, &mut ob.msgd, &mut ob.agr);
                     self.absorb_agr(now, general, ob);
                 }
             }
@@ -469,12 +523,13 @@ impl<V: Value> Engine<V> {
         ob.ia = ia_buf;
     }
 
-    /// Drains the outbox's agreement staging arena into outputs.
+    /// Drains the outbox's agreement staging arena into outputs, resolving
+    /// interned ids back to values at this single emission point.
     fn absorb_agr(&mut self, now: LocalTime, general: NodeId, ob: &mut Outbox<V>) {
         let mut agr_buf = std::mem::take(&mut ob.agr);
         for act in agr_buf.drain(..) {
             match act {
-                AgrAction::SendBcast {
+                crate::agreement::AgrAction::SendBcast {
                     kind,
                     broadcaster,
                     value,
@@ -483,15 +538,15 @@ impl<V: Value> Engine<V> {
                     kind,
                     general,
                     broadcaster,
-                    value,
+                    value: self.interner.resolve(value).clone(),
                     round,
                 })),
-                AgrAction::WakeAt(t) => ob.out.push(Output::WakeAt(t)),
-                AgrAction::Returned { decision, tau_g } => {
+                crate::agreement::AgrAction::WakeAt(t) => ob.out.push(Output::WakeAt(t)),
+                crate::agreement::AgrAction::Returned { decision, tau_g } => {
                     let event = match decision {
-                        Some(value) => Event::Decided {
+                        Some(id) => Event::Decided {
                             general,
-                            value,
+                            value: self.interner.resolve(id).clone(),
                             tau_g,
                             at: now,
                         },
@@ -503,7 +558,7 @@ impl<V: Value> Engine<V> {
                     };
                     ob.out.push(Output::Event(event));
                 }
-                AgrAction::ExecutionReset => {
+                crate::agreement::AgrAction::ExecutionReset => {
                     // Fig. 1 cleanup: "3d after returning a value reset
                     // Initiator-Accept, τ_G, and msgd-broadcast."
                     if let Some(ia) = self.ia.get_mut(general) {
@@ -556,44 +611,90 @@ impl<V: Value> Engine<V> {
                 || a.broadcaster_count() > 0
                 || a.msgd().triplet_count() > 0
         });
+        // With the decayed state gone, reclaim the intern ids nothing
+        // references any more.
+        self.sweep_interner();
     }
 
-    fn ia_entry(&mut self, general: NodeId) -> &mut InitiatorAccept<V> {
+    /// Mark/sweep over the interner: every id still referenced by live
+    /// protocol state (per-value IA states, triplet tables, accepted
+    /// tables, pending decisions, the `[IG2]`/`[IG3]` guards) is marked;
+    /// everything else is reclaimed onto the generation-counted free-list.
+    /// Allocation-free in steady state: the mark bits, the free-list and
+    /// the rebuilt bucket array all reuse their capacity.
+    fn sweep_interner(&mut self) {
+        self.interner.begin_sweep();
+        for ia in self.ia.values() {
+            ia.mark_live(&mut self.interner);
+        }
+        for agr in self.agr.values() {
+            agr.mark_live(&mut self.interner);
+        }
+        for id in self.general_ctl.last_per_value.keys() {
+            self.interner.mark(id);
+        }
+        for check in &self.general_ctl.pending_checks {
+            self.interner.mark(check.value);
+        }
+        self.interner.finish_sweep();
+        self.sweep_high_water = (self.interner.occupancy() * 2).max(INTERN_SWEEP_BASE);
+    }
+
+    fn ia_entry(&mut self, general: NodeId) -> &mut InternedInitiatorAccept {
         let me = self.me;
         let params = self.params;
-        self.ia
-            .get_or_insert_with(general, || InitiatorAccept::new(me, general, params))
+        self.ia.get_or_insert_with(general, || {
+            InternedInitiatorAccept::new(me, general, params)
+        })
     }
 
-    fn agr_entry(&mut self, general: NodeId) -> &mut Agreement<V> {
-        let me = self.me;
-        let params = self.params;
-        self.agr
-            .get_or_insert_with(general, || Agreement::new(me, general, params))
-    }
-
-    /// Read access to the `Initiator-Accept` instance for `general`.
+    /// Read access to the `Initiator-Accept` instance for `general`, as a
+    /// view that resolves value arguments through the interner.
     #[must_use]
-    pub fn ia(&self, general: NodeId) -> Option<&InitiatorAccept<V>> {
-        self.ia.get(general)
+    pub fn ia(&self, general: NodeId) -> Option<IaView<'_, V>> {
+        self.ia.get(general).map(|ia| IaView {
+            ia,
+            interner: &self.interner,
+        })
     }
 
     /// Read access to the agreement instance for `general`.
     #[must_use]
-    pub fn agreement(&self, general: NodeId) -> Option<&Agreement<V>> {
-        self.agr.get(general)
+    pub fn agreement(&self, general: NodeId) -> Option<AgrView<'_, V>> {
+        self.agr.get(general).map(|agr| AgrView {
+            agr,
+            interner: &self.interner,
+        })
     }
 
-    /// Mutable handles for the corruption harness (`ssbyz-adversary`).
+    /// Mutable corruption handle for the transient-fault harness
+    /// (`ssbyz-adversary`): interns value arguments, then plants raw
+    /// state.
     #[doc(hidden)]
-    pub fn ia_raw(&mut self, general: NodeId) -> &mut InitiatorAccept<V> {
-        self.ia_entry(general)
+    pub fn ia_raw(&mut self, general: NodeId) -> IaCorrupt<'_, V> {
+        let me = self.me;
+        let params = self.params;
+        let ia = self.ia.get_or_insert_with(general, || {
+            InternedInitiatorAccept::new(me, general, params)
+        });
+        IaCorrupt {
+            ia,
+            interner: &mut self.interner,
+        }
     }
 
-    /// Mutable handle for the corruption harness.
+    /// Mutable corruption handle for the transient-fault harness.
     #[doc(hidden)]
-    pub fn agreement_raw(&mut self, general: NodeId) -> &mut Agreement<V> {
-        self.agr_entry(general)
+    pub fn agreement_raw(&mut self, general: NodeId) -> AgrCorrupt<'_, V> {
+        let me = self.me;
+        let params = self.params;
+        let agr = self
+            .agr
+            .get_or_insert_with(general, || InternedAgreement::new(me, general, params));
+        AgrCorrupt {
+            agr,
+            interner: &mut self.interner,
+        }
     }
 
     /// Plants a bogus General-side state (corruption harness).
@@ -615,35 +716,333 @@ impl<V: Value> Engine<V> {
         self.agr.clear();
         self.general_ctl = GeneralControl::default();
         self.last_cleanup = None;
+        self.interner.clear();
+        self.sweep_high_water = INTERN_SWEEP_BASE;
+    }
+}
+
+/// Read-only view of an interned `Initiator-Accept` instance: the same
+/// introspection surface the value-keyed primitive offers, with `&V`
+/// arguments resolved through the engine's interner.
+#[derive(Debug, Clone, Copy)]
+pub struct IaView<'a, V: Value> {
+    ia: &'a InternedInitiatorAccept,
+    interner: &'a ValueInterner<V>,
+}
+
+impl<'a, V: Value> IaView<'a, V> {
+    /// The General this instance tracks.
+    #[must_use]
+    pub fn general(&self) -> NodeId {
+        self.ia.general()
+    }
+
+    /// The current `i_values[G, m]` entry.
+    #[must_use]
+    pub fn i_value(&self, value: &V) -> Option<LocalTime> {
+        self.interner
+            .lookup(value)
+            .and_then(|id| self.ia.i_value(id))
+    }
+
+    /// Whether any `i_values[G, ·]` entry is set.
+    #[must_use]
+    pub fn any_i_value(&self) -> bool {
+        self.ia.any_i_value()
+    }
+
+    /// Whether the `ready(G, m)` flag is armed.
+    #[must_use]
+    pub fn is_ready(&self, value: &V) -> bool {
+        self.interner
+            .lookup(value)
+            .is_some_and(|id| self.ia.is_ready(id))
+    }
+
+    /// Whether `(G, m)` messages are currently being ignored.
+    #[must_use]
+    pub fn is_ignoring(&self, value: &V, now: LocalTime) -> bool {
+        self.interner
+            .lookup(value)
+            .is_some_and(|id| self.ia.is_ignoring(id, now))
+    }
+
+    /// The `last(G)` guard.
+    #[must_use]
+    pub fn last_g(&self) -> Option<LocalTime> {
+        self.ia.last_g()
+    }
+
+    /// The `last(G, m)` guard.
+    #[must_use]
+    pub fn last_gm(&self, value: &V) -> Option<LocalTime> {
+        self.interner
+            .lookup(value)
+            .and_then(|id| self.ia.last_gm(id))
+    }
+
+    /// This node's own sending progress for `value`.
+    #[must_use]
+    pub fn own_progress(&self, value: &V) -> OwnProgress {
+        self.interner
+            .lookup(value)
+            .map(|id| self.ia.own_progress(id))
+            .unwrap_or_default()
+    }
+
+    /// Number of distinct senders whose `kind` message for `value` is in
+    /// `[now − window, now]`.
+    #[must_use]
+    pub fn count_in_window(
+        &self,
+        now: LocalTime,
+        kind: IaKind,
+        value: &V,
+        window: Duration,
+    ) -> usize {
+        self.interner
+            .lookup(value)
+            .map_or(0, |id| self.ia.count_in_window(now, kind, id, window))
+    }
+
+    /// Number of tracked per-value states (bounded-memory introspection).
+    #[must_use]
+    pub fn tracked_values(&self) -> usize {
+        self.ia.tracked_values()
+    }
+
+    /// The underlying id-keyed instance.
+    #[must_use]
+    pub fn raw(&self) -> &'a InternedInitiatorAccept {
+        self.ia
+    }
+}
+
+/// Read-only view of an interned agreement instance.
+#[derive(Debug, Clone, Copy)]
+pub struct AgrView<'a, V: Value> {
+    agr: &'a InternedAgreement,
+    interner: &'a ValueInterner<V>,
+}
+
+impl<'a, V: Value> AgrView<'a, V> {
+    /// The General of this instance.
+    #[must_use]
+    pub fn general(&self) -> NodeId {
+        self.agr.general()
+    }
+
+    /// The anchor of the current execution, if set.
+    #[must_use]
+    pub fn tau_g(&self) -> Option<LocalTime> {
+        self.agr.tau_g()
+    }
+
+    /// Whether the node has returned (decided or aborted) this execution.
+    #[must_use]
+    pub fn has_returned(&self) -> bool {
+        self.agr.has_returned()
+    }
+
+    /// The decision of the current execution, if returned (`Some(None)`
+    /// is an abort), resolved back to the value type.
+    #[must_use]
+    pub fn decision(&self) -> Option<Option<V>> {
+        self.agr
+            .decision()
+            .map(|d| d.map(|id| self.interner.resolve(id).clone()))
+    }
+
+    /// Number of broadcasters detected so far.
+    #[must_use]
+    pub fn broadcaster_count(&self) -> usize {
+        self.agr.broadcaster_count()
+    }
+
+    /// Number of live triplets in the embedded `msgd-broadcast` state.
+    #[must_use]
+    pub fn triplet_count(&self) -> usize {
+        self.agr.msgd().triplet_count()
+    }
+
+    /// Whether the triplet `(broadcaster, value, round)` has been
+    /// accepted.
+    #[must_use]
+    pub fn accepted(&self, broadcaster: NodeId, round: u32, value: &V) -> bool {
+        self.interner
+            .lookup(value)
+            .is_some_and(|id| self.agr.msgd().accepted(broadcaster, round, id))
+    }
+
+    /// The underlying id-keyed instance.
+    #[must_use]
+    pub fn raw(&self) -> &'a InternedAgreement {
+        self.agr
+    }
+}
+
+/// Mutable corruption handle over an interned `Initiator-Accept`
+/// instance: value arguments are interned, then planted as raw state —
+/// the same surface the transient-fault harness used against the
+/// value-keyed primitive.
+pub struct IaCorrupt<'a, V: Value> {
+    ia: &'a mut InternedInitiatorAccept,
+    interner: &'a mut ValueInterner<V>,
+}
+
+impl<'a, V: Value> IaCorrupt<'a, V> {
+    /// Plants a bogus `i_values[G, m]` entry.
+    pub fn corrupt_i_value(&mut self, value: V, stamp: LocalTime) {
+        let id = self.interner.intern(&value);
+        self.ia.corrupt_i_value(id, stamp);
+    }
+
+    /// Plants a bogus armed `ready(G, m)` flag.
+    pub fn corrupt_ready(&mut self, value: V, stamp: LocalTime) {
+        let id = self.interner.intern(&value);
+        self.ia.corrupt_ready(id, stamp);
+    }
+
+    /// Plants bogus `last(G)` / `last(G, m)` guards.
+    pub fn corrupt_guards(&mut self, value: V, last_g: LocalTime, last_gm: LocalTime) {
+        let id = self.interner.intern(&value);
+        self.ia.corrupt_guards(id, last_g, last_gm);
+    }
+
+    /// Injects a bogus arrival.
+    pub fn corrupt_log(&mut self, kind: IaKind, value: V, sender: NodeId, stamp: LocalTime) {
+        let id = self.interner.intern(&value);
+        self.ia.corrupt_log(kind, id, sender, stamp);
+    }
+}
+
+/// Mutable corruption handle over an interned agreement instance.
+pub struct AgrCorrupt<'a, V: Value> {
+    agr: &'a mut InternedAgreement,
+    interner: &'a mut ValueInterner<V>,
+}
+
+impl<'a, V: Value> AgrCorrupt<'a, V> {
+    /// Plants a bogus anchor.
+    pub fn corrupt_anchor(&mut self, tau_g: LocalTime) {
+        self.agr.corrupt_anchor(tau_g);
+    }
+
+    /// Plants a fake returned state.
+    pub fn corrupt_returned(&mut self, decision: Option<V>, at: LocalTime) {
+        let decision = decision.map(|v| self.interner.intern(&v));
+        self.agr.corrupt_returned(decision, at);
+    }
+
+    /// Plants a fake accepted broadcast.
+    pub fn corrupt_accepted(&mut self, value: V, round: u32, broadcaster: NodeId, at: LocalTime) {
+        let id = self.interner.intern(&value);
+        self.agr.corrupt_accepted(id, round, broadcaster, at);
+    }
+
+    /// Corruption handle for the embedded `msgd-broadcast` state.
+    pub fn msgd_mut(&mut self) -> MsgdCorrupt<'_, V> {
+        MsgdCorrupt {
+            msgd: self.agr.msgd_mut(),
+            interner: self.interner,
+        }
+    }
+}
+
+/// Mutable corruption handle over interned `msgd-broadcast` state.
+pub struct MsgdCorrupt<'a, V: Value> {
+    msgd: &'a mut InternedMsgdBroadcast,
+    interner: &'a mut ValueInterner<V>,
+}
+
+impl<'a, V: Value> MsgdCorrupt<'a, V> {
+    /// Plants bogus triplet evidence. Out-of-range rounds are ignored.
+    pub fn corrupt_triplet(
+        &mut self,
+        broadcaster: NodeId,
+        round: u32,
+        value: V,
+        kind: BcastKind,
+        sender: NodeId,
+        stamp: LocalTime,
+    ) {
+        let id = self.interner.intern(&value);
+        self.msgd
+            .corrupt_triplet(broadcaster, round, id, kind, sender, stamp);
+    }
+
+    /// Plants a fake broadcaster entry.
+    pub fn corrupt_broadcaster(&mut self, p: NodeId, stamp: LocalTime) {
+        self.msgd.corrupt_broadcaster(p, stamp);
     }
 }
 
 pub mod reference {
-    //! The pre-outbox Vec-returning engine dispatch, kept as the **golden
+    //! The value-keyed `BTreeMap` engine dispatch, kept as the **golden
     //! reference model** — mirroring [`crate::store::reference`] and the
     //! scheduler's `sched::reference`.
     //!
-    //! [`ReferenceEngine`] drives the *same* per-General protocol
-    //! instances as [`Engine`](super::Engine) but through the old
-    //! dispatch plumbing: every call returns a fresh `Vec<Output<V>>` and
-    //! stages internal actions in per-call vectors. It exists so that
+    //! [`ReferenceEngine`] owns its own old-style per-General instances
+    //! ([`InitiatorAccept`], [`Agreement`] — the value-keyed primitives)
+    //! and the pre-interning `last_per_value: BTreeMap<V, _>` guard, and
+    //! dispatches through the old Vec-returning plumbing: every call
+    //! returns a fresh `Vec<Output<V>>`. It exists so that
     //!
-    //! * the equivalence battery
-    //!   (`crates/core/tests/outbox_equivalence.rs`) can require
-    //!   bit-identical output sequences from the pooled dispatch over
-    //!   random message/tick/initiate interleavings, and
+    //! * the equivalence batteries
+    //!   (`crates/core/tests/outbox_equivalence.rs` and
+    //!   `crates/core/tests/intern_equivalence.rs`) can require
+    //!   bit-identical output sequences from the interned pooled dispatch
+    //!   over random message/tick/initiate interleavings, and
     //! * the `store_hot_path` engine benches can keep a reproducible
-    //!   allocating baseline in the same binary.
+    //!   tree-walking baseline in the same binary.
     //!
     //! Not used on any protocol path.
 
-    use super::*;
+    use std::collections::BTreeMap;
 
-    /// The Vec-returning engine: one node's complete protocol state
-    /// behind the pre-outbox API.
+    use super::*;
+    use crate::agreement::{AgrAction, Agreement};
+    use crate::initiator_accept::{IaAction, InitiatorAccept};
+
+    /// Value-keyed General-side state (the pre-interning layout).
+    #[derive(Debug, Clone)]
+    struct RefGeneralControl<V> {
+        last_initiation: Option<LocalTime>,
+        last_per_value: BTreeMap<V, LocalTime>,
+        failed_at: Option<LocalTime>,
+        pending_checks: Vec<RefPendingCheck<V>>,
+    }
+
+    impl<V: Value> Default for RefGeneralControl<V> {
+        fn default() -> Self {
+            RefGeneralControl {
+                last_initiation: None,
+                last_per_value: BTreeMap::new(),
+                failed_at: None,
+                pending_checks: Vec::new(),
+            }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    struct RefPendingCheck<V> {
+        value: V,
+        invoked_at: LocalTime,
+        approve_ok: bool,
+        ready_ok: bool,
+        accept_ok: bool,
+    }
+
+    /// The value-keyed, Vec-returning engine: one node's complete
+    /// protocol state behind the pre-interning API.
     #[derive(Debug, Clone)]
     pub struct ReferenceEngine<V: Value> {
-        inner: Engine<V>,
+        me: NodeId,
+        params: Params,
+        ia: DenseNodeMap<InitiatorAccept<V>>,
+        agr: DenseNodeMap<Agreement<V>>,
+        general_ctl: RefGeneralControl<V>,
+        last_cleanup: Option<LocalTime>,
     }
 
     impl<V: Value> ReferenceEngine<V> {
@@ -651,35 +1050,52 @@ pub mod reference {
         #[must_use]
         pub fn new(me: NodeId, params: Params) -> Self {
             ReferenceEngine {
-                inner: Engine::new(me, params),
+                me,
+                params,
+                ia: DenseNodeMap::with_capacity(params.n()),
+                agr: DenseNodeMap::with_capacity(params.n()),
+                general_ctl: RefGeneralControl::default(),
+                last_cleanup: None,
             }
         }
 
-        /// Read access to the underlying engine state (shared with the
-        /// pooled API — `ia`/`agreement` introspection etc.).
+        /// This node's identity.
         #[must_use]
-        pub fn engine(&self) -> &Engine<V> {
-            &self.inner
+        pub fn id(&self) -> NodeId {
+            self.me
         }
 
-        /// Mutable access (corruption hooks for equivalence tests).
-        pub fn engine_mut(&mut self) -> &mut Engine<V> {
-            &mut self.inner
+        /// The protocol constants in force.
+        #[must_use]
+        pub fn params(&self) -> &Params {
+            &self.params
         }
 
-        /// Pre-outbox [`Engine::initiate`]: outputs returned by value.
+        /// Read access to the value-keyed `Initiator-Accept` instance.
+        #[must_use]
+        pub fn ia(&self, general: NodeId) -> Option<&InitiatorAccept<V>> {
+            self.ia.get(general)
+        }
+
+        /// Read access to the value-keyed agreement instance.
+        #[must_use]
+        pub fn agreement(&self, general: NodeId) -> Option<&Agreement<V>> {
+            self.agr.get(general)
+        }
+
+        /// Pre-interning [`Engine::initiate`]: outputs returned by value.
         ///
         /// # Errors
         ///
         /// Returns an [`InitiateError`] when ``[IG1]``–``[IG3]`` would be
-        /// violated, exactly as the pooled engine does.
+        /// violated, exactly as the interned engine does.
         pub fn initiate(
             &mut self,
             now: LocalTime,
             value: V,
         ) -> Result<Vec<Output<V>>, InitiateError> {
-            let p = self.inner.params;
-            if let Some(failed) = self.inner.general_ctl.failed_at {
+            let p = self.params;
+            if let Some(failed) = self.general_ctl.failed_at {
                 let elapsed = now.since_or_zero(failed);
                 if failed.is_after(now) || elapsed < p.delta_reset() {
                     return Err(InitiateError::BackingOff {
@@ -687,7 +1103,7 @@ pub mod reference {
                     });
                 }
             }
-            if let Some(last) = self.inner.general_ctl.last_initiation {
+            if let Some(last) = self.general_ctl.last_initiation {
                 let elapsed = now.since_or_zero(last);
                 if last.is_after(now) || elapsed < p.delta_0() {
                     return Err(InitiateError::TooSoon {
@@ -695,7 +1111,7 @@ pub mod reference {
                     });
                 }
             }
-            if let Some(last) = self.inner.general_ctl.last_per_value.get(&value) {
+            if let Some(last) = self.general_ctl.last_per_value.get(&value) {
                 let elapsed = now.since_or_zero(*last);
                 if last.is_after(now) || elapsed < p.delta_v() {
                     return Err(InitiateError::SameValueTooSoon {
@@ -703,14 +1119,11 @@ pub mod reference {
                     });
                 }
             }
-            let me = self.inner.me;
-            self.inner.ia_entry(me).clear_messages_before_initiation();
-            self.inner.general_ctl.last_initiation = Some(now);
-            self.inner
-                .general_ctl
-                .last_per_value
-                .insert(value.clone(), now);
-            self.inner.general_ctl.pending_checks.push(PendingCheck {
+            let me = self.me;
+            self.ia_entry(me).clear_messages_before_initiation();
+            self.general_ctl.last_initiation = Some(now);
+            self.general_ctl.last_per_value.insert(value.clone(), now);
+            self.general_ctl.pending_checks.push(RefPendingCheck {
                 value: value.clone(),
                 invoked_at: now,
                 approve_ok: false,
@@ -720,7 +1133,7 @@ pub mod reference {
             let d = p.d();
             Ok(vec![
                 Output::Broadcast(Msg::Initiator {
-                    general: self.inner.me,
+                    general: self.me,
                     value,
                 }),
                 Output::WakeAt(now + d * 2u64 + Duration::from_nanos(1)),
@@ -729,7 +1142,7 @@ pub mod reference {
             ])
         }
 
-        /// Pre-outbox [`Engine::on_message`].
+        /// Pre-interning [`Engine::on_message`].
         pub fn on_message(
             &mut self,
             now: LocalTime,
@@ -739,8 +1152,9 @@ pub mod reference {
             self.on_message_ref(now, sender, &msg)
         }
 
-        /// Pre-outbox [`Engine::on_message_ref`]: allocates a fresh
-        /// output vector (and internal staging vectors) per call.
+        /// Pre-interning [`Engine::on_message_ref`]: allocates a fresh
+        /// output vector (and internal staging vectors) per call, and pays
+        /// a `BTreeMap<V, _>` walk for every per-value lookup.
         pub fn on_message_ref(
             &mut self,
             now: LocalTime,
@@ -748,19 +1162,18 @@ pub mod reference {
             msg: &Msg<V>,
         ) -> Vec<Output<V>> {
             let mut out = Vec::new();
-            let n = self.inner.params.n();
+            let n = self.params.n();
             if sender.index() >= n || msg.general().index() >= n {
                 return out;
             }
-            self.inner.cleanup_if_due(now);
+            self.cleanup_if_due(now);
             match msg {
                 Msg::Initiator { general, value } => {
                     if sender != *general {
                         return out;
                     }
                     let mut ia_out = Vec::new();
-                    self.inner
-                        .ia_entry(*general)
+                    self.ia_entry(*general)
                         .on_initiator_ref(now, value, &mut ia_out);
                     self.absorb_ia(now, *general, ia_out, &mut out);
                 }
@@ -770,13 +1183,8 @@ pub mod reference {
                     value,
                 } => {
                     let mut ia_out = Vec::new();
-                    self.inner.ia_entry(*general).on_message_ref(
-                        now,
-                        sender,
-                        *kind,
-                        value,
-                        &mut ia_out,
-                    );
+                    self.ia_entry(*general)
+                        .on_message_ref(now, sender, *kind, value, &mut ia_out);
                     self.absorb_ia(now, *general, ia_out, &mut out);
                 }
                 Msg::Bcast {
@@ -786,8 +1194,11 @@ pub mod reference {
                     value,
                     round,
                 } => {
+                    if *round == 0 || *round > self.params.max_round() || broadcaster.index() >= n {
+                        return out;
+                    }
                     let mut agr_out = Vec::new();
-                    self.inner.agr_entry(*general).on_bcast_ref(
+                    self.agr_entry(*general).on_bcast_ref(
                         now,
                         sender,
                         *kind,
@@ -803,14 +1214,14 @@ pub mod reference {
             out
         }
 
-        /// Pre-outbox [`Engine::on_tick`].
+        /// Pre-interning [`Engine::on_tick`].
         pub fn on_tick(&mut self, now: LocalTime) -> Vec<Output<V>> {
             let mut out = Vec::new();
-            self.inner.cleanup_if_due(now);
-            let generals: Vec<NodeId> = self.inner.agr.keys().collect();
+            self.cleanup_if_due(now);
+            let generals: Vec<NodeId> = self.agr.keys().collect();
             for g in generals {
                 let mut agr_out = Vec::new();
-                if let Some(agr) = self.inner.agr.get_mut(g) {
+                if let Some(agr) = self.agr.get_mut(g) {
                     agr.on_tick(now, &mut agr_out);
                 }
                 self.absorb_agr(now, g, agr_out, &mut out);
@@ -820,9 +1231,9 @@ pub mod reference {
         }
 
         fn check_own_initiations(&mut self, now: LocalTime, out: &mut Vec<Output<V>>) {
-            let d = self.inner.params.d();
-            let me = self.inner.me;
-            let checks = std::mem::take(&mut self.inner.general_ctl.pending_checks);
+            let d = self.params.d();
+            let me = self.me;
+            let checks = std::mem::take(&mut self.general_ctl.pending_checks);
             let mut keep = Vec::new();
             for mut check in checks {
                 if check.invoked_at.is_after(now) {
@@ -830,7 +1241,6 @@ pub mod reference {
                 }
                 let elapsed = now.since(check.invoked_at);
                 let prog = self
-                    .inner
                     .ia
                     .get(me)
                     .map(|ia| ia.own_progress(&check.value))
@@ -847,7 +1257,7 @@ pub mod reference {
                     || (elapsed > d * 3u64 && !check.ready_ok)
                     || (elapsed > d * 4u64 && !check.accept_ok);
                 if failed {
-                    self.inner.general_ctl.failed_at = Some(now);
+                    self.general_ctl.failed_at = Some(now);
                     out.push(Output::Event(Event::InitiationFailed {
                         value: check.value,
                         at: now,
@@ -856,7 +1266,7 @@ pub mod reference {
                     keep.push(check);
                 }
             }
-            self.inner.general_ctl.pending_checks = keep;
+            self.general_ctl.pending_checks = keep;
         }
 
         fn absorb_ia(
@@ -880,7 +1290,7 @@ pub mod reference {
                             tau_g,
                         }));
                         let mut agr_out = Vec::new();
-                        self.inner.agr_entry(general).on_i_accept(
+                        self.agr_entry(general).on_i_accept(
                             now,
                             value,
                             tau_g,
@@ -932,12 +1342,65 @@ pub mod reference {
                         out.push(Output::Event(event));
                     }
                     AgrAction::ExecutionReset => {
-                        if let Some(ia) = self.inner.ia.get_mut(general) {
+                        if let Some(ia) = self.ia.get_mut(general) {
                             ia.reset_for_next_execution(now);
                         }
                     }
                 }
             }
+        }
+
+        fn cleanup_if_due(&mut self, now: LocalTime) {
+            let cadence = self.params.d();
+            if let Some(last) = self.last_cleanup {
+                if !last.is_after(now) && now.since(last) < cadence {
+                    return;
+                }
+            }
+            self.last_cleanup = Some(now);
+            for ia in self.ia.values_mut() {
+                ia.cleanup(now);
+            }
+            for agr in self.agr.values_mut() {
+                agr.cleanup(now);
+            }
+            let p = self.params;
+            if let Some(t) = self.general_ctl.last_initiation {
+                if t.is_after(now) || now.since(t) > p.delta_0() {
+                    self.general_ctl.last_initiation = None;
+                }
+            }
+            self.general_ctl
+                .last_per_value
+                .retain(|_, t| !t.is_after(now) && now.since(*t) <= p.delta_v());
+            if let Some(t) = self.general_ctl.failed_at {
+                if t.is_after(now) || now.since(t) > p.delta_reset() {
+                    self.general_ctl.failed_at = None;
+                }
+            }
+            self.general_ctl
+                .pending_checks
+                .retain(|c| !c.invoked_at.is_after(now) && now.since(c.invoked_at) <= p.d() * 8u64);
+            self.agr.retain(|_, a| {
+                a.tau_g().is_some()
+                    || a.has_returned()
+                    || a.broadcaster_count() > 0
+                    || a.msgd().triplet_count() > 0
+            });
+        }
+
+        fn ia_entry(&mut self, general: NodeId) -> &mut InitiatorAccept<V> {
+            let me = self.me;
+            let params = self.params;
+            self.ia
+                .get_or_insert_with(general, || InitiatorAccept::new(me, general, params))
+        }
+
+        fn agr_entry(&mut self, general: NodeId) -> &mut Agreement<V> {
+            let me = self.me;
+            let params = self.params;
+            self.agr
+                .get_or_insert_with(general, || Agreement::new(me, general, params))
         }
     }
 }
@@ -1151,6 +1614,8 @@ mod tests {
         );
         assert!(out.is_empty());
         assert!(e.ia(id(0)).is_none());
+        // The rejected value was never interned either.
+        assert_eq!(e.interner().occupancy(), 0);
     }
 
     #[test]
@@ -1217,6 +1682,7 @@ mod tests {
         call_initiate(&mut e, t(0), 7).unwrap();
         e.hard_reset();
         assert!(e.ia(id(0)).is_none());
+        assert_eq!(e.interner().occupancy(), 0);
         assert!(call_initiate(&mut e, t(1), 7).is_ok(), "guards wiped");
     }
 
@@ -1230,6 +1696,20 @@ mod tests {
         let later = t(0) + p.delta_v() + d() * 2u64;
         call_tick(&mut e, later);
         assert!(call_initiate(&mut e, later, 7).is_ok());
+    }
+
+    #[test]
+    fn cleanup_reclaims_decayed_intern_ids() {
+        let p = params4();
+        let mut e: Engine<u64> = Engine::new(id(0), p);
+        call_initiate(&mut e, t(0), 7).unwrap();
+        assert_eq!(e.interner().occupancy(), 1);
+        // After every guard and state horizon has passed, a tick's
+        // cleanup sweep reclaims the id.
+        let later = t(0) + p.delta_v() * 4u64;
+        call_tick(&mut e, later);
+        call_tick(&mut e, later + p.delta_v() * 4u64);
+        assert_eq!(e.interner().occupancy(), 0, "decayed value id reclaimed");
     }
 
     #[test]
@@ -1274,12 +1754,12 @@ mod tests {
     }
 
     #[test]
-    fn reference_engine_matches_pooled_on_clean_run() {
-        // Smoke-level equivalence (the full battery lives in
-        // crates/core/tests/outbox_equivalence.rs): a support wave
-        // produces identical outputs from both dispatchers.
+    fn reference_engine_matches_interned_on_clean_run() {
+        // Smoke-level equivalence (the full batteries live in
+        // crates/core/tests/{outbox,intern}_equivalence.rs): a support
+        // wave produces identical outputs from both dispatchers.
         let p = params4();
-        let mut pooled: Engine<u64> = Engine::new(id(1), p);
+        let mut interned: Engine<u64> = Engine::new(id(1), p);
         let mut golden = reference::ReferenceEngine::new(id(1), p);
         let mut ob = Outbox::new();
         for (i, s) in [0u32, 0, 2, 2, 3].iter().enumerate() {
@@ -1289,7 +1769,7 @@ mod tests {
                 value: 7,
             };
             let now = t(i as u64);
-            pooled.on_message_ref(now, id(*s), &msg, &mut ob);
+            interned.on_message_ref(now, id(*s), &msg, &mut ob);
             let want = golden.on_message_ref(now, id(*s), &msg);
             assert_eq!(ob.outputs(), want.as_slice(), "delivery {i}");
         }

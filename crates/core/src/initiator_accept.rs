@@ -24,6 +24,7 @@ use std::collections::BTreeMap;
 
 use ssbyz_types::{Duration, LocalTime, NodeId, Value};
 
+use crate::intern::{ValueId, ValueIdMap, ValueInterner};
 use crate::message::IaKind;
 use crate::params::Params;
 use crate::store::{ArrivalLog, TimedVar};
@@ -581,6 +582,480 @@ impl<V: Value> InitiatorAccept<V> {
         self.values
             .entry(value)
             .or_default()
+            .log_mut(kind)
+            .inject_raw(sender, stamp);
+    }
+}
+
+/// The [`ValueId`](crate::intern::ValueId)-keyed `Initiator-Accept` used
+/// on the engine's delivery path: per-value state lives in dense
+/// [`ValueIdMap`](crate::intern::ValueIdMap) slots, so the per-delivery
+/// value lookup is an array index instead of the `BTreeMap` walk the
+/// value-keyed [`InitiatorAccept`] (the golden model) performs.
+///
+/// The state machine is a line-for-line port of [`InitiatorAccept`]; the
+/// equivalence battery (`crates/core/tests/intern_equivalence.rs`)
+/// requires the interned engine to stay bit-identical to the value-keyed
+/// dispatch. The interner itself is owned by the
+/// [`Engine`](crate::Engine), which interns each wire value once at the
+/// boundary and resolves ids back to values only at output emission; the
+/// few methods here that need value *ordering* (the eviction tie-break)
+/// borrow it read-only.
+#[derive(Debug, Clone)]
+pub struct InternedInitiatorAccept {
+    me: NodeId,
+    general: NodeId,
+    params: Params,
+    values: ValueIdMap<ValueState>,
+    /// `last(G)` with change history.
+    last_g: TimedVar<LocalTime>,
+    /// Times at which *this node* sent `(support, G, ·)` — line K1 window.
+    own_support_times: Vec<LocalTime>,
+}
+
+impl InternedInitiatorAccept {
+    /// Creates a fresh instance (all variables ⊥, no messages).
+    #[must_use]
+    pub fn new(me: NodeId, general: NodeId, params: Params) -> Self {
+        InternedInitiatorAccept {
+            me,
+            general,
+            params,
+            values: ValueIdMap::new(),
+            last_g: TimedVar::new(),
+            own_support_times: Vec::new(),
+        }
+    }
+
+    /// The General this instance tracks.
+    #[must_use]
+    pub fn general(&self) -> NodeId {
+        self.general
+    }
+
+    /// The node this instance runs at.
+    #[must_use]
+    pub fn node_id(&self) -> NodeId {
+        self.me
+    }
+
+    /// Block K, on an interned `(Initiator, G, m)` from the General.
+    pub fn on_initiator<V: Value>(
+        &mut self,
+        now: LocalTime,
+        value: ValueId,
+        interner: &ValueInterner<V>,
+        out: &mut Vec<IaAction<ValueId>>,
+    ) {
+        if self.is_ignoring(value, now) {
+            return;
+        }
+        let d = self.params.d();
+        // K1 — all four guards.
+        let other_i_value = self
+            .values
+            .iter()
+            .any(|(v, st)| v != value && st.i_value.is_some());
+        let last_g_set = self.last_g.get().is_some();
+        let recent_own_support = self
+            .own_support_times
+            .iter()
+            .any(|t| !t.is_after(now) && now.since(*t) <= d);
+        let last_gm_set_d_ago = self
+            .values
+            .get(value)
+            .is_some_and(|st| st.last_gm.at(now - d).is_some());
+        if other_i_value || last_g_set || recent_own_support || last_gm_set_d_ago {
+            return;
+        }
+        // K2 — record time (d before now), support the value, stamp
+        // last(G, m).
+        let st = self.state_mut(now, value, interner);
+        st.i_value = Some(now - d);
+        st.last_gm.set(now, now);
+        st.touched = Some(now);
+        self.send(now, IaKind::Support, value, out);
+        self.evaluate(now, value, out);
+    }
+
+    /// Feeds an interned stage message from an authenticated `sender`.
+    pub fn on_message<V: Value>(
+        &mut self,
+        now: LocalTime,
+        sender: NodeId,
+        kind: IaKind,
+        value: ValueId,
+        interner: &ValueInterner<V>,
+        out: &mut Vec<IaAction<ValueId>>,
+    ) {
+        if sender.index() >= self.params.n() {
+            return; // sender outside the fixed membership
+        }
+        if self.is_ignoring(value, now) {
+            return;
+        }
+        let st = self.state_mut(now, value, interner);
+        st.log_mut(kind).record(now, sender);
+        st.touched = Some(now);
+        self.evaluate(now, value, out);
+    }
+
+    /// Runs lines L1–N4 for `value` against the current logs.
+    pub fn evaluate(&mut self, now: LocalTime, value: ValueId, out: &mut Vec<IaAction<ValueId>>) {
+        let d = self.params.d();
+        let weak = self.params.weak_quorum();
+        let strong = self.params.quorum();
+        let Some(st) = self.values.get_mut(value) else {
+            return;
+        };
+
+        // L1–L4 — one fused pass over the support log: the shortest
+        // suffix window of ≤ 4d holding a weak quorum (record
+        // max(i_value, t_k − 2d)) and the strong-quorum 2d count. The
+        // value-keyed golden model issues these as two separate scans;
+        // the fused query returns bit-identical answers.
+        let (tk, support_2d) =
+            st.support
+                .kth_latest_with_inner_count(now, d * 4u64, weak, d * 2u64);
+        if let Some(tk) = tk {
+            let candidate = tk - d * 2u64;
+            st.i_value = Some(match st.i_value {
+                Some(cur) if cur.is_after(candidate) => cur,
+                _ => candidate,
+            });
+            st.last_gm.set(now, now);
+        }
+        let mut send_approve = false;
+        if support_2d >= strong {
+            send_approve = true;
+            st.last_gm.set(now, now);
+        }
+        // M1–M4 — one fused pass over the approve log: weak quorum within
+        // 5d arms the ready flag, strong quorum within 3d sends ready.
+        let (approve_5d, approve_3d) =
+            st.approve
+                .distinct_in_nested_windows(now, d * 5u64, d * 3u64);
+        if approve_5d >= weak {
+            st.ready_at = Some(now);
+            st.last_gm.set(now, now);
+        }
+        let mut send_ready = false;
+        if approve_3d >= strong {
+            send_ready = true;
+            st.last_gm.set(now, now);
+        }
+        // N1/N2 — untimed: armed + weak quorum of readys ⇒ amplify.
+        if st.ready_at.is_some() && st.ready.distinct_total() >= weak {
+            send_ready = true;
+            st.last_gm.set(now, now);
+        }
+        // N3/N4 — armed + strong quorum of readys ⇒ I-accept.
+        let mut accept: Option<LocalTime> = None;
+        let mut flush_wave = false;
+        if st.accepted_at.is_none() && st.ready_at.is_some() && st.ready.distinct_total() >= strong
+        {
+            if let Some(tau_g) = st.i_value {
+                accept = Some(tau_g);
+            } else {
+                // Stabilization guard: flush the bogus wave rather than
+                // accept an undefined anchor.
+                flush_wave = true;
+            }
+        }
+
+        if send_approve {
+            self.send(now, IaKind::Approve, value, out);
+        }
+        if send_ready {
+            self.send(now, IaKind::Ready, value, out);
+        }
+        if flush_wave {
+            let st = self.values.get_mut(value).expect("state exists");
+            st.support.clear();
+            st.approve.clear();
+            st.ready.clear();
+            st.ready_at = None;
+            st.ignore_until = Some(now + d * 3u64);
+        }
+        if let Some(tau_g) = accept {
+            self.do_accept(now, value, tau_g, out);
+        }
+    }
+
+    /// Line N4 body.
+    fn do_accept(
+        &mut self,
+        now: LocalTime,
+        value: ValueId,
+        tau_g: LocalTime,
+        out: &mut Vec<IaAction<ValueId>>,
+    ) {
+        let d = self.params.d();
+        // i_values[G, ∗] := ⊥ for every value.
+        for st in self.values.values_mut() {
+            st.i_value = None;
+        }
+        let st = self.values.get_mut(value).expect("state exists");
+        st.support.clear();
+        st.approve.clear();
+        st.ready.clear();
+        st.ignore_until = Some(now + d * 3u64);
+        st.accepted_at = Some(now);
+        st.last_gm.set(now, now);
+        self.last_g.set(now, now);
+        out.push(IaAction::Accepted { value, tau_g });
+    }
+
+    /// Whether `(G, m)` messages are currently being ignored.
+    #[must_use]
+    pub fn is_ignoring(&self, value: ValueId, now: LocalTime) -> bool {
+        self.values
+            .get(value)
+            .and_then(|st| st.ignore_until)
+            .is_some_and(|until| until.is_after(now))
+    }
+
+    fn state_mut<V: Value>(
+        &mut self,
+        now: LocalTime,
+        value: ValueId,
+        interner: &ValueInterner<V>,
+    ) -> &mut ValueState {
+        if !self.values.contains(value) {
+            if self.values.len() >= MAX_TRACKED_VALUES {
+                // Evict the least-recently-touched value. The golden model
+                // scans its `BTreeMap` in ascending value order and
+                // `max_by_key` keeps the *last* maximum, i.e. the largest
+                // value among the equally-oldest — replicate that
+                // tie-break through the interner so the two dispatches
+                // never diverge.
+                let mut evict: Option<(u64, ValueId)> = None;
+                for (v, st) in self.values.iter() {
+                    let age = st
+                        .touched
+                        .map_or(u64::MAX, |t| now.since_or_zero(t).as_nanos());
+                    let better = match evict {
+                        None => true,
+                        Some((best_age, best_v)) => {
+                            age > best_age
+                                || (age == best_age
+                                    && interner.resolve(v) > interner.resolve(best_v))
+                        }
+                    };
+                    if better {
+                        evict = Some((age, v));
+                    }
+                }
+                if let Some((_, v)) = evict {
+                    self.values.remove(v);
+                }
+            }
+            self.values.insert(value, ValueState::default());
+        }
+        self.values.get_mut(value).expect("just ensured present")
+    }
+
+    fn send(
+        &mut self,
+        now: LocalTime,
+        kind: IaKind,
+        value: ValueId,
+        out: &mut Vec<IaAction<ValueId>>,
+    ) {
+        let gap = self.params.resend_gap();
+        let st = self.values.get_mut(value).expect("send requires state");
+        let slot = &mut st.sent[kind as usize];
+        if slot.is_some_and(|last| !last.is_after(now) && now.since(last) < gap) {
+            return;
+        }
+        *slot = Some(now);
+        if kind == IaKind::Support {
+            self.own_support_times.push(now);
+        }
+        out.push(IaAction::Send { kind, value });
+    }
+
+    /// Fig. 2 cleanup — identical decay schedule to the value-keyed model.
+    pub fn cleanup(&mut self, now: LocalTime) {
+        let p = self.params;
+        let d = p.d();
+        let rmv = p.delta_rmv();
+        let expired = |t: Option<LocalTime>, horizon: Duration| {
+            t.is_some_and(|t| t.is_after(now) || now.since(t) > horizon)
+        };
+        for st in self.values.values_mut() {
+            st.support.prune(now, rmv);
+            st.approve.prune(now, rmv);
+            st.ready.prune(now, rmv);
+            if expired(st.i_value, rmv) {
+                st.i_value = None;
+            }
+            if expired(st.ready_at, rmv) {
+                st.ready_at = None;
+            }
+            if let Some(until) = st.ignore_until {
+                if !until.is_after(now) || until.since(now) > d * 3u64 {
+                    st.ignore_until = None;
+                }
+            }
+            for slot in &mut st.sent {
+                if expired(*slot, rmv) {
+                    *slot = None;
+                }
+            }
+            if expired(st.accepted_at, rmv) {
+                st.accepted_at = None;
+            }
+            let gm_expiry = p.last_gm_expiry();
+            if expired(st.last_gm.get().copied(), gm_expiry) {
+                st.last_gm.clear(now);
+            }
+            st.last_gm.prune(now, gm_expiry + d * 2u64);
+            st.last_gm.compact_history(now, d * 2u64);
+            if expired(st.touched, rmv * 2u64 + d * 16u64) {
+                st.touched = None;
+            }
+        }
+        self.values.retain(|_, st| !st.is_dormant());
+        if expired(self.last_g.get().copied(), p.last_g_expiry()) {
+            self.last_g.clear(now);
+        }
+        self.last_g.prune(now, p.last_g_expiry() + d * 2u64);
+        self.last_g.compact_history(now, d * 2u64);
+        self.own_support_times
+            .retain(|t| !t.is_after(now) && now.since(*t) <= d * 2u64);
+    }
+
+    /// Reset after the surrounding agreement returned; guards are kept.
+    pub fn reset_for_next_execution(&mut self, _now: LocalTime) {
+        for st in self.values.values_mut() {
+            st.i_value = None;
+            st.ready_at = None;
+            st.support.clear();
+            st.approve.clear();
+            st.ready.clear();
+            st.ignore_until = None;
+            st.sent = [None; 3];
+            st.accepted_at = None;
+        }
+        self.own_support_times.clear();
+        self.values.retain(|_, st| !st.is_dormant());
+    }
+
+    /// The General clears all messages of previous invocations of its own
+    /// primitive before initiating (paper §4). Guards are kept.
+    pub fn clear_messages_before_initiation(&mut self) {
+        for st in self.values.values_mut() {
+            st.support.clear();
+            st.approve.clear();
+            st.ready.clear();
+            st.ready_at = None;
+        }
+    }
+
+    /// Marks every id this instance still references, for the engine's
+    /// interner sweep.
+    pub(crate) fn mark_live<V: Value>(&self, interner: &mut ValueInterner<V>) {
+        for id in self.values.keys() {
+            interner.mark(id);
+        }
+    }
+
+    /// The current `i_values[G, m]` entry.
+    #[must_use]
+    pub fn i_value(&self, value: ValueId) -> Option<LocalTime> {
+        self.values.get(value).and_then(|st| st.i_value)
+    }
+
+    /// Whether any `i_values[G, ·]` entry is set.
+    #[must_use]
+    pub fn any_i_value(&self) -> bool {
+        self.values.values().any(|st| st.i_value.is_some())
+    }
+
+    /// Whether the `ready(G, m)` flag is armed.
+    #[must_use]
+    pub fn is_ready(&self, value: ValueId) -> bool {
+        self.values
+            .get(value)
+            .is_some_and(|st| st.ready_at.is_some())
+    }
+
+    /// The `last(G)` guard.
+    #[must_use]
+    pub fn last_g(&self) -> Option<LocalTime> {
+        self.last_g.get().copied()
+    }
+
+    /// The `last(G, m)` guard.
+    #[must_use]
+    pub fn last_gm(&self, value: ValueId) -> Option<LocalTime> {
+        self.values
+            .get(value)
+            .and_then(|st| st.last_gm.get().copied())
+    }
+
+    /// This node's own sending progress for `value` (``[IG3]`` detection).
+    #[must_use]
+    pub fn own_progress(&self, value: ValueId) -> OwnProgress {
+        let Some(st) = self.values.get(value) else {
+            return OwnProgress::default();
+        };
+        OwnProgress {
+            approve_sent: st.sent[IaKind::Approve as usize],
+            ready_sent: st.sent[IaKind::Ready as usize],
+            accepted_at: st.accepted_at,
+        }
+    }
+
+    /// Number of distinct senders whose `kind` message for `value` is in
+    /// `[now − window, now]` (test/introspection helper).
+    #[must_use]
+    pub fn count_in_window(
+        &self,
+        now: LocalTime,
+        kind: IaKind,
+        value: ValueId,
+        window: Duration,
+    ) -> usize {
+        self.values
+            .get(value)
+            .map_or(0, |st| st.log(kind).distinct_in_window(now, window))
+    }
+
+    /// Number of tracked per-value states (bounded-memory introspection).
+    #[must_use]
+    pub fn tracked_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Raw corruption hooks for the transient-fault harness.
+    pub fn corrupt_i_value(&mut self, value: ValueId, stamp: LocalTime) {
+        self.values
+            .get_or_insert_with(value, Default::default)
+            .i_value = Some(stamp);
+    }
+
+    /// Corrupts the `ready` flag (transient-fault harness).
+    pub fn corrupt_ready(&mut self, value: ValueId, stamp: LocalTime) {
+        self.values
+            .get_or_insert_with(value, Default::default)
+            .ready_at = Some(stamp);
+    }
+
+    /// Corrupts the guards (transient-fault harness).
+    pub fn corrupt_guards(&mut self, value: ValueId, last_g: LocalTime, last_gm: LocalTime) {
+        self.last_g.inject_raw(last_g, Some(last_g));
+        self.values
+            .get_or_insert_with(value, Default::default)
+            .last_gm
+            .inject_raw(last_gm, Some(last_gm));
+    }
+
+    /// Injects a bogus arrival (transient-fault harness).
+    pub fn corrupt_log(&mut self, kind: IaKind, value: ValueId, sender: NodeId, stamp: LocalTime) {
+        self.values
+            .get_or_insert_with(value, Default::default)
             .log_mut(kind)
             .inject_raw(sender, stamp);
     }

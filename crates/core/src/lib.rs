@@ -53,6 +53,7 @@ pub mod agreement;
 pub mod corrupt;
 pub mod engine;
 pub mod initiator_accept;
+pub mod intern;
 pub mod message;
 pub mod msgd_broadcast;
 pub mod outbox;
@@ -60,12 +61,13 @@ pub mod params;
 pub mod proposer;
 pub mod store;
 
-pub use agreement::{AgrAction, Agreement};
+pub use agreement::{AgrAction, Agreement, InternedAgreement};
 pub use corrupt::{Entropy, ScrambleConfig};
 pub use engine::{Engine, Event, InitiateError, Output};
-pub use initiator_accept::{IaAction, InitiatorAccept, OwnProgress};
+pub use initiator_accept::{IaAction, InitiatorAccept, InternedInitiatorAccept, OwnProgress};
+pub use intern::{ValueId, ValueIdMap, ValueInterner};
 pub use message::{BcastKind, IaKind, Msg};
-pub use msgd_broadcast::{MsgdAction, MsgdBroadcast};
+pub use msgd_broadcast::{InternedMsgdBroadcast, MsgdAction, MsgdBroadcast};
 pub use outbox::Outbox;
 pub use params::Params;
 pub use proposer::Proposer;

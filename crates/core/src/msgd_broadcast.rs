@@ -27,6 +27,7 @@ use std::collections::BTreeMap;
 
 use ssbyz_types::{DenseNodeMap, LocalTime, NodeId, Value};
 
+use crate::intern::{ValueId, ValueIdMap, ValueInterner};
 use crate::message::BcastKind;
 use crate::params::Params;
 use crate::store::ArrivalLog;
@@ -498,6 +499,374 @@ impl<V: Value> MsgdBroadcast<V> {
             broadcaster,
             round,
             &value,
+        );
+        match kind {
+            BcastKind::Init => st.init_from_p = Some(stamp),
+            BcastKind::Echo => st.echo.inject_raw(sender, stamp),
+            BcastKind::InitPrime => st.init_prime.inject_raw(sender, stamp),
+            BcastKind::EchoPrime => st.echo_prime.inject_raw(sender, stamp),
+        }
+        st.touched = Some(stamp);
+    }
+
+    /// Corruption hook: plants a fake broadcaster entry.
+    pub fn corrupt_broadcaster(&mut self, p: NodeId, stamp: LocalTime) {
+        self.broadcasters.insert(p, stamp);
+    }
+}
+
+/// The [`ValueId`](crate::intern::ValueId)-keyed `msgd-broadcast` used on
+/// the engine's delivery path: the per-value triplet table is a dense
+/// [`ValueIdMap`](crate::intern::ValueIdMap), so a delivered echo reaches
+/// its [`TripletState`] with three array indexings and zero tree walks.
+/// Line-for-line port of the value-keyed [`MsgdBroadcast`] (the golden
+/// model); the interned engine must stay bit-identical to it.
+#[derive(Debug, Clone)]
+pub struct InternedMsgdBroadcast {
+    me: NodeId,
+    params: Params,
+    triplets: ValueIdMap<DenseNodeMap<RoundSlots>>,
+    /// Live [`TripletState`] count across all values (memory bound).
+    triplet_count: usize,
+    broadcasters: DenseNodeMap<LocalTime>,
+}
+
+impl InternedMsgdBroadcast {
+    /// Creates fresh (empty) broadcast state.
+    #[must_use]
+    pub fn new(me: NodeId, params: Params) -> Self {
+        InternedMsgdBroadcast {
+            me,
+            params,
+            triplets: ValueIdMap::new(),
+            triplet_count: 0,
+            broadcasters: DenseNodeMap::with_capacity(params.n()),
+        }
+    }
+
+    fn triplet(&self, broadcaster: NodeId, round: u32, value: ValueId) -> Option<&TripletState> {
+        self.triplets
+            .get(value)
+            .and_then(|pv| pv.get(broadcaster))
+            .and_then(|slots| slots.get(round))
+    }
+
+    fn triplet_entry<'a>(
+        triplets: &'a mut ValueIdMap<DenseNodeMap<RoundSlots>>,
+        triplet_count: &mut usize,
+        broadcaster: NodeId,
+        round: u32,
+        value: ValueId,
+    ) -> &'a mut TripletState {
+        let per_value = triplets.get_or_insert_with(value, DenseNodeMap::new);
+        let slots = per_value.get_or_insert_with(broadcaster, RoundSlots::default);
+        let (st, fresh) = slots.ensure(round);
+        if fresh {
+            *triplet_count += 1;
+        }
+        st
+    }
+
+    /// Block V: this node invokes `msgd-broadcast(me, value, round)`.
+    pub fn invoke(
+        &mut self,
+        now: LocalTime,
+        value: ValueId,
+        round: u32,
+        out: &mut Vec<MsgdAction<ValueId>>,
+    ) {
+        if round == 0 || round > self.params.max_round() {
+            return;
+        }
+        let me = self.me;
+        let st = Self::triplet_entry(
+            &mut self.triplets,
+            &mut self.triplet_count,
+            me,
+            round,
+            value,
+        );
+        if st.sent[BcastKind::Init as usize] {
+            return;
+        }
+        st.sent[BcastKind::Init as usize] = true;
+        st.touched = Some(now);
+        out.push(MsgdAction::Send {
+            kind: BcastKind::Init,
+            broadcaster: self.me,
+            value,
+            round,
+        });
+    }
+
+    /// Feeds an interned primitive message from authenticated `sender`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_message(
+        &mut self,
+        now: LocalTime,
+        sender: NodeId,
+        kind: BcastKind,
+        broadcaster: NodeId,
+        value: ValueId,
+        round: u32,
+        anchor: Option<LocalTime>,
+        out: &mut Vec<MsgdAction<ValueId>>,
+    ) {
+        if round == 0 || round > self.params.max_round() {
+            return; // bogus round — no legitimate broadcast uses it
+        }
+        if broadcaster.index() >= self.params.n() || sender.index() >= self.params.n() {
+            return; // claimed broadcaster or sender outside the membership
+        }
+        if self.triplet_count >= MAX_TRACKED_TRIPLETS
+            && self.triplet(broadcaster, round, value).is_none()
+        {
+            return; // bound memory against triplet-minting adversaries
+        }
+        let st = Self::triplet_entry(
+            &mut self.triplets,
+            &mut self.triplet_count,
+            broadcaster,
+            round,
+            value,
+        );
+        st.touched = Some(now);
+        match kind {
+            BcastKind::Init => {
+                // Only an init from the broadcaster itself counts (W2).
+                if sender == broadcaster && st.init_from_p.is_none() {
+                    st.init_from_p = Some(now);
+                }
+            }
+            BcastKind::Echo => st.echo.record(now, sender),
+            BcastKind::InitPrime => st.init_prime.record(now, sender),
+            BcastKind::EchoPrime => st.echo_prime.record(now, sender),
+        }
+        if let Some(anchor) = anchor {
+            self.evaluate_triplet(now, anchor, broadcaster, round, value, out);
+        }
+    }
+
+    /// Called when the anchor `τ_G` becomes known: evaluates every logged
+    /// triplet against it. The golden model walks its `BTreeMap` in value
+    /// order, so the buffered triplets are evaluated here in the same
+    /// `(value, broadcaster, round)` order — resolved through the
+    /// interner — to keep the output sequences bit-identical.
+    pub fn on_anchor<V: Value>(
+        &mut self,
+        now: LocalTime,
+        anchor: LocalTime,
+        interner: &ValueInterner<V>,
+        out: &mut Vec<MsgdAction<ValueId>>,
+    ) {
+        let mut keys: Vec<(NodeId, u32, ValueId)> = self
+            .triplets
+            .iter()
+            .flat_map(|(v, pv)| {
+                pv.iter().flat_map(move |(p, slots)| {
+                    slots
+                        .rounds
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.is_some())
+                        .map(move |(i, _)| (p, i as u32 + 1, v))
+                })
+            })
+            .collect();
+        keys.sort_by(|a, b| {
+            interner
+                .resolve(a.2)
+                .cmp(interner.resolve(b.2))
+                .then(a.0.cmp(&b.0))
+                .then(a.1.cmp(&b.1))
+        });
+        for (p, k, v) in keys {
+            self.evaluate_triplet(now, anchor, p, k, v, out);
+        }
+    }
+
+    /// Runs blocks W–Z for one triplet.
+    fn evaluate_triplet(
+        &mut self,
+        now: LocalTime,
+        anchor: LocalTime,
+        broadcaster: NodeId,
+        round: u32,
+        value: ValueId,
+        out: &mut Vec<MsgdAction<ValueId>>,
+    ) {
+        let phi = self.params.phi();
+        let weak = self.params.weak_quorum();
+        let strong = self.params.quorum();
+        let elapsed = now.since_or_zero(anchor);
+        let k = u64::from(round);
+        let Some(st) = self
+            .triplets
+            .get_mut(value)
+            .and_then(|pv| pv.get_mut(broadcaster))
+            .and_then(|slots| slots.get_mut(round))
+        else {
+            return;
+        };
+        let mut accepted = false;
+        let mut detected = false;
+        let send = |kind: BcastKind, out: &mut Vec<MsgdAction<ValueId>>| {
+            out.push(MsgdAction::Send {
+                kind,
+                broadcaster,
+                value,
+                round,
+            });
+        };
+
+        // Block W — by τ_G + 2kΦ.
+        if elapsed <= phi * (2 * k)
+            && st.init_from_p.is_some()
+            && !st.sent[BcastKind::Echo as usize]
+        {
+            st.sent[BcastKind::Echo as usize] = true;
+            send(BcastKind::Echo, out);
+        }
+        // Block X — by τ_G + (2k+1)Φ.
+        if elapsed <= phi * (2 * k + 1) {
+            if st.echo.distinct_total() >= weak && !st.sent[BcastKind::InitPrime as usize] {
+                st.sent[BcastKind::InitPrime as usize] = true;
+                send(BcastKind::InitPrime, out);
+            }
+            if st.echo.distinct_total() >= strong && st.accepted_at.is_none() {
+                st.accepted_at = Some(now);
+                accepted = true;
+            }
+        }
+        // Block Y — by τ_G + (2k+2)Φ.
+        if elapsed <= phi * (2 * k + 2) {
+            if st.init_prime.distinct_total() >= weak && !self.broadcasters.contains(broadcaster) {
+                detected = true;
+            }
+            if st.init_prime.distinct_total() >= strong && !st.sent[BcastKind::EchoPrime as usize] {
+                st.sent[BcastKind::EchoPrime as usize] = true;
+                send(BcastKind::EchoPrime, out);
+            }
+        }
+        // Block Z — untimed.
+        if st.echo_prime.distinct_total() >= weak && !st.sent[BcastKind::EchoPrime as usize] {
+            st.sent[BcastKind::EchoPrime as usize] = true;
+            send(BcastKind::EchoPrime, out);
+        }
+        if st.echo_prime.distinct_total() >= strong && st.accepted_at.is_none() {
+            st.accepted_at = Some(now);
+            accepted = true;
+        }
+        if detected {
+            self.broadcasters.insert(broadcaster, now);
+            out.push(MsgdAction::BroadcasterDetected(broadcaster));
+        }
+        if accepted {
+            out.push(MsgdAction::Accepted {
+                broadcaster,
+                value,
+                round,
+            });
+        }
+    }
+
+    /// Number of detected broadcasters (block T of the agreement).
+    #[must_use]
+    pub fn broadcaster_count(&self) -> usize {
+        self.broadcasters.len()
+    }
+
+    /// Number of triplets with live (logged) state. O(1).
+    #[must_use]
+    pub fn triplet_count(&self) -> usize {
+        self.triplet_count
+    }
+
+    /// Whether `p` has been detected as a broadcaster.
+    #[must_use]
+    pub fn is_broadcaster(&self, p: NodeId) -> bool {
+        self.broadcasters.contains(p)
+    }
+
+    /// Fig. 3 cleanup — identical decay schedule to the value-keyed model.
+    pub fn cleanup(&mut self, now: LocalTime) {
+        let horizon = self.params.msgd_horizon();
+        let stale =
+            |t: Option<LocalTime>| t.is_some_and(|t| t.is_after(now) || now.since(t) > horizon);
+        let mut removed = 0usize;
+        self.triplets.retain(|_, per_value| {
+            per_value.retain(|_, slots| {
+                for slot in &mut slots.rounds {
+                    let Some(st) = slot.as_mut() else { continue };
+                    st.echo.prune(now, horizon);
+                    st.init_prime.prune(now, horizon);
+                    st.echo_prime.prune(now, horizon);
+                    if stale(st.init_from_p) {
+                        st.init_from_p = None;
+                    }
+                    if stale(st.accepted_at) {
+                        st.accepted_at = None;
+                    }
+                    if stale(st.touched) {
+                        st.touched = None;
+                        st.sent = [false; 4];
+                    }
+                    if st.is_dormant() {
+                        *slot = None;
+                        removed += 1;
+                    }
+                }
+                !slots.is_empty()
+            });
+            !per_value.is_empty()
+        });
+        self.triplet_count -= removed;
+        self.broadcasters
+            .retain(|_, t| !t.is_after(now) && now.since(*t) <= horizon);
+    }
+
+    /// Drops all state (3d after the surrounding agreement returned).
+    pub fn reset(&mut self) {
+        self.triplets.clear();
+        self.triplet_count = 0;
+        self.broadcasters.clear();
+    }
+
+    /// Marks every id this instance still references, for the engine's
+    /// interner sweep.
+    pub(crate) fn mark_live<V: Value>(&self, interner: &mut ValueInterner<V>) {
+        for id in self.triplets.keys() {
+            interner.mark(id);
+        }
+    }
+
+    /// Introspection: whether the triplet has been accepted.
+    #[must_use]
+    pub fn accepted(&self, broadcaster: NodeId, round: u32, value: ValueId) -> bool {
+        self.triplet(broadcaster, round, value)
+            .is_some_and(|st| st.accepted_at.is_some())
+    }
+
+    /// Corruption hook for the transient-fault harness. Out-of-range
+    /// rounds are ignored (the protocol never tracks them).
+    pub fn corrupt_triplet(
+        &mut self,
+        broadcaster: NodeId,
+        round: u32,
+        value: ValueId,
+        kind: BcastKind,
+        sender: NodeId,
+        stamp: LocalTime,
+    ) {
+        if round == 0 || round > self.params.max_round() {
+            return;
+        }
+        let st = Self::triplet_entry(
+            &mut self.triplets,
+            &mut self.triplet_count,
+            broadcaster,
+            round,
+            value,
         );
         match kind {
             BcastKind::Init => st.init_from_p = Some(stamp),

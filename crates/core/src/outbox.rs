@@ -37,6 +37,7 @@ use ssbyz_types::NodeId;
 use crate::agreement::AgrAction;
 use crate::engine::Output;
 use crate::initiator_accept::IaAction;
+use crate::intern::ValueId;
 use crate::msgd_broadcast::MsgdAction;
 
 /// A reusable output buffer plus the engine's internal staging arenas.
@@ -59,14 +60,16 @@ use crate::msgd_broadcast::MsgdAction;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Outbox<V> {
-    /// The outputs of the most recent engine call.
+    /// The outputs of the most recent engine call — the only buffer that
+    /// carries the value type; the staging arenas below carry interned
+    /// [`ValueId`]s, resolved back to values at emission.
     pub(crate) out: Vec<Output<V>>,
     /// Staging arena for `Initiator-Accept` actions.
-    pub(crate) ia: Vec<IaAction<V>>,
+    pub(crate) ia: Vec<IaAction<ValueId>>,
     /// Staging arena for agreement actions.
-    pub(crate) agr: Vec<AgrAction<V>>,
+    pub(crate) agr: Vec<AgrAction<ValueId>>,
     /// Staging arena for `msgd-broadcast` actions.
-    pub(crate) msgd: Vec<MsgdAction<V>>,
+    pub(crate) msgd: Vec<MsgdAction<ValueId>>,
     /// Scratch list of live Generals for `on_tick`.
     pub(crate) generals: Vec<NodeId>,
 }

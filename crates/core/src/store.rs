@@ -24,6 +24,13 @@ use ssbyz_types::{Duration, LocalTime, NodeBitSet, NodeId};
 struct ArrivalSlot {
     times: [LocalTime; ArrivalLog::MAX_PER_SENDER],
     len: u8,
+    /// Whether the retained arrivals are in non-decreasing time order —
+    /// true on the monotone recording path (the overwhelmingly common
+    /// case), cleared when an out-of-order stamp (replayed delivery or
+    /// corruption-harness injection) lands. A sorted slot answers
+    /// "latest in-window arrival" from the tail in O(1) instead of
+    /// scanning all retained times.
+    sorted: bool,
 }
 
 impl PartialEq for ArrivalSlot {
@@ -41,6 +48,7 @@ impl Default for ArrivalSlot {
         ArrivalSlot {
             times: [LocalTime::ZERO; ArrivalLog::MAX_PER_SENDER],
             len: 0,
+            sorted: true,
         }
     }
 }
@@ -55,6 +63,11 @@ impl ArrivalSlot {
     #[inline]
     fn push(&mut self, t: LocalTime) {
         let len = usize::from(self.len);
+        if len == 0 {
+            self.sorted = true;
+        } else {
+            self.sorted &= t.is_at_or_after(self.times[len - 1]);
+        }
         if len == ArrivalLog::MAX_PER_SENDER {
             self.times.copy_within(1.., 0);
             self.times[len - 1] = t;
@@ -94,9 +107,51 @@ impl ArrivalSlot {
         if in_window(self.times[len - 1], now, window) {
             return true;
         }
+        if self.sorted {
+            // The newest entry missed; the answer is decided by the most
+            // recent entry not in the future of the queried instant
+            // (everything below it is older still).
+            for t in self.times[..len - 1].iter().rev() {
+                if t.is_after(now) {
+                    continue;
+                }
+                return in_window(*t, now, window);
+            }
+            return false;
+        }
         self.times[..len - 1]
             .iter()
             .any(|t| in_window(*t, now, window))
+    }
+
+    /// Distance (`now − t`, in nanos) of this sender's most recent
+    /// arrival inside `[now − window, now]`, or `None` if no retained
+    /// arrival is in the window. A sorted slot answers from its tail
+    /// without scanning; an unsorted one takes the exact minimum over all
+    /// retained times — identical results either way.
+    #[inline]
+    fn latest_dist(&self, now: LocalTime, window: Duration) -> Option<u64> {
+        let times = self.times();
+        if self.sorted {
+            for t in times.iter().rev() {
+                if t.is_after(now) {
+                    continue; // future of the queried instant
+                }
+                let dist = now.since(*t).as_nanos();
+                return if dist <= window.as_nanos() {
+                    Some(dist)
+                } else {
+                    None
+                };
+            }
+            None
+        } else {
+            times
+                .iter()
+                .filter(|t| in_window(**t, now, window))
+                .map(|t| now.since(*t).as_nanos())
+                .min()
+        }
     }
 }
 
@@ -228,14 +283,8 @@ impl ArrivalLog {
         // membership larger than the buffer falls back to a slower
         // batched scan that still never touches the heap.
         const INLINE: usize = 128;
-        let latest_dist = |s: NodeId| -> Option<u64> {
-            self.slots[s.index()]
-                .times()
-                .iter()
-                .filter(|t| in_window(**t, now, window))
-                .map(|t| now.since(*t).as_nanos())
-                .min()
-        };
+        let latest_dist =
+            |s: NodeId| -> Option<u64> { self.slots[s.index()].latest_dist(now, window) };
         let mut buf = [0u64; INLINE];
         let mut len = 0usize;
         let mut overflow = false;
@@ -289,6 +338,95 @@ impl ArrivalLog {
             consumed += count;
             bound = Some(dist);
         }
+    }
+
+    /// One-pass fusion of [`ArrivalLog::kth_latest_in_window`]`(now,
+    /// outer, k)` with [`ArrivalLog::distinct_in_window`]`(now, inner)`
+    /// for **nested** windows (`inner ≤ outer`) — exactly the pair of
+    /// support-log queries lines L1–L4 of `Initiator-Accept` issue on
+    /// every delivery. Returns `(kth_latest, inner_count)`, bit-identical
+    /// to the two separate calls, for half the slot scans.
+    #[must_use]
+    pub fn kth_latest_with_inner_count(
+        &self,
+        now: LocalTime,
+        outer: Duration,
+        k: usize,
+        inner: Duration,
+    ) -> (Option<LocalTime>, usize) {
+        debug_assert!(inner <= outer, "windows must nest");
+        const INLINE: usize = 128;
+        let inner_nanos = inner.as_nanos();
+        let latest_dist =
+            |s: NodeId| -> Option<u64> { self.slots[s.index()].latest_dist(now, outer) };
+        let mut buf = [0u64; INLINE];
+        let mut len = 0usize;
+        let mut overflow = false;
+        let mut inner_count = 0usize;
+        for s in self.occupied.iter() {
+            let Some(dist) = latest_dist(s) else { continue };
+            // The sender's most recent outer-window arrival decides the
+            // inner membership too: an arrival inside the inner window is
+            // inside the outer one, so the minimum distance is ≤ inner iff
+            // any arrival is.
+            if dist <= inner_nanos {
+                inner_count += 1;
+            }
+            if len < INLINE {
+                buf[len] = dist;
+                len += 1;
+            } else {
+                // Keep scanning for the inner count; the k-th selection
+                // falls back to the batched scan below.
+                overflow = true;
+            }
+        }
+        let kth = if k == 0 {
+            None
+        } else if !overflow {
+            if len < k {
+                None
+            } else {
+                let (_, kth, _) = buf[..len].select_nth_unstable(k - 1);
+                Some(now - Duration::from_nanos(*kth))
+            }
+        } else {
+            self.kth_latest_in_window(now, outer, k)
+        };
+        (kth, inner_count)
+    }
+
+    /// One-pass fusion of two **nested** [`ArrivalLog::distinct_in_window`]
+    /// queries (`inner ≤ outer`): returns `(outer_count, inner_count)` —
+    /// the pair of approve-log queries lines M1–M4 issue on every
+    /// delivery. Bit-identical to the two separate calls.
+    #[must_use]
+    pub fn distinct_in_nested_windows(
+        &self,
+        now: LocalTime,
+        outer: Duration,
+        inner: Duration,
+    ) -> (usize, usize) {
+        debug_assert!(inner <= outer, "windows must nest");
+        let mut outer_count = 0usize;
+        let mut inner_count = 0usize;
+        for s in self.occupied.iter() {
+            let mut hit_outer = false;
+            // Newest-first: on the hot path (monotone recording) the most
+            // recent arrival is the one most likely inside the windows.
+            for t in self.slots[s.index()].times().iter().rev() {
+                if in_window(*t, now, inner) {
+                    inner_count += 1;
+                    hit_outer = true;
+                    break;
+                }
+                if !hit_outer && in_window(*t, now, outer) {
+                    hit_outer = true;
+                }
+            }
+            outer_count += usize::from(hit_outer);
+        }
+        (outer_count, inner_count)
     }
 
     /// Whether `sender` has an arrival within `[now − window, now]`.

@@ -264,7 +264,7 @@ fn full_agreement_transcript_identical() {
     }
     // Both must have decided identically.
     assert!(pooled.agreement(g).unwrap().has_returned());
-    assert!(golden.engine().agreement(g).unwrap().has_returned());
+    assert!(golden.agreement(g).unwrap().has_returned());
     // Post-return reset ticks match too.
     for k in 1..=8u64 {
         let t = LocalTime::from_nanos(t0 + 3 * step + k * D);

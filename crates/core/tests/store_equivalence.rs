@@ -44,6 +44,33 @@ fn assert_logs_agree(dense: &ArrivalLog, reference: &ReferenceArrivalLog, now: u
                 "sender_in_window({now}, {window}, {s})"
             );
         }
+        // The fused one-pass queries (used by the interned hot path) must
+        // agree exactly with their composed two-scan equivalents for
+        // every nested window pair.
+        for inner in [0u64, 1, 500, 2_500, 10_000, u64::MAX / 4] {
+            if inner > window {
+                continue;
+            }
+            let wi = Duration::from_nanos(inner);
+            assert_eq!(
+                dense.distinct_in_nested_windows(now_t, w, wi),
+                (
+                    dense.distinct_in_window(now_t, w),
+                    dense.distinct_in_window(now_t, wi)
+                ),
+                "distinct_in_nested_windows({now}, {window}, {inner})"
+            );
+            for k in 1..=(n as usize + 1) {
+                assert_eq!(
+                    dense.kth_latest_with_inner_count(now_t, w, k, wi),
+                    (
+                        dense.kth_latest_in_window(now_t, w, k),
+                        dense.distinct_in_window(now_t, wi)
+                    ),
+                    "kth_latest_with_inner_count({now}, {window}, {k}, {inner})"
+                );
+            }
+        }
     }
 }
 

@@ -1,0 +1,239 @@
+//! Bounded-interner regression: Byzantine nodes that mint a **fresh,
+//! never-agreed value per message** must not grow a correct node's intern
+//! table without bound. Per-value state decays on the protocol's own
+//! horizons (`Δ_rmv`, the msgd horizon, the guard expiries) — or is
+//! evicted by the per-instance memory caps — and the engine's cleanup
+//! sweep then reclaims the ids, so occupancy tracks the *live* window of
+//! the spam, not its total volume, and returns to zero once the storm
+//! ends (asserted through `ValueInterner::occupancy()`).
+
+use std::sync::{Arc, Mutex};
+
+use ssbyz_core::{BcastKind, Engine, IaKind, Msg, Outbox, Params};
+use ssbyz_harness::{EngineProcess, NodeEvent};
+use ssbyz_simnet::{Ctx, DriftClock, LinkConfig, Process, SimBuilder};
+use ssbyz_types::{Duration, LocalTime, NodeId, RealTime};
+
+const T_SPAM: u64 = 99;
+
+/// Per-node trace of `(occupancy, capacity)` snapshots.
+type InternTrace = Arc<Mutex<Vec<(usize, usize)>>>;
+
+/// A Byzantine node that sends protocol messages carrying a brand-new
+/// value every time: the worst case for any per-value table.
+struct FreshValueSpammer {
+    period: Duration,
+    /// Stop minting at this local time (the calm tail starts).
+    until: LocalTime,
+    next_value: u64,
+    minted: Arc<Mutex<u64>>,
+}
+
+impl Process<Msg<u64>, NodeEvent<u64>> for FreshValueSpammer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg<u64>, NodeEvent<u64>>) {
+        ctx.set_timer_after(self.period, T_SPAM);
+    }
+
+    fn on_message(
+        &mut self,
+        _ctx: &mut Ctx<'_, Msg<u64>, NodeEvent<u64>>,
+        _from: NodeId,
+        _msg: &Msg<u64>,
+    ) {
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<u64>, NodeEvent<u64>>, token: u64) {
+        if token != T_SPAM || !self.until.is_after(ctx.now()) {
+            return;
+        }
+        let n = ctx.n();
+        let me = ctx.me();
+        for _ in 0..3 {
+            // Never repeat a value; tag with the node id so two spammers
+            // cannot collide either.
+            let value = (u64::from(me.index() as u32) << 48) | self.next_value;
+            self.next_value += 1;
+            *self.minted.lock().unwrap() += 1;
+            let general = NodeId::new(ctx.rand_below(n as u64) as u32);
+            let msg = match ctx.rand_below(4) {
+                0 => Msg::Ia {
+                    kind: IaKind::Support,
+                    general,
+                    value,
+                },
+                1 => Msg::Ia {
+                    kind: IaKind::Ready,
+                    general,
+                    value,
+                },
+                2 => Msg::Bcast {
+                    kind: BcastKind::Echo,
+                    general,
+                    broadcaster: NodeId::new(ctx.rand_below(n as u64) as u32),
+                    value,
+                    round: ctx.rand_below(2) as u32 + 1,
+                },
+                _ => Msg::Initiator { general: me, value },
+            };
+            let to = NodeId::new(ctx.rand_below(n as u64) as u32);
+            ctx.send(to, msg);
+        }
+        ctx.set_timer_after(self.period, T_SPAM);
+    }
+}
+
+/// Wraps an [`EngineProcess`] and snapshots the interner occupancy and
+/// arena capacity after every handler invocation.
+struct InternSpy {
+    inner: EngineProcess<u64>,
+    log: InternTrace,
+}
+
+impl InternSpy {
+    fn record(&self) {
+        let it = self.inner.engine().interner();
+        self.log
+            .lock()
+            .unwrap()
+            .push((it.occupancy(), it.capacity()));
+    }
+}
+
+impl Process<Msg<u64>, NodeEvent<u64>> for InternSpy {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg<u64>, NodeEvent<u64>>) {
+        self.inner.on_start(ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg<u64>, NodeEvent<u64>>,
+        from: NodeId,
+        msg: &Msg<u64>,
+    ) {
+        self.inner.on_message(ctx, from, msg);
+        self.record();
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<u64>, NodeEvent<u64>>, token: u64) {
+        self.inner.on_timer(ctx, token);
+        self.record();
+    }
+}
+
+/// n = 7, f = 2: five correct engines, two fresh-value spammers firing a
+/// burst of three never-seen values every 250µs for one second. The
+/// interner must stay bounded throughout and drain once the storm ends.
+#[test]
+fn intern_table_bounded_under_fresh_value_storm() {
+    let d = Duration::from_millis(2);
+    let params = Params::from_d(7, 2, d, 0).unwrap();
+    let spam_until = LocalTime::from_nanos(1_000_000_000); // 1s of storm
+    let minted = Arc::new(Mutex::new(0u64));
+    let logs: Vec<InternTrace> = (0..5).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+
+    let mut b = SimBuilder::new(0x1D5).link(LinkConfig::uniform(
+        Duration::from_micros(50),
+        Duration::from_micros(500),
+    ));
+    for (i, log) in logs.iter().enumerate() {
+        let engine: Engine<u64> = Engine::new(NodeId::new(i as u32), params);
+        b = b.node(
+            Box::new(InternSpy {
+                inner: EngineProcess::new(engine, params.d()),
+                log: Arc::clone(log),
+            }),
+            DriftClock::ideal(),
+        );
+    }
+    for _ in 0..2 {
+        b = b.node(
+            Box::new(FreshValueSpammer {
+                period: Duration::from_micros(250),
+                until: spam_until,
+                next_value: 0,
+                minted: Arc::clone(&minted),
+            }),
+            DriftClock::ideal(),
+        );
+    }
+    let mut sim = b.build();
+    // Storm, then a calm tail long enough for every decay horizon
+    // (last(G, m) expiry + its history tail ≈ 2·(2Δ_rmv + 9d)) to pass.
+    sim.run_until(RealTime::from_nanos(2_500_000_000));
+
+    let total_minted = *minted.lock().unwrap();
+    assert!(
+        total_minted > 5_000,
+        "storm too weak: only {total_minted} fresh values minted"
+    );
+    for (i, log) in logs.iter().enumerate() {
+        let trace = log.lock().unwrap();
+        assert!(!trace.is_empty(), "node {i} saw no events");
+        let max_occupancy = trace.iter().map(|(o, _)| *o).max().unwrap();
+        let max_capacity = trace.iter().map(|(_, c)| *c).max().unwrap();
+        let (final_occupancy, _) = *trace.last().unwrap();
+        // The live id set tracks the decay window plus the per-instance
+        // memory caps — never the total minted volume.
+        assert!(
+            max_occupancy < 2_048,
+            "node {i}: intern occupancy ballooned to {max_occupancy} \
+             ({total_minted} values minted)"
+        );
+        assert!(
+            max_capacity < 4_096,
+            "node {i}: intern arena grew to {max_capacity} slots"
+        );
+        // Spam actually reached this node's tables...
+        assert!(
+            max_occupancy > 32,
+            "node {i}: storm never materialised ({max_occupancy} max ids)"
+        );
+        // ...and the sweep reclaimed everything once it decayed.
+        assert!(
+            final_occupancy <= 4,
+            "node {i}: {final_occupancy} ids still live after the storm decayed"
+        );
+    }
+}
+
+/// Direct (no-simnet) variant that pins the reclamation *mechanism*: spam
+/// one engine with fresh values at line rate, then let the horizons pass
+/// — occupancy returns to zero and the arena capacity has plateaued at
+/// the decay-window size.
+#[test]
+fn intern_arena_plateaus_and_drains() {
+    let d = Duration::from_millis(2);
+    let params = Params::from_d(7, 2, d, 0).unwrap();
+    let mut engine: Engine<u64> = Engine::new(NodeId::new(0), params);
+    let mut ob: Outbox<u64> = Outbox::new();
+    let mut t = 50_000_000_000u64;
+    let mut max_occupancy = 0usize;
+    for v in 0..50_000u64 {
+        t += 20_000; // 20µs per delivery — well above the cleanup cadence
+        let msg = Msg::Ia {
+            kind: IaKind::Support,
+            general: NodeId::new(1),
+            value: v,
+        };
+        engine.on_message_ref(
+            LocalTime::from_nanos(t),
+            NodeId::new((v % 7) as u32),
+            &msg,
+            &mut ob,
+        );
+        max_occupancy = max_occupancy.max(engine.interner().occupancy());
+    }
+    assert!(
+        max_occupancy < 2_048,
+        "occupancy must be bounded by the decay window, got {max_occupancy}"
+    );
+    // Quiesce past every horizon (guard value + history tail).
+    let horizon = params.last_gm_expiry() * 2u64 + params.d() * 32u64;
+    engine.on_tick(LocalTime::from_nanos(t) + horizon, &mut ob);
+    engine.on_tick(LocalTime::from_nanos(t) + horizon * 2u64, &mut ob);
+    assert_eq!(
+        engine.interner().occupancy(),
+        0,
+        "all spam ids must be reclaimed after decay"
+    );
+}
