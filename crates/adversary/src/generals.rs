@@ -6,6 +6,8 @@
 //! whichever nodes it chooses" (paper §4). The strategies here realize the
 //! classic attacks the proofs defend against.
 
+use std::sync::Arc;
+
 use ssbyz_core::{IaKind, Msg, Params};
 use ssbyz_simnet::{Ctx, Process};
 use ssbyz_types::{Duration, NodeId, Value};
@@ -20,8 +22,8 @@ const T_PHASE: u64 = 1;
 /// The Agreement property demands that despite this, either no correct
 /// node decides, or all correct nodes decide the *same* value.
 pub struct TwoFacedGeneral<V> {
-    value_a: V,
-    value_b: V,
+    value_a: Arc<V>,
+    value_b: Arc<V>,
     /// Nodes that receive the `value_a` face.
     side_a: Vec<NodeId>,
     /// Local-time delay before striking.
@@ -38,8 +40,8 @@ impl<V: Value> TwoFacedGeneral<V> {
     #[must_use]
     pub fn new(value_a: V, value_b: V, side_a: Vec<NodeId>, params: &Params) -> Self {
         TwoFacedGeneral {
-            value_a,
-            value_b,
+            value_a: Arc::new(value_a),
+            value_b: Arc::new(value_b),
             side_a,
             strike_after: params.d() * 2u64,
             phases: 6,
@@ -48,7 +50,7 @@ impl<V: Value> TwoFacedGeneral<V> {
         }
     }
 
-    fn face_of(&self, node: NodeId) -> &V {
+    fn face_of(&self, node: NodeId) -> &Arc<V> {
         if self.side_a.contains(&node) {
             &self.value_a
         } else {
@@ -111,7 +113,7 @@ impl<V: Value, O> Process<Msg<V>, O> for TwoFacedGeneral<V> {
 /// property [IA-4] must still hold: any two I-accepted anchors for
 /// distinct values are more than `4d` apart.
 pub struct SpamGeneral<V> {
-    values: Vec<V>,
+    values: Vec<Arc<V>>,
     period: Duration,
     next: usize,
 }
@@ -122,7 +124,7 @@ impl<V: Value> SpamGeneral<V> {
     pub fn new(values: Vec<V>, period: Duration) -> Self {
         assert!(!values.is_empty(), "need at least one value to spam");
         SpamGeneral {
-            values,
+            values: values.into_iter().map(Arc::new).collect(),
             period,
             next: 0,
         }
@@ -153,7 +155,7 @@ impl<V: Value, O> Process<Msg<V>, O> for SpamGeneral<V> {
 /// blocks K/L. Correct nodes must still converge on anchors within the
 /// `6d` skew bound or not accept at all.
 pub struct StaggeredGeneral<V> {
-    value: V,
+    value: Arc<V>,
     strike_after: Duration,
     spread: Duration,
     sent_to: usize,
@@ -164,7 +166,7 @@ impl<V: Value> StaggeredGeneral<V> {
     #[must_use]
     pub fn new(value: V, strike_after: Duration, spread: Duration) -> Self {
         StaggeredGeneral {
-            value,
+            value: Arc::new(value),
             strike_after,
             spread,
             sent_to: 0,
@@ -219,7 +221,7 @@ impl<M, O> Process<M, O> for SilentNode {
 /// fewer than `n − f` receivers no approve quorum can form and the
 /// initiation must fizzle everywhere; with at least `n − f` it completes.
 pub struct PartialGeneral<V> {
-    value: V,
+    value: Arc<V>,
     targets: Vec<NodeId>,
     strike_after: Duration,
     fired: bool,
@@ -230,7 +232,7 @@ impl<V: Value> PartialGeneral<V> {
     #[must_use]
     pub fn new(value: V, targets: Vec<NodeId>, strike_after: Duration) -> Self {
         PartialGeneral {
-            value,
+            value: Arc::new(value),
             targets,
             strike_after,
             fired: false,

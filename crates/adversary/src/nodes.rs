@@ -1,6 +1,8 @@
 //! Byzantine *follower* strategies: nodes that disrupt other Generals'
 //! agreements without being the General themselves.
 
+use std::sync::Arc;
+
 use ssbyz_core::{BcastKind, IaKind, Msg};
 use ssbyz_simnet::{Ctx, Process};
 use ssbyz_types::{Duration, NodeId, Value};
@@ -13,7 +15,7 @@ const T_NOISE: u64 = 7;
 /// the unforgeability properties ([IA-2], [TPS-2]).
 pub struct GarbageNode<V> {
     period: Duration,
-    values: Vec<V>,
+    values: Vec<Arc<V>>,
     max_round: u32,
     /// Stop after this many bursts (0 = forever).
     bursts: u32,
@@ -27,7 +29,7 @@ impl<V: Value> GarbageNode<V> {
         assert!(!values.is_empty());
         GarbageNode {
             period,
-            values,
+            values: values.into_iter().map(Arc::new).collect(),
             max_round: max_round.max(1),
             bursts: 0,
             fired: 0,
@@ -114,7 +116,7 @@ impl<V: Value, O> Process<Msg<V>, O> for GarbageNode<V> {
 pub struct EchoForger<V> {
     general: NodeId,
     victim: NodeId,
-    value: V,
+    value: Arc<V>,
     round: u32,
     period: Duration,
     bursts: u32,
@@ -128,7 +130,7 @@ impl<V: Value> EchoForger<V> {
         EchoForger {
             general,
             victim,
-            value,
+            value: Arc::new(value),
             round,
             period,
             bursts: 40,
@@ -168,7 +170,7 @@ impl<V: Value, O> Process<Msg<V>, O> for EchoForger<V> {
 /// pair without the General ever initiating — the attack against [IA-2].
 pub struct IaForger<V> {
     general: NodeId,
-    value: V,
+    value: Arc<V>,
     period: Duration,
     bursts: u32,
     fired: u32,
@@ -180,7 +182,7 @@ impl<V: Value> IaForger<V> {
     pub fn new(general: NodeId, value: V, period: Duration) -> Self {
         IaForger {
             general,
-            value,
+            value: Arc::new(value),
             period,
             bursts: 40,
             fired: 0,

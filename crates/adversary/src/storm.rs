@@ -3,6 +3,8 @@
 
 use rand::rngs::StdRng;
 use rand::RngCore;
+use std::sync::Arc;
+
 use ssbyz_core::corrupt::Entropy;
 use ssbyz_core::{BcastKind, IaKind, Msg};
 use ssbyz_simnet::{Corruptor, Injector};
@@ -33,7 +35,7 @@ pub fn u64_corruptor(n: usize) -> Corruptor<Msg<u64>> {
                 if rng.next_u64() % 2 == 0 {
                     Msg::Initiator {
                         general,
-                        value: value ^ (rng.next_u64() % 16),
+                        value: Arc::new(*value ^ (rng.next_u64() % 16)),
                     }
                 } else {
                     Msg::Initiator {
@@ -55,7 +57,7 @@ pub fn u64_corruptor(n: usize) -> Corruptor<Msg<u64>> {
                 Msg::Ia {
                     kind,
                     general: pick(rng),
-                    value: value ^ (rng.next_u64() % 16),
+                    value: Arc::new(*value ^ (rng.next_u64() % 16)),
                 }
             }
             Msg::Bcast {
@@ -74,7 +76,7 @@ pub fn u64_corruptor(n: usize) -> Corruptor<Msg<u64>> {
                     kind,
                     general,
                     broadcaster: pick(rng),
-                    value: value ^ (rng.next_u64() % 16),
+                    value: Arc::new(*value ^ (rng.next_u64() % 16)),
                     round: (round + (rng.next_u64() % 3) as u32).max(1),
                 }
             }
@@ -90,7 +92,7 @@ pub fn u64_injector(value_space: u64) -> Injector<Msg<u64>> {
         let pick = |rng: &mut StdRng| NodeId::new((rng.next_u64() % n as u64) as u32);
         let from = pick(rng);
         let to = pick(rng);
-        let value = rng.next_u64() % value_space.max(1);
+        let value = Arc::new(rng.next_u64() % value_space.max(1));
         let msg = match rng.next_u64() % 8 {
             0 => Msg::Initiator {
                 general: from,
@@ -136,7 +138,7 @@ mod tests {
             let msg = Msg::Ia {
                 kind: IaKind::Ready,
                 general: NodeId::new((i % 7) as u32),
-                value: i,
+                value: Arc::new(i),
             };
             if let Some(m) = c(msg, &mut rng) {
                 kept += 1;

@@ -28,6 +28,7 @@
 //! detection stalls; hard abort at the end of phase `2f+1`.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use ssbyz_core::{BcastKind, Msg, Params};
 use ssbyz_simnet::{Ctx, Process};
@@ -38,8 +39,8 @@ use ssbyz_types::{Duration, NodeId, Value};
 pub enum BaselineEvent<V> {
     /// The node decided `value` at the end of `phase`.
     Decided {
-        /// Decided value.
-        value: V,
+        /// Decided value (shared wire handle, never deep-copied).
+        value: Arc<V>,
         /// Phase at whose boundary the decision happened.
         phase: u64,
     },
@@ -69,14 +70,15 @@ pub struct BaselineNode<V: Value> {
     params: Params,
     general: NodeId,
     /// `Some(m)` when this node *is* the General and will broadcast `m`.
-    proposal: Option<V>,
+    proposal: Option<Arc<V>>,
     phase: u64,
-    triplets: BTreeMap<(NodeId, u32, V), TripletLog>,
+    triplets: BTreeMap<(NodeId, u32, Arc<V>), TripletLog>,
     broadcasters: BTreeSet<NodeId>,
-    /// Accepted `(p, m, k)` per value and round.
-    chains: BTreeMap<V, BTreeMap<u32, BTreeSet<NodeId>>>,
+    /// Accepted `(p, m, k)` per value and round (keys are the shared wire
+    /// handles; `Arc<V>` orders through `V`).
+    chains: BTreeMap<Arc<V>, BTreeMap<u32, BTreeSet<NodeId>>>,
     /// Accepted General value (round 0), if any.
-    general_value: Option<V>,
+    general_value: Option<Arc<V>>,
     returned: bool,
 }
 
@@ -88,7 +90,7 @@ impl<V: Value> BaselineNode<V> {
         BaselineNode {
             params,
             general,
-            proposal,
+            proposal: proposal.map(Arc::new),
             phase: 0,
             triplets: BTreeMap::new(),
             broadcasters: BTreeSet::new(),
@@ -102,7 +104,7 @@ impl<V: Value> BaselineNode<V> {
         self.params.phi()
     }
 
-    fn accept(&mut self, p: NodeId, k: u32, v: &V) {
+    fn accept(&mut self, p: NodeId, k: u32, v: &Arc<V>) {
         if k == 0 {
             if p == self.general && self.general_value.is_none() {
                 self.general_value = Some(v.clone());
@@ -118,7 +120,7 @@ impl<V: Value> BaselineNode<V> {
     }
 
     /// Longest chain prefix for `v` (distinct broadcasters, rounds 1..r).
-    fn chain_len(&self, v: &V) -> usize {
+    fn chain_len(&self, v: &Arc<V>) -> usize {
         let Some(rounds) = self.chains.get(v) else {
             return 0;
         };
@@ -144,8 +146,8 @@ impl<V: Value> BaselineNode<V> {
         let strong = self.params.quorum();
         let me = ctx.me();
         // 1. Per-triplet sends & accepts whose deadline is this boundary.
-        let keys: Vec<(NodeId, u32, V)> = self.triplets.keys().cloned().collect();
-        let mut accepts: Vec<(NodeId, u32, V)> = Vec::new();
+        let keys: Vec<(NodeId, u32, Arc<V>)> = self.triplets.keys().cloned().collect();
+        let mut accepts: Vec<(NodeId, u32, Arc<V>)> = Vec::new();
         for key in keys {
             let (p, k, v) = key.clone();
             let k64 = u64::from(k);
@@ -237,7 +239,7 @@ impl<V: Value> BaselineNode<V> {
             return;
         }
         // Chain path: r-chain by end of phase 2r+1.
-        let candidates: Vec<V> = self.chains.keys().cloned().collect();
+        let candidates: Vec<Arc<V>> = self.chains.keys().cloned().collect();
         for v in candidates {
             let r = self.chain_len(&v);
             if r >= 1 && ending <= 2 * r as u64 + 1 {

@@ -67,7 +67,7 @@ pub fn run_baseline(
     let mut aborts = Vec::new();
     for obs in sim.observations() {
         match &obs.event {
-            BaselineEvent::Decided { value, .. } => decisions.push((obs.node, *value, obs.real)),
+            BaselineEvent::Decided { value, .. } => decisions.push((obs.node, **value, obs.real)),
             BaselineEvent::Aborted { .. } => aborts.push((obs.node, obs.real)),
         }
     }

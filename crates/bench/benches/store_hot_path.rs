@@ -7,6 +7,8 @@
 //! `BENCH_store_hot_path.json` (regenerate with
 //! `SSBYZ_BENCH_JSON=/tmp/b.json cargo bench --bench store_hot_path`).
 
+use std::sync::Arc;
+
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssbyz_core::engine::reference::ReferenceEngine;
 use ssbyz_core::store::reference::ReferenceArrivalLog;
@@ -95,14 +97,14 @@ fn bench_engine_ia_support(c: &mut Criterion) {
             let mut ob: Outbox<u64> = Outbox::new();
             let mut t = 1_000_000_000u64;
             let mut sender = 0u32;
+            let msg = Msg::Ia {
+                kind: IaKind::Support,
+                general: NodeId::new(1),
+                value: Arc::new(7u64),
+            };
             b.iter(|| {
                 t += 10_000;
                 sender = (sender + 1) % n as u32;
-                let msg = Msg::Ia {
-                    kind: IaKind::Support,
-                    general: NodeId::new(1),
-                    value: 7u64,
-                };
                 engine.on_message_ref(LocalTime::from_nanos(t), NodeId::new(sender), &msg, &mut ob);
                 black_box(ob.len())
             });
@@ -122,14 +124,14 @@ fn bench_engine_ia_support_reference(c: &mut Criterion) {
                 ReferenceEngine::new(NodeId::new(0), params_for(n));
             let mut t = 1_000_000_000u64;
             let mut sender = 0u32;
+            let msg = Msg::Ia {
+                kind: IaKind::Support,
+                general: NodeId::new(1),
+                value: Arc::new(7u64),
+            };
             b.iter(|| {
                 t += 10_000;
                 sender = (sender + 1) % n as u32;
-                let msg = Msg::Ia {
-                    kind: IaKind::Support,
-                    general: NodeId::new(1),
-                    value: 7u64,
-                };
                 let outs =
                     engine.on_message_ref(LocalTime::from_nanos(t), NodeId::new(sender), &msg);
                 black_box(outs.len())
@@ -149,16 +151,16 @@ fn bench_engine_bcast_echo(c: &mut Criterion) {
             let mut ob: Outbox<u64> = Outbox::new();
             let mut t = 1_000_000_000u64;
             let mut sender = 0u32;
+            let msg = Msg::Bcast {
+                kind: ssbyz_core::BcastKind::Echo,
+                general: NodeId::new(1),
+                broadcaster: NodeId::new(2),
+                value: Arc::new(7u64),
+                round: 1,
+            };
             b.iter(|| {
                 t += 10_000;
                 sender = (sender + 1) % n as u32;
-                let msg = Msg::Bcast {
-                    kind: ssbyz_core::BcastKind::Echo,
-                    general: NodeId::new(1),
-                    broadcaster: NodeId::new(2),
-                    value: 7u64,
-                    round: 1,
-                };
                 engine.on_message_ref(LocalTime::from_nanos(t), NodeId::new(sender), &msg, &mut ob);
                 black_box(ob.len())
             });
@@ -177,22 +179,107 @@ fn bench_engine_bcast_echo_reference(c: &mut Criterion) {
                 ReferenceEngine::new(NodeId::new(0), params_for(n));
             let mut t = 1_000_000_000u64;
             let mut sender = 0u32;
+            let msg = Msg::Bcast {
+                kind: ssbyz_core::BcastKind::Echo,
+                general: NodeId::new(1),
+                broadcaster: NodeId::new(2),
+                value: Arc::new(7u64),
+                round: 1,
+            };
             b.iter(|| {
                 t += 10_000;
                 sender = (sender + 1) % n as u32;
-                let msg = Msg::Bcast {
-                    kind: ssbyz_core::BcastKind::Echo,
-                    general: NodeId::new(1),
-                    broadcaster: NodeId::new(2),
-                    value: 7u64,
-                    round: 1,
-                };
                 let outs =
                     engine.on_message_ref(LocalTime::from_nanos(t), NodeId::new(sender), &msg);
                 black_box(outs.len())
             });
         });
     }
+    g.finish();
+}
+
+/// A 1 KiB opaque payload: the heavyweight-value case the clone-free
+/// `Arc<V>` emission path exists for. Deep-copying one of these per
+/// emitted `Broadcast` — the pre-Arc behaviour — costs a 1 KiB memcpy
+/// plus an allocation on every emitting call; the shared-handle path
+/// costs a reference bump regardless of payload size.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+struct Blob([u8; 1024]);
+
+impl Blob {
+    fn new(tag: u8) -> Self {
+        Blob([tag; 1024])
+    }
+}
+
+/// The ia_support workload with a 1 KiB blob value: the steady-state
+/// delivery is a content hash + interned table hit, and the periodic
+/// approve resend emits `Msg<Blob>` broadcasts whose payload is the
+/// interner slot's own `Arc` — zero blob copies per emission (pinned by
+/// the clone-counter test in `crates/core/tests/alloc_free.rs`).
+fn bench_engine_ia_support_heavy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_hot_path/engine_ia_support_heavy_1k");
+    for n in SIZES {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut engine: Engine<Blob> = Engine::new(NodeId::new(0), params_for(n));
+            let mut ob: Outbox<Blob> = Outbox::new();
+            let mut t = 1_000_000_000u64;
+            let mut sender = 0u32;
+            let msg = Msg::Ia {
+                kind: IaKind::Support,
+                general: NodeId::new(1),
+                value: Arc::new(Blob::new(7)),
+            };
+            b.iter(|| {
+                t += 10_000;
+                sender = (sender + 1) % n as u32;
+                engine.on_message_ref(LocalTime::from_nanos(t), NodeId::new(sender), &msg, &mut ob);
+                black_box(ob.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+/// The emission-dominated shape for the heavy value: every iteration
+/// replays a full accepted echo wave (3 deliveries, the last of which
+/// emits an accept, a decide relay carrying the blob, wake-ups and the
+/// Decided event) against a fresh value each time. With per-emission
+/// deep copies this scales with payload size; with `Arc` resolution it
+/// does not.
+fn bench_engine_heavy_accept_wave(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_hot_path/engine_heavy_accept_wave_1k");
+    g.bench_function("n4", |b| {
+        let mut engine: Engine<Blob> = Engine::new(NodeId::new(1), params_for(4));
+        let mut ob: Outbox<Blob> = Outbox::new();
+        let d = 10_000_000u64;
+        let mut t = 1_000_000_000_000u64;
+        let mut tag = 0u8;
+        b.iter(|| {
+            tag = tag.wrapping_add(1);
+            let value = Arc::new(Blob::new(tag));
+            engine
+                .agreement_raw(NodeId::new(0))
+                .corrupt_anchor(LocalTime::from_nanos(t - 6 * d));
+            for s in [0u32, 2, 3] {
+                t += 1_000;
+                let msg = Msg::Bcast {
+                    kind: ssbyz_core::BcastKind::Echo,
+                    general: NodeId::new(0),
+                    broadcaster: NodeId::new(2),
+                    value: Arc::clone(&value),
+                    round: 1,
+                };
+                engine.on_message_ref(LocalTime::from_nanos(t), NodeId::new(s), &msg, &mut ob);
+            }
+            // Post-return reset so the next wave starts fresh.
+            t += 4 * d;
+            engine.on_tick(LocalTime::from_nanos(t), &mut ob);
+            t += 4 * d;
+            engine.on_tick(LocalTime::from_nanos(t), &mut ob);
+            black_box(&ob);
+        });
+    });
     g.finish();
 }
 
@@ -203,6 +290,8 @@ criterion_group!(
     bench_engine_ia_support,
     bench_engine_ia_support_reference,
     bench_engine_bcast_echo,
-    bench_engine_bcast_echo_reference
+    bench_engine_bcast_echo_reference,
+    bench_engine_ia_support_heavy,
+    bench_engine_heavy_accept_wave
 );
 criterion_main!(benches);

@@ -261,7 +261,7 @@ mod tests {
             NodeId::new(0),
             crate::message::Msg::Initiator {
                 general: NodeId::new(0),
-                value: 3,
+                value: std::sync::Arc::new(3),
             },
             &mut ob,
         );

@@ -33,6 +33,7 @@
 //! interned dispatch against, call by call.
 
 use std::fmt;
+use std::sync::Arc;
 
 use ssbyz_types::{DenseNodeMap, Duration, LocalTime, NodeId, Value};
 
@@ -59,6 +60,9 @@ pub enum Output<V> {
 }
 
 /// Observable protocol events, consumed by harnesses and property checkers.
+///
+/// Value fields are shared handles resolved straight from the interner's
+/// arena slot — emitting an event never deep-copies `V`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event<V> {
     /// `Initiator-Accept` issued an I-accept `⟨G, m, τ_G⟩`.
@@ -66,7 +70,7 @@ pub enum Event<V> {
         /// The General.
         general: NodeId,
         /// The accepted candidate value.
-        value: V,
+        value: Arc<V>,
         /// The local-time anchor.
         tau_g: LocalTime,
     },
@@ -75,7 +79,7 @@ pub enum Event<V> {
         /// The General.
         general: NodeId,
         /// The decided value `m`.
-        value: V,
+        value: Arc<V>,
         /// The anchor of the execution.
         tau_g: LocalTime,
         /// Local decision time.
@@ -94,7 +98,7 @@ pub enum Event<V> {
     /// (criterion ``[IG3]``) and is backing off for `Δ_reset`.
     InitiationFailed {
         /// The value whose initiation failed.
-        value: V,
+        value: Arc<V>,
         /// When the failure was detected.
         at: LocalTime,
     },
@@ -281,9 +285,13 @@ impl<V: Value> Engine<V> {
             }
         }
         // [IG2] is the per-value guard: intern once, then the lookup is an
-        // array index. (A refused initiation may leave an unreferenced id
-        // behind; the next sweep reclaims it.)
-        let id = self.interner.intern(&value);
+        // array index. The value is boxed into its `Arc` here — the single
+        // deep allocation of the whole emission path; every downstream
+        // copy (arena slot, broadcast payload, event) is a reference bump.
+        // (A refused initiation may leave an unreferenced id behind; the
+        // next sweep reclaims it.)
+        let shared = Arc::new(value);
+        let id = self.interner.intern_shared(&shared);
         if let Some(last) = self.general_ctl.last_per_value.get(id) {
             let elapsed = now.since_or_zero(*last);
             if last.is_after(now) || elapsed < p.delta_v() {
@@ -309,7 +317,7 @@ impl<V: Value> Engine<V> {
         let d = p.d();
         ob.out.push(Output::Broadcast(Msg::Initiator {
             general: self.me,
-            value,
+            value: shared,
         }));
         // [IG3] progress checks at +2d, +3d, +4d (lines L4/M4/N4).
         ob.out
@@ -354,7 +362,7 @@ impl<V: Value> Engine<V> {
                 if sender != *general {
                     return; // forged initiation — identity is authenticated
                 }
-                let id = self.interner.intern(value);
+                let id = self.interner.intern_shared(value);
                 let me = self.me;
                 let params = self.params;
                 let ia = self.ia.get_or_insert_with(*general, || {
@@ -368,7 +376,7 @@ impl<V: Value> Engine<V> {
                 general,
                 value,
             } => {
-                let id = self.interner.intern(value);
+                let id = self.interner.intern_shared(value);
                 let me = self.me;
                 let params = self.params;
                 let ia = self.ia.get_or_insert_with(*general, || {
@@ -391,7 +399,7 @@ impl<V: Value> Engine<V> {
                 if *round == 0 || *round > self.params.max_round() || broadcaster.index() >= n {
                     return;
                 }
-                let id = self.interner.intern(value);
+                let id = self.interner.intern_shared(value);
                 let me = self.me;
                 let params = self.params;
                 let agr = self
@@ -475,7 +483,7 @@ impl<V: Value> Engine<V> {
             if failed {
                 newly_failed = true;
                 out.push(Output::Event(Event::InitiationFailed {
-                    value: interner.resolve(check.value).clone(),
+                    value: interner.resolve_shared(check.value),
                     at: now,
                 }));
                 false
@@ -501,13 +509,13 @@ impl<V: Value> Engine<V> {
                     ob.out.push(Output::Broadcast(Msg::Ia {
                         kind,
                         general,
-                        value: self.interner.resolve(value).clone(),
+                        value: self.interner.resolve_shared(value),
                     }));
                 }
                 crate::initiator_accept::IaAction::Accepted { value, tau_g } => {
                     ob.out.push(Output::Event(Event::IAccepted {
                         general,
-                        value: self.interner.resolve(value).clone(),
+                        value: self.interner.resolve_shared(value),
                         tau_g,
                     }));
                     let me = self.me;
@@ -538,7 +546,7 @@ impl<V: Value> Engine<V> {
                     kind,
                     general,
                     broadcaster,
-                    value: self.interner.resolve(value).clone(),
+                    value: self.interner.resolve_shared(value),
                     round,
                 })),
                 crate::agreement::AgrAction::WakeAt(t) => ob.out.push(Output::WakeAt(t)),
@@ -546,7 +554,7 @@ impl<V: Value> Engine<V> {
                     let event = match decision {
                         Some(id) => Event::Decided {
                             general,
-                            value: self.interner.resolve(id).clone(),
+                            value: self.interner.resolve_shared(id),
                             tau_g,
                             at: now,
                         },
@@ -845,12 +853,12 @@ impl<'a, V: Value> AgrView<'a, V> {
     }
 
     /// The decision of the current execution, if returned (`Some(None)`
-    /// is an abort), resolved back to the value type.
+    /// is an abort), resolved to a shared handle on the decided value.
     #[must_use]
-    pub fn decision(&self) -> Option<Option<V>> {
+    pub fn decision(&self) -> Option<Option<Arc<V>>> {
         self.agr
             .decision()
-            .map(|d| d.map(|id| self.interner.resolve(id).clone()))
+            .map(|d| d.map(|id| self.interner.resolve_shared(id)))
     }
 
     /// Number of broadcasters detected so far.
@@ -1004,11 +1012,13 @@ pub mod reference {
     use crate::agreement::{AgrAction, Agreement};
     use crate::initiator_accept::{IaAction, InitiatorAccept};
 
-    /// Value-keyed General-side state (the pre-interning layout).
+    /// Value-keyed General-side state (the pre-interning layout). Keys
+    /// are the shared wire handles; `Arc<V>` orders and compares through
+    /// `V`, so the tree walk is byte-for-byte the old one.
     #[derive(Debug, Clone)]
     struct RefGeneralControl<V> {
         last_initiation: Option<LocalTime>,
-        last_per_value: BTreeMap<V, LocalTime>,
+        last_per_value: BTreeMap<Arc<V>, LocalTime>,
         failed_at: Option<LocalTime>,
         pending_checks: Vec<RefPendingCheck<V>>,
     }
@@ -1026,7 +1036,7 @@ pub mod reference {
 
     #[derive(Debug, Clone)]
     struct RefPendingCheck<V> {
-        value: V,
+        value: Arc<V>,
         invoked_at: LocalTime,
         approve_ok: bool,
         ready_ok: bool,
@@ -1039,8 +1049,8 @@ pub mod reference {
     pub struct ReferenceEngine<V: Value> {
         me: NodeId,
         params: Params,
-        ia: DenseNodeMap<InitiatorAccept<V>>,
-        agr: DenseNodeMap<Agreement<V>>,
+        ia: DenseNodeMap<InitiatorAccept<Arc<V>>>,
+        agr: DenseNodeMap<Agreement<Arc<V>>>,
         general_ctl: RefGeneralControl<V>,
         last_cleanup: Option<LocalTime>,
     }
@@ -1071,15 +1081,16 @@ pub mod reference {
             &self.params
         }
 
-        /// Read access to the value-keyed `Initiator-Accept` instance.
+        /// Read access to the value-keyed `Initiator-Accept` instance
+        /// (keyed by the shared wire handles).
         #[must_use]
-        pub fn ia(&self, general: NodeId) -> Option<&InitiatorAccept<V>> {
+        pub fn ia(&self, general: NodeId) -> Option<&InitiatorAccept<Arc<V>>> {
             self.ia.get(general)
         }
 
         /// Read access to the value-keyed agreement instance.
         #[must_use]
-        pub fn agreement(&self, general: NodeId) -> Option<&Agreement<V>> {
+        pub fn agreement(&self, general: NodeId) -> Option<&Agreement<Arc<V>>> {
             self.agr.get(general)
         }
 
@@ -1094,6 +1105,7 @@ pub mod reference {
             now: LocalTime,
             value: V,
         ) -> Result<Vec<Output<V>>, InitiateError> {
+            let value = Arc::new(value);
             let p = self.params;
             if let Some(failed) = self.general_ctl.failed_at {
                 let elapsed = now.since_or_zero(failed);
@@ -1273,7 +1285,7 @@ pub mod reference {
             &mut self,
             now: LocalTime,
             general: NodeId,
-            ia_out: Vec<IaAction<V>>,
+            ia_out: Vec<IaAction<Arc<V>>>,
             out: &mut Vec<Output<V>>,
         ) {
             for act in ia_out {
@@ -1307,7 +1319,7 @@ pub mod reference {
             &mut self,
             now: LocalTime,
             general: NodeId,
-            agr_out: Vec<AgrAction<V>>,
+            agr_out: Vec<AgrAction<Arc<V>>>,
             out: &mut Vec<Output<V>>,
         ) {
             for act in agr_out {
@@ -1389,14 +1401,14 @@ pub mod reference {
             });
         }
 
-        fn ia_entry(&mut self, general: NodeId) -> &mut InitiatorAccept<V> {
+        fn ia_entry(&mut self, general: NodeId) -> &mut InitiatorAccept<Arc<V>> {
             let me = self.me;
             let params = self.params;
             self.ia
                 .get_or_insert_with(general, || InitiatorAccept::new(me, general, params))
         }
 
-        fn agr_entry(&mut self, general: NodeId) -> &mut Agreement<V> {
+        fn agr_entry(&mut self, general: NodeId) -> &mut Agreement<Arc<V>> {
             let me = self.me;
             let params = self.params;
             self.agr
@@ -1534,12 +1546,12 @@ mod tests {
         let decisions: Vec<_> = events
             .iter()
             .filter_map(|(n, e)| match e {
-                Event::Decided { value, general, .. } => Some((*n, *general, *value)),
+                Event::Decided { value, general, .. } => Some((*n, *general, Arc::clone(value))),
                 _ => None,
             })
             .collect();
         assert_eq!(decisions.len(), 4, "all four nodes decide: {events:?}");
-        assert!(decisions.iter().all(|(_, g, v)| *g == id(0) && *v == 7));
+        assert!(decisions.iter().all(|(_, g, v)| *g == id(0) && **v == 7));
         // All four also I-accepted first.
         let iaccepts = events
             .iter()
@@ -1609,7 +1621,7 @@ mod tests {
             id(2), // claims to be from General 0 but sent by 2
             &Msg::Initiator {
                 general: id(0),
-                value: 7,
+                value: Arc::new(7),
             },
         );
         assert!(out.is_empty());
@@ -1628,7 +1640,7 @@ mod tests {
             id(0),
             &Msg::Initiator {
                 general: id(0),
-                value: 7,
+                value: Arc::new(7),
             },
         );
         assert!(out.iter().any(|o| matches!(
@@ -1655,7 +1667,7 @@ mod tests {
                     kind: BcastKind::Echo,
                     general: id(0),
                     broadcaster: id(2),
-                    value: 7,
+                    value: Arc::new(7),
                     round: 1,
                 },
             );
@@ -1724,7 +1736,7 @@ mod tests {
             id(0),
             &Msg::Initiator {
                 general: id(0),
-                value: 7,
+                value: Arc::new(7),
             },
             &mut ob,
         );
@@ -1737,7 +1749,7 @@ mod tests {
             id(0),
             &Msg::Initiator {
                 general: id(0),
-                value: 7,
+                value: Arc::new(7),
             },
             &mut ob,
         );
@@ -1766,7 +1778,7 @@ mod tests {
             let msg = Msg::Ia {
                 kind: IaKind::Support,
                 general: id(0),
-                value: 7,
+                value: Arc::new(7),
             };
             let now = t(i as u64);
             interned.on_message_ref(now, id(*s), &msg, &mut ob);

@@ -12,8 +12,12 @@
 //! / [`Engine::initiate`](crate::Engine::initiate)) and mapped to a dense
 //! [`ValueId`]; every per-value table downstream is a [`ValueIdMap`] — a
 //! flat slot vector indexed by the id — so the per-delivery value lookup is
-//! an array index. The payload `V` is cloned only on first sight (into the
-//! interner's arena) and resolved back only at output emission.
+//! an array index. The arena holds each value behind an [`Arc`]: inbound
+//! wire payloads (already `Arc`-shared) enter via
+//! [`ValueInterner::intern_shared`] as a reference bump even on first
+//! sight, and output emission resolves ids back to shared handles via
+//! [`ValueInterner::resolve_shared`] — the payload bytes are never copied
+//! on either edge of the engine.
 //!
 //! ## Reclamation
 //!
@@ -30,6 +34,7 @@
 
 use core::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use ssbyz_types::Value;
 
@@ -138,11 +143,12 @@ impl fmt::Debug for ValueId {
     }
 }
 
-/// One arena slot: the value, its cached hash (for cheap probing and
-/// in-place table rebuilds) and the slot generation.
+/// One arena slot: the value (held behind an [`Arc`] so emission can hand
+/// out shared handles without deep-copying), its cached hash (for cheap
+/// probing and in-place table rebuilds) and the slot generation.
 #[derive(Debug, Clone)]
 struct Slot<V> {
-    value: Option<V>,
+    value: Option<Arc<V>>,
     hash: u64,
     gen: u32,
 }
@@ -228,53 +234,66 @@ impl<V: Value> ValueInterner<V> {
     /// Looks `value` up without interning it.
     #[must_use]
     pub fn lookup(&self, value: &V) -> Option<ValueId> {
+        self.probe(value).ok()
+    }
+
+    /// Interns `value`, cloning it into a fresh `Arc` in the arena only on
+    /// first sight. Repeat interning of a live value is a pure hash probe:
+    /// no clone, no allocation.
+    pub fn intern(&mut self, value: &V) -> ValueId {
+        match self.probe(value) {
+            Ok(id) => id,
+            Err((bucket, hash)) => self.place(Arc::new(value.clone()), hash, bucket),
+        }
+    }
+
+    /// Interns an already-shared value: on first sight the arena stores a
+    /// clone of the `Arc` handle — a reference bump, **never** a deep copy
+    /// of `V`. This is the engine-boundary entry point: inbound wire
+    /// messages carry `Arc<V>` payloads, so even a brand-new value enters
+    /// the arena without copying its bytes.
+    pub fn intern_shared(&mut self, value: &Arc<V>) -> ValueId {
+        match self.probe(value) {
+            Ok(id) => id,
+            Err((bucket, hash)) => self.place(Arc::clone(value), hash, bucket),
+        }
+    }
+
+    /// Probes the bucket array for `value`: the id on a hit, the insertion
+    /// bucket plus the content hash on a miss (so first sight — the one
+    /// path where hashing a heavyweight payload twice would hurt — hashes
+    /// exactly once).
+    fn probe(&self, value: &V) -> Result<ValueId, (usize, u64)> {
         let hash = Self::hash_of(value);
         let mask = self.table.len() - 1;
         let mut bucket = (hash as usize) & mask;
         loop {
             let e = self.table[bucket];
             if e == EMPTY {
-                return None;
+                return Err((bucket, hash));
             }
             let slot = &self.slots[e as usize];
-            if slot.hash == hash && slot.value.as_ref() == Some(value) {
-                return Some(ValueId(e));
+            if slot.hash == hash && slot.value.as_deref() == Some(value) {
+                return Ok(ValueId(e));
             }
             bucket = (bucket + 1) & mask;
         }
     }
 
-    /// Interns `value`, cloning it into the arena only on first sight.
-    /// Repeat interning of a live value is a pure hash probe: no clone, no
-    /// allocation.
-    pub fn intern(&mut self, value: &V) -> ValueId {
-        let hash = Self::hash_of(value);
-        let mask = self.table.len() - 1;
-        let mut bucket = (hash as usize) & mask;
-        loop {
-            let e = self.table[bucket];
-            if e == EMPTY {
-                break;
-            }
-            let slot = &self.slots[e as usize];
-            if slot.hash == hash && slot.value.as_ref() == Some(value) {
-                return ValueId(e);
-            }
-            bucket = (bucket + 1) & mask;
-        }
-        // Miss: place the value in a reclaimed or fresh slot.
+    /// Places a missed value in a reclaimed or fresh slot.
+    fn place(&mut self, shared: Arc<V>, hash: u64, bucket: usize) -> ValueId {
         let idx = match self.free.pop() {
             Some(idx) => {
                 let slot = &mut self.slots[idx as usize];
                 debug_assert!(slot.value.is_none(), "free-list slot still occupied");
-                slot.value = Some(value.clone());
+                slot.value = Some(shared);
                 slot.hash = hash;
                 idx
             }
             None => {
                 let idx = u32::try_from(self.slots.len()).expect("intern arena exceeds u32 slots");
                 self.slots.push(Slot {
-                    value: Some(value.clone()),
+                    value: Some(shared),
                     hash,
                     gen: 0,
                 });
@@ -328,14 +347,33 @@ impl<V: Value> ValueInterner<V> {
     pub fn resolve(&self, id: ValueId) -> &V {
         self.slots[id.index()]
             .value
-            .as_ref()
+            .as_deref()
             .expect("stale ValueId: slot was reclaimed")
+    }
+
+    /// Resolves an id to a shared handle on the interned value — a
+    /// reference bump, never a deep copy. This is what output emission
+    /// uses: the `Arc` inside every emitted [`Msg`](crate::Msg) / event is
+    /// the arena's own slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` names a reclaimed slot (see
+    /// [`ValueInterner::resolve`]).
+    #[must_use]
+    pub fn resolve_shared(&self, id: ValueId) -> Arc<V> {
+        Arc::clone(
+            self.slots[id.index()]
+                .value
+                .as_ref()
+                .expect("stale ValueId: slot was reclaimed"),
+        )
     }
 
     /// Non-panicking [`ValueInterner::resolve`].
     #[must_use]
     pub fn get(&self, id: ValueId) -> Option<&V> {
-        self.slots.get(id.index()).and_then(|s| s.value.as_ref())
+        self.slots.get(id.index()).and_then(|s| s.value.as_deref())
     }
 
     /// Starts a mark/sweep cycle: clears all mark bits (the bit storage is
@@ -580,6 +618,45 @@ mod tests {
         assert_eq!(it.lookup(&7), Some(a));
         assert_eq!(it.lookup(&1234), None);
         assert_eq!(it.occupancy(), 2);
+    }
+
+    #[test]
+    fn intern_shared_stores_the_wire_arc_without_copying() {
+        let mut it: ValueInterner<String> = ValueInterner::new();
+        let wire = Arc::new("payload".to_string());
+        // First sight: the arena slot IS the wire Arc (pointer-equal).
+        let id = it.intern_shared(&wire);
+        assert!(Arc::ptr_eq(&wire, &it.resolve_shared(id)));
+        assert_eq!(Arc::strong_count(&wire), 2, "wire + arena slot");
+        // Re-interning an equal value from a *different* Arc is a hit on
+        // the existing slot — the second Arc is not stored.
+        let other = Arc::new("payload".to_string());
+        assert_eq!(it.intern_shared(&other), id);
+        assert!(!Arc::ptr_eq(&other, &it.resolve_shared(id)));
+        // Emission handles are reference bumps on the slot.
+        let emitted = it.resolve_shared(id);
+        assert!(Arc::ptr_eq(&wire, &emitted));
+        assert_eq!(Arc::strong_count(&wire), 3);
+        // intern(&V) (the corruption-harness path) boxes a fresh Arc.
+        let id2 = it.intern(&"other".to_string());
+        assert_ne!(id2, id);
+        assert_eq!(*it.resolve(id2), "other");
+    }
+
+    #[test]
+    fn reclaimed_slot_releases_its_arc() {
+        let mut it: ValueInterner<String> = ValueInterner::new();
+        let wire = Arc::new("transient".to_string());
+        let id = it.intern_shared(&wire);
+        assert_eq!(Arc::strong_count(&wire), 2);
+        it.begin_sweep();
+        assert_eq!(it.finish_sweep(), 1);
+        assert_eq!(
+            Arc::strong_count(&wire),
+            1,
+            "sweeping an unmarked id must drop the arena's handle"
+        );
+        assert_eq!(it.get(id), None);
     }
 
     #[test]

@@ -1,6 +1,15 @@
 //! Wire messages of the three protocol layers.
+//!
+//! Every message embeds its value as an `Arc<V>`: the engine resolves the
+//! payload straight out of the interner's shared slot at emission, so
+//! broadcasting — the protocol's dominant operation — never deep-copies
+//! `V`, no matter how heavy the payload. A 1 KiB blob travels the whole
+//! emission → network fan-out → delivery → interning loop as reference
+//! bumps; the only deep copy in an execution is the proposer's original
+//! allocation.
 
 use core::fmt;
+use std::sync::Arc;
 
 use ssbyz_types::{NodeId, Value};
 
@@ -82,8 +91,8 @@ pub enum Msg<V> {
     Initiator {
         /// The initiating General.
         general: NodeId,
-        /// The proposed value `m`.
-        value: V,
+        /// The proposed value `m` (shared, never deep-copied in transit).
+        value: Arc<V>,
     },
     /// An `Initiator-Accept` stage message for the instance of `general`.
     Ia {
@@ -92,7 +101,7 @@ pub enum Msg<V> {
         /// The General whose initiation this message supports.
         general: NodeId,
         /// The value `m` being supported/approved/readied.
-        value: V,
+        value: Arc<V>,
     },
     /// A `msgd-broadcast` message inside the agreement instance of
     /// `general`. The broadcast payload is the pair `⟨G, m⟩ = (general,
@@ -106,7 +115,7 @@ pub enum Msg<V> {
         /// The node `p` that invoked `msgd-broadcast(p, m, k)`.
         broadcaster: NodeId,
         /// The value `m` in the pair `⟨G, m⟩`.
-        value: V,
+        value: Arc<V>,
         /// The round number `k ≥ 1`.
         round: u32,
     },
@@ -126,6 +135,13 @@ impl<V: Value> Msg<V> {
     /// The value carried by the message.
     #[must_use]
     pub fn value(&self) -> &V {
+        self.value_shared()
+    }
+
+    /// The shared handle of the carried value — cloning it is a reference
+    /// bump, never a deep copy.
+    #[must_use]
+    pub fn value_shared(&self) -> &Arc<V> {
         match self {
             Msg::Initiator { value, .. } | Msg::Ia { value, .. } | Msg::Bcast { value, .. } => {
                 value
@@ -179,7 +195,7 @@ mod tests {
         let g = NodeId::new(3);
         let m: Msg<u64> = Msg::Initiator {
             general: g,
-            value: 42,
+            value: Arc::new(42),
         };
         assert_eq!(m.general(), g);
         assert_eq!(*m.value(), 42);
@@ -193,7 +209,7 @@ mod tests {
         tags.insert(
             Msg::Initiator {
                 general: g,
-                value: 1u64,
+                value: Arc::new(1u64),
             }
             .tag(),
         );
@@ -202,7 +218,7 @@ mod tests {
                 Msg::Ia {
                     kind,
                     general: g,
-                    value: 1u64,
+                    value: Arc::new(1u64),
                 }
                 .tag(),
             );
@@ -213,7 +229,7 @@ mod tests {
                     kind,
                     general: g,
                     broadcaster: g,
-                    value: 1u64,
+                    value: Arc::new(1u64),
                     round: 1,
                 }
                 .tag(),

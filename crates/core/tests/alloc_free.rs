@@ -14,6 +14,7 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
+use std::sync::Arc;
 
 use ssbyz_core::{BcastKind, Engine, IaKind, Msg, Outbox, Params};
 use ssbyz_types::{Duration, LocalTime, NodeId};
@@ -69,16 +70,19 @@ fn duplicate_ia_spam_is_allocation_free() {
     let mut engine: Engine<u64> = Engine::new(NodeId::new(0), p);
     let mut ob: Outbox<u64> = Outbox::new();
     let mut t = 1_000_000_000_000u64;
+    // The spam payload is built once: wire messages reach the engine
+    // Arc-shared by the network layer, so constructing one is the
+    // sender's cost, never the delivery path's.
+    let msg = Msg::Ia {
+        kind: IaKind::Support,
+        general: NodeId::new(1),
+        value: Arc::new(7u64),
+    };
     // Warm-up: populate instance state, arrival slots, outbox capacity,
     // and run enough cleanup cadences that the `last(G, m)` guard-history
     // deque reaches its compacted steady-state capacity.
     for i in 0..6_000u64 {
         t += 10_000;
-        let msg = Msg::Ia {
-            kind: IaKind::Support,
-            general: NodeId::new(1),
-            value: 7u64,
-        };
         engine.on_message_ref(
             LocalTime::from_nanos(t),
             NodeId::new((i % 7) as u32),
@@ -93,11 +97,6 @@ fn duplicate_ia_spam_is_allocation_free() {
         let mut delivered = 0u64;
         for i in 0..10_000u64 {
             t += 10_000;
-            let msg = Msg::Ia {
-                kind: IaKind::Support,
-                general: NodeId::new(1),
-                value: 7u64,
-            };
             engine.on_message_ref(
                 LocalTime::from_nanos(t),
                 NodeId::new((i % 7) as u32),
@@ -123,15 +122,15 @@ fn duplicate_echo_spam_is_allocation_free() {
     let mut engine: Engine<u64> = Engine::new(NodeId::new(0), p);
     let mut ob: Outbox<u64> = Outbox::new();
     let mut t = 2_000_000_000_000u64;
+    let msg = Msg::Bcast {
+        kind: BcastKind::Echo,
+        general: NodeId::new(1),
+        broadcaster: NodeId::new(2),
+        value: Arc::new(9u64),
+        round: 1,
+    };
     for i in 0..1_000u64 {
         t += 10_000;
-        let msg = Msg::Bcast {
-            kind: BcastKind::Echo,
-            general: NodeId::new(1),
-            broadcaster: NodeId::new(2),
-            value: 9u64,
-            round: 1,
-        };
         engine.on_message_ref(
             LocalTime::from_nanos(t),
             NodeId::new((i % 7) as u32),
@@ -142,13 +141,6 @@ fn duplicate_echo_spam_is_allocation_free() {
     let (allocs, _) = count_allocs(|| {
         for i in 0..10_000u64 {
             t += 10_000;
-            let msg = Msg::Bcast {
-                kind: BcastKind::Echo,
-                general: NodeId::new(1),
-                broadcaster: NodeId::new(2),
-                value: 9u64,
-                round: 1,
-            };
             engine.on_message_ref(
                 LocalTime::from_nanos(t),
                 NodeId::new((i % 7) as u32),
@@ -179,7 +171,7 @@ fn rejected_traffic_is_allocation_free() {
             Msg::Ia {
                 kind: IaKind::Ready,
                 general: NodeId::new(1),
-                value: 3u64,
+                value: Arc::new(3u64),
             },
         ),
         // Claimed General outside the membership.
@@ -188,7 +180,7 @@ fn rejected_traffic_is_allocation_free() {
             Msg::Ia {
                 kind: IaKind::Ready,
                 general: NodeId::new(99),
-                value: 3u64,
+                value: Arc::new(3u64),
             },
         ),
         // Forged initiation (sender ≠ claimed General).
@@ -196,7 +188,7 @@ fn rejected_traffic_is_allocation_free() {
             NodeId::new(2),
             Msg::Initiator {
                 general: NodeId::new(1),
-                value: 3u64,
+                value: Arc::new(3u64),
             },
         ),
         // Bogus round.
@@ -206,7 +198,7 @@ fn rejected_traffic_is_allocation_free() {
                 kind: BcastKind::Echo,
                 general: NodeId::new(1),
                 broadcaster: NodeId::new(3),
-                value: 3u64,
+                value: Arc::new(3u64),
                 round: 0,
             },
         ),
@@ -248,7 +240,7 @@ fn fresh_value_deliveries_have_bounded_allocation_budget() {
             let msg = Msg::Ia {
                 kind: IaKind::Support,
                 general: NodeId::new(1),
-                value: *v,
+                value: Arc::new(*v),
             };
             engine.on_message_ref(
                 LocalTime::from_nanos(*t),
@@ -270,9 +262,12 @@ fn fresh_value_deliveries_have_bounded_allocation_budget() {
     });
     let per_delivery = allocs as f64 / deliveries as f64;
     println!("first-sight budget: {per_delivery:.2} allocs/delivery ({allocs} total)");
-    // Steady state measures 2.00 (fresh ValueState's lazily-allocated
-    // arrival storage); the slack covers allocator/layout jitter only —
-    // a real regression of the documented budget must fail here.
+    // Steady state measures 3.00: fresh ValueState's lazily-allocated
+    // arrival storage (2) plus the harness's own `Arc::new` per fresh
+    // payload (the engine itself adds nothing — `intern_shared` stores a
+    // reference bump of the wire Arc even on first sight). The slack
+    // covers allocator/layout jitter only — a real regression of the
+    // documented budget must fail here.
     assert!(
         per_delivery <= 4.0,
         "first-sight deliveries must stay cheap: {per_delivery:.2} allocs/delivery ({allocs} total)"
@@ -300,7 +295,7 @@ fn accepted_broadcast_allocations_are_bounded() {
                 kind: BcastKind::Echo,
                 general: NodeId::new(0),
                 broadcaster: NodeId::new(2),
-                value,
+                value: Arc::new(value),
                 round: 1,
             };
             engine.on_message_ref(LocalTime::from_nanos(*t), NodeId::new(s), &msg, ob);
@@ -325,5 +320,103 @@ fn accepted_broadcast_allocations_are_bounded() {
     assert!(
         per_wave <= 40.0,
         "accepted broadcast must stay cheap: {per_wave:.1} allocs/wave ({allocs} total)"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Clone-counter extension: the Arc<V> emission path must never deep-copy
+// the value — not per delivery, not per emitted Broadcast/Event.
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static V_CLONES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A heavyweight stand-in whose `Clone` is observable: every deep copy
+/// of the payload bumps a thread-local counter.
+#[derive(PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+struct CountedBlob([u8; 1024]);
+
+impl Clone for CountedBlob {
+    fn clone(&self) -> Self {
+        V_CLONES.with(|c| c.set(c.get() + 1));
+        CountedBlob(self.0)
+    }
+}
+
+fn count_v_clones<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = V_CLONES.with(Cell::get);
+    let r = f();
+    let after = V_CLONES.with(Cell::get);
+    (after - before, r)
+}
+
+/// End-to-end clone audit of the engine path for a 1 KiB value: interning
+/// an inbound Arc-shared wire payload stores a reference bump even on
+/// first sight, and every emitted `Broadcast`/`Event` resolves the
+/// interner slot's own `Arc` — **zero** deep copies of `V` across
+/// initiation, delivery, quorum completion, acceptance, decide relay and
+/// the Decided event.
+#[test]
+fn heavy_value_emission_is_clone_free() {
+    let p = params(4, 1);
+    let d = D;
+    let mut engine: Engine<CountedBlob> = Engine::new(NodeId::new(1), p);
+    let mut ob: Outbox<CountedBlob> = Outbox::new();
+    let mut t = 6_000_000_000_000u64;
+
+    let (clones, _) = count_v_clones(|| {
+        // The proposer's own initiation: the value moves into its Arc.
+        let mut general: Engine<CountedBlob> = Engine::new(NodeId::new(0), p);
+        let mut gob: Outbox<CountedBlob> = Outbox::new();
+        general
+            .initiate(LocalTime::from_nanos(t), CountedBlob([7u8; 1024]), &mut gob)
+            .expect("fresh engine initiates");
+        let initiator = gob
+            .outputs()
+            .iter()
+            .find_map(|o| match o {
+                ssbyz_core::Output::Broadcast(m) => Some(m.clone()),
+                _ => None,
+            })
+            .expect("initiation broadcasts");
+
+        // Deliver the initiation (first sight at node 1: Arc bump into
+        // the arena) — block K emits a support broadcast with the blob.
+        t += 1_000;
+        engine.on_message_ref(
+            LocalTime::from_nanos(t),
+            NodeId::new(0),
+            &initiator,
+            &mut ob,
+        );
+        assert!(!ob.is_empty(), "block K must emit support");
+
+        // A full echo wave accepts, relays the decide (blob broadcast)
+        // and emits the Decided event (blob event).
+        engine
+            .agreement_raw(NodeId::new(0))
+            .corrupt_anchor(LocalTime::from_nanos(t - 6 * d));
+        let value = std::sync::Arc::new(CountedBlob([7u8; 1024]));
+        let mut emitted = 0usize;
+        for s in [0u32, 2, 3] {
+            t += 1_000;
+            let msg = Msg::Bcast {
+                kind: BcastKind::Echo,
+                general: NodeId::new(0),
+                broadcaster: NodeId::new(2),
+                value: std::sync::Arc::clone(&value),
+                round: 1,
+            };
+            engine.on_message_ref(LocalTime::from_nanos(t), NodeId::new(s), &msg, &mut ob);
+            emitted += ob.len();
+        }
+        assert!(emitted > 0, "the completed wave must emit");
+    });
+    // The only deep copies permitted are the two explicit test-side
+    // constructions ([7u8; 1024] literals are moves, not clones).
+    assert_eq!(
+        clones, 0,
+        "engine delivery + emission must never deep-copy the value"
     );
 }

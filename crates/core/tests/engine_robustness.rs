@@ -1,6 +1,8 @@
 //! Engine-level robustness: duplicate and reordered deliveries, stale
 //! traffic from finished executions, and hostile message shapes.
 
+use std::sync::Arc;
+
 use ssbyz_core::{
     BcastKind, Duration, Engine, Event, IaKind, LocalTime, Msg, NodeId, Outbox, Output, Params,
 };
@@ -86,7 +88,7 @@ fn decisions(events: &[(NodeId, Event<u64>)]) -> Vec<(NodeId, u64)> {
     events
         .iter()
         .filter_map(|(n, e)| match e {
-            Event::Decided { value, .. } => Some((*n, *value)),
+            Event::Decided { value, .. } => Some((*n, **value)),
             _ => None,
         })
         .collect()
@@ -174,24 +176,24 @@ fn hostile_shapes_absorbed() {
             kind: BcastKind::Echo,
             general: id(0),
             broadcaster: id(0), // the General relaying "itself"
-            value: 1,
+            value: Arc::new(1),
             round: 1,
         },
         Msg::Bcast {
             kind: BcastKind::Init,
             general: id(0),
             broadcaster: id(1), // claims to be us
-            value: 2,
+            value: Arc::new(2),
             round: u32::MAX,
         },
         Msg::Ia {
             kind: IaKind::Ready,
             general: id(1), // we are the General of this instance
-            value: 3,
+            value: Arc::new(3),
         },
         Msg::Initiator {
             general: id(3),
-            value: u64::MAX,
+            value: Arc::new(u64::MAX),
         },
     ];
     let mut now = t(0);
@@ -226,7 +228,7 @@ fn out_of_order_stages_still_accept() {
                 Msg::Ia {
                     kind,
                     general: g,
-                    value: 5,
+                    value: Arc::new(5),
                 },
                 ob,
             );

@@ -21,6 +21,7 @@
 //! model across the cycle.
 
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use proptest::prelude::*;
 use ssbyz_core::engine::reference::ReferenceEngine;
@@ -63,7 +64,7 @@ fn decode<V: Value>(
             sender: sender_id,
             msg: Msg::Initiator {
                 general: NodeId::new(aux),
-                value: make(value),
+                value: Arc::new(make(value)),
             },
         },
         // Initiator-Accept stage messages.
@@ -72,7 +73,7 @@ fn decode<V: Value>(
             msg: Msg::Ia {
                 kind: IaKind::ALL[(sel % 3) as usize],
                 general: NodeId::new(aux),
-                value: make(value),
+                value: Arc::new(make(value)),
             },
         },
         // msgd-broadcast stage messages (bogus rounds included).
@@ -82,7 +83,7 @@ fn decode<V: Value>(
                 kind: BcastKind::ALL[(sel % 4) as usize],
                 general: NodeId::new(sel % 8),
                 broadcaster: NodeId::new(aux),
-                value: make(value),
+                value: Arc::new(make(value)),
                 round,
             },
         },
@@ -346,7 +347,10 @@ fn last_gm_suppression_survives_value_id_reuse() {
                    now: LocalTime,
                    value: u64|
      -> usize {
-        let msg = Msg::Initiator { general: g, value };
+        let msg = Msg::Initiator {
+            general: g,
+            value: Arc::new(value),
+        };
         interned.on_message_ref(now, g, &msg, ob);
         let want = golden.on_message_ref(now, g, &msg);
         assert_eq!(

@@ -10,6 +10,8 @@
 //! heap): the old plumbing is the specification; the refactor must not
 //! change a single emitted action or its order.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 use ssbyz_core::engine::reference::ReferenceEngine;
 use ssbyz_core::{BcastKind, Engine, IaKind, Msg, Outbox, Output, Params};
@@ -36,7 +38,7 @@ fn decode((sel, sender, value, aux, round, _dt): RawOp) -> Op {
             sender: sender_id,
             msg: Msg::Initiator {
                 general: NodeId::new(aux),
-                value,
+                value: Arc::new(value),
             },
         },
         // Initiator-Accept stage messages.
@@ -45,7 +47,7 @@ fn decode((sel, sender, value, aux, round, _dt): RawOp) -> Op {
             msg: Msg::Ia {
                 kind: IaKind::ALL[(sel % 3) as usize],
                 general: NodeId::new(aux),
-                value,
+                value: Arc::new(value),
             },
         },
         // msgd-broadcast stage messages (bogus rounds included: round 0
@@ -56,7 +58,7 @@ fn decode((sel, sender, value, aux, round, _dt): RawOp) -> Op {
                 kind: BcastKind::ALL[(sel % 4) as usize],
                 general: NodeId::new(sel % 8),
                 broadcaster: NodeId::new(aux),
-                value,
+                value: Arc::new(value),
                 round,
             },
         },
@@ -214,14 +216,14 @@ fn full_agreement_transcript_identical() {
 
     let init = Msg::Initiator {
         general: g,
-        value: 7,
+        value: Arc::new(7),
     };
     drive(t0, 0, &init, &mut pooled, &mut golden, &mut ob);
     for (i, s) in [0u32, 1, 2, 3].iter().enumerate() {
         let m = Msg::Ia {
             kind: IaKind::Support,
             general: g,
-            value: 7,
+            value: Arc::new(7),
         };
         drive(
             t0 + step + i as u64,
@@ -236,7 +238,7 @@ fn full_agreement_transcript_identical() {
         let m = Msg::Ia {
             kind: IaKind::Approve,
             general: g,
-            value: 7,
+            value: Arc::new(7),
         };
         drive(
             t0 + 2 * step + i as u64,
@@ -251,7 +253,7 @@ fn full_agreement_transcript_identical() {
         let m = Msg::Ia {
             kind: IaKind::Ready,
             general: g,
-            value: 7,
+            value: Arc::new(7),
         };
         drive(
             t0 + 3 * step + i as u64,

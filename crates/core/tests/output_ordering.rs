@@ -9,6 +9,8 @@
 //! these tests make it impossible for an outbox/dispatch refactor to
 //! silently reorder emissions.
 
+use std::sync::Arc;
+
 use ssbyz_core::{BcastKind, Engine, Event, IaKind, Msg, Outbox, Output, Params};
 use ssbyz_types::{Duration, LocalTime, NodeId};
 
@@ -45,7 +47,7 @@ fn accept_and_decide_output_order_is_pinned() {
         g,
         &Msg::Initiator {
             general: g,
-            value: 7,
+            value: Arc::new(7),
         },
         &mut ob,
     );
@@ -54,7 +56,7 @@ fn accept_and_decide_output_order_is_pinned() {
         &[Output::Broadcast(Msg::Ia {
             kind: IaKind::Support,
             general: g,
-            value: 7
+            value: Arc::new(7)
         })],
         "block K emits exactly one support"
     );
@@ -62,7 +64,7 @@ fn accept_and_decide_output_order_is_pinned() {
         let m = Msg::Ia {
             kind: IaKind::Support,
             general: g,
-            value: 7,
+            value: Arc::new(7),
         };
         e.on_message_ref(
             t0 + Duration::from_nanos(10 + i as u64),
@@ -75,7 +77,7 @@ fn accept_and_decide_output_order_is_pinned() {
         let m = Msg::Ia {
             kind: IaKind::Approve,
             general: g,
-            value: 7,
+            value: Arc::new(7),
         };
         e.on_message_ref(
             t0 + Duration::from_nanos(20 + i as u64),
@@ -89,7 +91,7 @@ fn accept_and_decide_output_order_is_pinned() {
         let m = Msg::Ia {
             kind: IaKind::Ready,
             general: g,
-            value: 7,
+            value: Arc::new(7),
         };
         e.on_message_ref(
             t0 + Duration::from_nanos(30 + i as u64),
@@ -107,7 +109,7 @@ fn accept_and_decide_output_order_is_pinned() {
         &Msg::Ia {
             kind: IaKind::Ready,
             general: g,
-            value: 7,
+            value: Arc::new(7),
         },
         &mut ob,
     );
@@ -116,7 +118,7 @@ fn accept_and_decide_output_order_is_pinned() {
     let expected: Vec<Output<u64>> = vec![
         Output::Event(Event::IAccepted {
             general: g,
-            value: 7,
+            value: Arc::new(7),
             tau_g,
         }),
         // Block T boundary for r = 1 ((2r+1)Φ = 3Φ)…
@@ -128,14 +130,14 @@ fn accept_and_decide_output_order_is_pinned() {
             kind: BcastKind::Init,
             general: g,
             broadcaster: id(1),
-            value: 7,
+            value: Arc::new(7),
             round: 1,
         }),
         // Post-return reset wake-up, then the return itself.
         Output::WakeAt(now + d() * 3u64),
         Output::Event(Event::Decided {
             general: g,
-            value: 7,
+            value: Arc::new(7),
             tau_g,
             at: now,
         }),
@@ -149,7 +151,7 @@ fn accept_and_decide_output_order_is_pinned() {
         &Msg::Ia {
             kind: IaKind::Ready,
             general: g,
-            value: 7,
+            value: Arc::new(7),
         },
         &mut ob,
     );
@@ -192,7 +194,7 @@ fn tick_output_order_is_pinned() {
         }),
         // Own [IG3] monitor last: the +2d approve check failed.
         Output::Event(Event::InitiationFailed {
-            value: 9,
+            value: Arc::new(9),
             at: tick_at,
         }),
     ];

@@ -11,7 +11,9 @@ use rand::{Rng, SeedableRng};
 use ssbyz_adversary::{u64_corruptor, u64_injector, RngEntropy};
 use ssbyz_core::corrupt::ScrambleConfig;
 use ssbyz_core::{Engine, Event, Msg, Params};
-use ssbyz_simnet::{DriftClock, LinkConfig, Metrics, Process, SimBuilder, Simulation, StormConfig};
+use ssbyz_simnet::{
+    BroadcastMode, DriftClock, LinkConfig, Metrics, Process, SimBuilder, Simulation, StormConfig,
+};
 use ssbyz_types::{ConfigError, Duration, LocalTime, NodeId, RealTime};
 
 use crate::adapter::{EngineProcess, NodeEvent};
@@ -116,6 +118,7 @@ pub struct ScenarioBuilder {
     storm: Option<StormConfig>,
     ideal_clocks: bool,
     boot_readings: Option<Vec<LocalTime>>,
+    broadcast_mode: BroadcastMode,
 }
 
 impl ScenarioBuilder {
@@ -135,7 +138,17 @@ impl ScenarioBuilder {
             storm: None,
             ideal_clocks: false,
             boot_readings: None,
+            broadcast_mode: BroadcastMode::default(),
         }
+    }
+
+    /// Selects the simulator's broadcast fan-out scheduling mode — the
+    /// A/B parity tests run the same scenario batched and per-destination
+    /// and require identical results.
+    #[must_use]
+    pub fn broadcast_mode(mut self, mode: BroadcastMode) -> Self {
+        self.broadcast_mode = mode;
+        self
     }
 
     /// The derived protocol constants.
@@ -238,6 +251,7 @@ impl ScenarioBuilder {
                 self.cfg.actual_min,
                 self.cfg.actual_max,
             ))
+            .broadcast_mode(self.broadcast_mode)
             .tagger(Msg::tag);
         if let Some(storm) = self.storm {
             builder = builder
@@ -453,7 +467,7 @@ impl RunningScenario {
                 }) => decisions.push(DecisionRecord {
                     node: obs.node,
                     general: *general,
-                    value: Some(*value),
+                    value: Some(**value),
                     local_at: *at,
                     real_at: obs.real,
                     tau_g_local: *tau_g,
@@ -477,13 +491,13 @@ impl RunningScenario {
                 }) => iaccepts.push(IaRecord {
                     node: obs.node,
                     general: *general,
-                    value: *value,
+                    value: **value,
                     tau_g_local: *tau_g,
                     tau_g_real: clock.real_of_local(*tau_g),
                     real_at: obs.real,
                 }),
                 NodeEvent::Core(Event::InitiationFailed { value, .. }) => {
-                    failures.push((obs.node, *value, obs.real));
+                    failures.push((obs.node, **value, obs.real));
                 }
                 NodeEvent::InitiateRefused { value, .. } => {
                     refused.push((obs.node, *value, obs.real));

@@ -1,0 +1,146 @@
+//! Whole-protocol A/B parity for the batched broadcast fan-out: the same
+//! agreement scenario — engines, drifting clocks, a crashed node, a
+//! partitioned link, a transient-fault storm — run once with
+//! `BroadcastMode::Batched` and once with the retained per-destination
+//! reference route must produce **identical** observation streams
+//! (protocol events in order, per node, with identical timestamps) and
+//! identical network metrics. The engine stack sits on top of the
+//! simulator, so this pins the batching end to end: any divergence in
+//! delivery order, RNG consumption, or destination filtering would show
+//! up as a diverging protocol trace.
+
+use ssbyz_harness::{NodeEvent, ScenarioBuilder, ScenarioConfig};
+use ssbyz_simnet::{BroadcastMode, StormConfig};
+use ssbyz_types::{Duration, NodeId, RealTime};
+
+fn storm() -> StormConfig {
+    StormConfig {
+        until: RealTime::from_nanos(40_000_000), // 40ms of chaos
+        drop_num: 1,
+        drop_den: 8,
+        corrupt_num: 1,
+        corrupt_den: 8,
+        dup_num: 1,
+        dup_den: 8,
+        max_delay: Duration::from_millis(4),
+        injection_period: Some(Duration::from_millis(3)),
+    }
+}
+
+fn run(seed: u64, mode: BroadcastMode, with_storm: bool) -> (Vec<String>, ssbyz_simnet::Metrics) {
+    let cfg = ScenarioConfig::new(7, 2).with_seed(seed);
+    let mut b = ScenarioBuilder::new(cfg).broadcast_mode(mode);
+    // Under a storm the initiation goes out mid-chaos so the broadcast
+    // waves themselves are dropped/corrupted/duplicated.
+    let initiate_at = if with_storm {
+        Duration::from_millis(10)
+    } else {
+        Duration::from_millis(60)
+    };
+    if with_storm {
+        b = b.storm(storm());
+    }
+    let mut scenario = b
+        .correct_general(initiate_at, 41)
+        .correct()
+        .correct()
+        .correct()
+        .correct()
+        .correct()
+        .correct()
+        .build();
+    // One crashed node (excluded from batches at delivery) and one
+    // partitioned link (excluded at send).
+    scenario
+        .sim_mut()
+        .set_down_until(NodeId::new(6), RealTime::from_nanos(150_000_000));
+    scenario.sim_mut().block_link(
+        NodeId::new(0),
+        NodeId::new(5),
+        RealTime::from_nanos(90_000_000),
+    );
+    scenario.run_until(RealTime::from_nanos(400_000_000));
+    let trace: Vec<String> = scenario
+        .sim()
+        .observations()
+        .iter()
+        .map(|o| format!("{:?}@{:?}/{:?}: {:?}", o.node, o.real, o.local, o.event))
+        .collect();
+    (trace, scenario.sim().metrics().clone())
+}
+
+#[test]
+fn agreement_scenario_is_identical_batched_and_per_destination() {
+    for seed in [1u64, 7, 23] {
+        let (batched, m_batched) = run(seed, BroadcastMode::Batched, false);
+        let (per_dest, m_per_dest) = run(seed, BroadcastMode::PerDestination, false);
+        assert!(
+            batched.iter().any(|l| l.contains("Decided")),
+            "seed {seed}: scenario must actually decide\n{batched:#?}"
+        );
+        assert_eq!(batched, per_dest, "protocol trace diverged at seed {seed}");
+        assert_eq!(m_batched, m_per_dest, "metrics diverged at seed {seed}");
+    }
+}
+
+#[test]
+fn agreement_scenario_under_storm_is_identical_batched_and_per_destination() {
+    for seed in [3u64, 12] {
+        let (batched, m_batched) = run(seed, BroadcastMode::Batched, true);
+        let (per_dest, m_per_dest) = run(seed, BroadcastMode::PerDestination, true);
+        assert_eq!(
+            batched, per_dest,
+            "storm protocol trace diverged at seed {seed}"
+        );
+        assert_eq!(
+            m_batched, m_per_dest,
+            "storm metrics diverged at seed {seed}"
+        );
+        assert!(
+            m_batched.corrupted + m_batched.dropped + m_batched.duplicated > 0,
+            "seed {seed}: the storm must actually bite"
+        );
+    }
+}
+
+/// The NodeEvent type itself round-trips through the batched path: a
+/// crashed node observes nothing, everyone else decides the same value.
+#[test]
+fn crashed_node_observes_nothing_under_batched_fanout() {
+    let cfg = ScenarioConfig::new(4, 1).with_seed(5);
+    let mut scenario = ScenarioBuilder::new(cfg)
+        .correct_general(Duration::from_millis(60), 9)
+        .correct()
+        .correct()
+        .correct()
+        .build();
+    scenario
+        .sim_mut()
+        .set_down_until(NodeId::new(3), RealTime::from_nanos(u64::MAX));
+    scenario.run_until(RealTime::from_nanos(400_000_000));
+    let result = scenario.result();
+    let deciders: Vec<NodeId> = result
+        .decisions
+        .iter()
+        .filter(|d| d.value == Some(9))
+        .map(|d| d.node)
+        .collect();
+    assert!(
+        deciders.contains(&NodeId::new(0))
+            && deciders.contains(&NodeId::new(1))
+            && deciders.contains(&NodeId::new(2)),
+        "live nodes decide: {result:?}"
+    );
+    assert!(
+        !scenario
+            .sim()
+            .observations()
+            .iter()
+            .any(|o| o.node == NodeId::new(3)),
+        "a crashed destination must be excluded from every batch"
+    );
+    assert!(matches!(
+        scenario.sim().observations().first().map(|o| &o.event),
+        Some(NodeEvent::Core(_)) | None
+    ));
+}

@@ -51,7 +51,7 @@ impl Process<Msg<u64>, NodeEvent<u64>> for FreshValueSpammer {
         for _ in 0..3 {
             // Never repeat a value; tag with the node id so two spammers
             // cannot collide either.
-            let value = (u64::from(me.index() as u32) << 48) | self.next_value;
+            let value = std::sync::Arc::new((u64::from(me.index() as u32) << 48) | self.next_value);
             self.next_value += 1;
             *self.minted.lock().unwrap() += 1;
             let general = NodeId::new(ctx.rand_below(n as u64) as u32);
@@ -213,7 +213,7 @@ fn intern_arena_plateaus_and_drains() {
         let msg = Msg::Ia {
             kind: IaKind::Support,
             general: NodeId::new(1),
-            value: v,
+            value: std::sync::Arc::new(v),
         };
         engine.on_message_ref(
             LocalTime::from_nanos(t),

@@ -148,7 +148,7 @@ fn no_stale_outputs_leak_between_calls() {
         t += 5_000;
         let msg = Msg::Initiator {
             general: g,
-            value: 3,
+            value: std::sync::Arc::new(3),
         };
         engine.on_message_ref(ssbyz_types::LocalTime::from_nanos(t), g, &msg, &mut ob);
         if i == 0 {
@@ -170,7 +170,7 @@ fn no_stale_outputs_leak_between_calls() {
         g,
         &Msg::Initiator {
             general: g,
-            value: 3,
+            value: std::sync::Arc::new(3),
         },
         &mut ob,
     );

@@ -79,12 +79,32 @@ pub struct ClusterEvent<V> {
     pub elapsed: std::time::Duration,
 }
 
+/// Destination shape of a routed message.
+enum RouterDest {
+    /// Unicast (the adversary-inject path); `due` includes the sampled
+    /// link delay.
+    One(NodeId),
+    /// Batched fan-out to every node: the whole broadcast is **one**
+    /// channel send (it used to be n). `due` is the send instant; the
+    /// *router* samples an independent link delay per destination when
+    /// it fans the entry out into wheel deliveries, so per-destination
+    /// jitter — and the message reorderings it produces — is exactly
+    /// what the per-send path had.
+    All,
+}
+
 struct RouterMsg<V> {
     due: Instant,
     from: NodeId,
+    dest: RouterDest,
+    /// Shared payload: fan-out clones the `Arc`, never the message.
+    msg: Arc<Msg<V>>,
+}
+
+/// A delivery waiting on the router's wheel.
+struct Pending<V> {
     to: NodeId,
-    /// Shared payload: a broadcast enqueues one `Arc` per destination
-    /// instead of deep-cloning the message n times.
+    from: NodeId,
     msg: Arc<Msg<V>>,
 }
 
@@ -116,9 +136,8 @@ impl<V: Value> Cluster<V> {
         let mut threads = Vec::new();
         {
             let cmd_txs = cmd_txs.clone();
-            let delay_max = cfg.delay_max;
             threads.push(std::thread::spawn(move || {
-                router_loop(router_rx, cmd_txs, delay_max);
+                router_loop(router_rx, cmd_txs, cfg);
             }));
         }
         for (i, rx) in cmd_rxs.into_iter().enumerate() {
@@ -167,7 +186,7 @@ impl<V: Value> Cluster<V> {
             .send(RouterMsg {
                 due: Instant::now(),
                 from,
-                to,
+                dest: RouterDest::One(to),
                 msg: Arc::new(msg),
             })
             .map_err(|_| "router is gone")
@@ -179,9 +198,11 @@ impl<V: Value> Cluster<V> {
         self.events.lock().clone()
     }
 
-    /// Convenience: all `Decided` events so far as `(node, value)`.
+    /// Convenience: all `Decided` events so far as `(node, value)`. The
+    /// values are the shared wire handles — no deep copy is made here
+    /// either.
     #[must_use]
-    pub fn decisions(&self) -> Vec<(NodeId, V)> {
+    pub fn decisions(&self) -> Vec<(NodeId, Arc<V>)> {
         self.events()
             .into_iter()
             .filter_map(|e| match e.event {
@@ -223,19 +244,23 @@ impl<V: Value> Cluster<V> {
     }
 }
 
-/// The delay router: messages wait on the shared timer wheel until their
-/// injected link delay elapses, then are handed to the destination node
-/// thread. Due times are nanoseconds since the router's epoch; wheel seq
-/// numbers preserve channel-arrival FIFO order within a due time, exactly
-/// as the replaced `BinaryHeap`'s `(due, seq)` ordering did.
+/// The delay router: deliveries wait on the shared timer wheel until
+/// their injected link delay elapses, then are handed to the destination
+/// node thread. A broadcast arrives as one channel message and is fanned
+/// out here — the router samples an independent delay per destination
+/// from its own seeded RNG, so every peer sees its own jitter (and the
+/// reorderings that implies) exactly as under the per-send path. Due
+/// times are nanoseconds since the router's epoch; wheel seq numbers
+/// preserve arrival FIFO order within a due time.
 fn router_loop<V: Value>(
     rx: Receiver<RouterMsg<V>>,
     cmd_txs: Vec<Sender<NodeCmd<V>>>,
-    delay_max: Duration,
+    cfg: RuntimeConfig,
 ) {
     let epoch = Instant::now();
     let now_ns = |epoch: Instant| u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
-    let mut wheel: TimerWheel<RouterMsg<V>> = TimerWheel::for_span_hint(delay_max.as_nanos());
+    let mut wheel: TimerWheel<Pending<V>> = TimerWheel::for_span_hint(cfg.delay_max.as_nanos());
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7075_7265_726f_7574);
     loop {
         let timeout = wheel
             .peek_due()
@@ -243,18 +268,46 @@ fn router_loop<V: Value>(
             .unwrap_or(std::time::Duration::from_millis(50));
         match rx.recv_timeout(timeout) {
             Ok(m) => {
-                let due_ns = u64::try_from(m.due.saturating_duration_since(epoch).as_nanos())
+                let base_ns = u64::try_from(m.due.saturating_duration_since(epoch).as_nanos())
                     .unwrap_or(u64::MAX);
-                wheel.insert(due_ns, m);
+                match m.dest {
+                    RouterDest::One(to) => {
+                        wheel.insert(
+                            base_ns,
+                            Pending {
+                                to,
+                                from: m.from,
+                                msg: m.msg,
+                            },
+                        );
+                    }
+                    RouterDest::All => {
+                        for dst in 0..cmd_txs.len() {
+                            let delay_ns = if cfg.delay_min == cfg.delay_max {
+                                cfg.delay_min.as_nanos()
+                            } else {
+                                rng.gen_range(cfg.delay_min.as_nanos()..=cfg.delay_max.as_nanos())
+                            };
+                            wheel.insert(
+                                base_ns.saturating_add(delay_ns),
+                                Pending {
+                                    to: NodeId::new(dst as u32),
+                                    from: m.from,
+                                    msg: Arc::clone(&m.msg),
+                                },
+                            );
+                        }
+                    }
+                }
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => return,
         }
         while wheel.peek_due().is_some_and(|due| due <= now_ns(epoch)) {
-            let m = wheel.pop().expect("peeked").payload;
-            let _ = cmd_txs[m.to.index()].send(NodeCmd::Deliver {
-                from: m.from,
-                msg: m.msg,
+            let p = wheel.pop().expect("peeked").payload;
+            let _ = cmd_txs[p.to.index()].send(NodeCmd::Deliver {
+                from: p.from,
+                msg: p.msg,
             });
         }
     }
@@ -273,8 +326,7 @@ fn node_loop<V: Value>(
     // One pooled outbox for the thread's lifetime: dispatch of duplicate
     // and suppressed deliveries allocates nothing.
     let mut outbox: Outbox<V> = Outbox::new();
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (u64::from(id.as_u32()) << 32));
-    let n = params.n();
+
     let now_local = |start: Instant| {
         LocalTime::from_nanos(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX))
     };
@@ -302,22 +354,15 @@ fn node_loop<V: Value>(
         for o in outbox.drain() {
             match o {
                 Output::Broadcast(msg) => {
-                    // One allocation per broadcast; per-destination sends
-                    // share the payload through the Arc.
-                    let shared = Arc::new(msg);
-                    for dst in 0..n {
-                        let delay_ns = if cfg.delay_min == cfg.delay_max {
-                            cfg.delay_min.as_nanos()
-                        } else {
-                            rng.gen_range(cfg.delay_min.as_nanos()..=cfg.delay_max.as_nanos())
-                        };
-                        let _ = router_tx.send(RouterMsg {
-                            due: Instant::now() + std::time::Duration::from_nanos(delay_ns),
-                            from: id,
-                            to: NodeId::new(dst as u32),
-                            msg: Arc::clone(&shared),
-                        });
-                    }
+                    // Batched fan-out: the whole broadcast is one channel
+                    // send carrying one Arc; the router samples the
+                    // per-destination link delays when it fans out.
+                    let _ = router_tx.send(RouterMsg {
+                        due: Instant::now(),
+                        from: id,
+                        dest: RouterDest::All,
+                        msg: Arc::new(msg),
+                    });
                 }
                 Output::WakeAt(at) => {
                     // Honor the precise wake-up by shortening the tick.
@@ -355,7 +400,7 @@ mod tests {
             cluster.decisions()
         );
         let decisions = cluster.decisions();
-        assert!(decisions.iter().all(|(_, v)| *v == 42));
+        assert!(decisions.iter().all(|(_, v)| **v == 42));
         cluster.shutdown();
     }
 
@@ -379,7 +424,7 @@ mod tests {
                 NodeId::new(3),
                 Msg::Initiator {
                     general: NodeId::new(1),
-                    value: 9,
+                    value: Arc::new(9),
                 },
             )
             .unwrap();

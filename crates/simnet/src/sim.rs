@@ -6,7 +6,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use ssbyz_sched::{EventQueue, TimerHandle, TimerWheel};
-use ssbyz_types::{Duration, LocalTime, NodeId, RealTime};
+use ssbyz_types::{Duration, LocalTime, NodeBitSet, NodeId, RealTime};
 
 use crate::clock::DriftClock;
 use crate::network::{LinkBlock, LinkConfig, StormConfig};
@@ -58,18 +58,42 @@ pub type Corruptor<M> = Box<dyn FnMut(M, &mut StdRng) -> Option<M> + Send>;
 pub type Injector<M> = Box<dyn FnMut(&mut StdRng, usize) -> (NodeId, NodeId, M) + Send>;
 
 enum EventKind<M> {
-    /// Delivery of a (possibly broadcast-shared) payload. Fan-out pushes
-    /// one `Arc` clone per destination — never a deep copy of `M`.
+    /// Delivery of a (possibly broadcast-shared) payload to one node.
     Deliver {
         to: NodeId,
         from: NodeId,
         msg: Arc<M>,
+    },
+    /// One batched broadcast fan-out: a single wheel entry carrying the
+    /// shared payload and a destination bitmap. On expiry the payload is
+    /// delivered to every destination in ascending id order — exactly the
+    /// order n same-due per-destination entries would have popped in
+    /// (equal due ⇒ FIFO by seq ⇒ this broadcast's insertion order, which
+    /// was ascending id). An all-broadcast round occupies O(n) wheel
+    /// entries instead of O(n²).
+    BroadcastDeliver {
+        from: NodeId,
+        msg: Arc<M>,
+        dests: NodeBitSet,
     },
     Timer {
         node: NodeId,
         token: u64,
     },
     Injection,
+}
+
+/// How [`Ctx::broadcast`] fan-out is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BroadcastMode {
+    /// One wheel entry per same-due destination batch (the default).
+    #[default]
+    Batched,
+    /// The pre-batch path: one wheel entry per destination. Retained as
+    /// the reference route for the A/B parity tests — both modes must
+    /// produce identical observation streams and metrics from the same
+    /// seed.
+    PerDestination,
 }
 
 struct NodeSlot<M, O> {
@@ -91,6 +115,7 @@ pub struct SimBuilder<M, O> {
     corruptor: Option<Corruptor<M>>,
     injector: Option<Injector<M>>,
     tagger: Option<fn(&M) -> &'static str>,
+    mode: BroadcastMode,
     nodes: Vec<NodeSlot<M, O>>,
 }
 
@@ -105,8 +130,17 @@ impl<M, O> SimBuilder<M, O> {
             corruptor: None,
             injector: None,
             tagger: None,
+            mode: BroadcastMode::default(),
             nodes: Vec::new(),
         }
+    }
+
+    /// Selects the broadcast fan-out scheduling mode (defaults to
+    /// [`BroadcastMode::Batched`]).
+    #[must_use]
+    pub fn broadcast_mode(mut self, mode: BroadcastMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Sets the steady-state link behaviour.
@@ -179,6 +213,9 @@ impl<M, O> SimBuilder<M, O> {
             started: false,
             events_processed: 0,
             scratch_outbox: Vec::new(),
+            mode: self.mode,
+            batch_scratch: Vec::new(),
+            bitset_pool: Vec::new(),
         };
         if sim.storm.is_some() && sim.injector.is_some() {
             sim.queue
@@ -238,6 +275,17 @@ pub struct Simulation<M, O> {
     /// Reused per-handler effect buffer: every dispatch borrows this Vec
     /// instead of allocating a fresh outbox per event.
     scratch_outbox: Vec<Effect<M, O>>,
+    /// How broadcast fan-out is scheduled.
+    mode: BroadcastMode,
+    /// Reused open-batch buffer for one `route_broadcast` call: one entry
+    /// per run of equal-due destinations. The bitmap is created lazily on
+    /// the second destination of a run — a singleton run costs no bitset
+    /// work at all, so jittered links (where dues rarely collide) pay
+    /// only a comparison over the per-destination path.
+    batch_scratch: Vec<(RealTime, NodeId, Option<NodeBitSet>)>,
+    /// Recycled destination bitmaps — steady-state batched fan-out
+    /// allocates no fresh bitsets.
+    bitset_pool: Vec<NodeBitSet>,
 }
 
 impl<M: Clone, O> Simulation<M, O> {
@@ -437,32 +485,56 @@ impl<M: Clone, O> Simulation<M, O> {
             .is_some_and(|until| at < until)
     }
 
+    /// Delivers one payload to one (live) node: handler plus immediate
+    /// effect application, exactly one pre-batch `Deliver` event's worth.
+    fn deliver_to(&mut self, at: RealTime, to: NodeId, from: NodeId, msg: &M) {
+        if self.is_down(to, at) {
+            self.metrics.swallowed += 1;
+            return;
+        }
+        let mut outbox = std::mem::take(&mut self.scratch_outbox);
+        {
+            let n = self.nodes.len();
+            let slot = &mut self.nodes[to.index()];
+            let local = slot.clock.local_at(at);
+            let rng = &mut self.rng;
+            let mut words = move || rng.next_u64();
+            let mut ctx = Ctx {
+                me: to,
+                n,
+                now_local: local,
+                outbox: &mut outbox,
+                rng_words: &mut words,
+            };
+            slot.process.on_message(&mut ctx, from, msg);
+        }
+        self.metrics.delivered += 1;
+        self.apply_effects(to, &mut outbox);
+        self.scratch_outbox = outbox;
+    }
+
     fn dispatch(&mut self, at: RealTime, kind: EventKind<M>) {
         match kind {
             EventKind::Deliver { to, from, msg } => {
-                if self.is_down(to, at) {
-                    self.metrics.swallowed += 1;
-                    return;
+                self.deliver_to(at, to, from, &msg);
+            }
+            EventKind::BroadcastDeliver {
+                from,
+                msg,
+                mut dests,
+            } => {
+                // Ascending-id delivery reproduces the per-destination pop
+                // order (equal due ⇒ seq order ⇒ this broadcast's
+                // insertion order). Each destination's effects apply
+                // before the next destination's handler runs, exactly as
+                // they did across n separate pops: any event a handler
+                // schedules gets a later seq than this batch, so nothing
+                // could have popped in between anyway.
+                for to in dests.iter() {
+                    self.deliver_to(at, to, from, &msg);
                 }
-                let mut outbox = std::mem::take(&mut self.scratch_outbox);
-                {
-                    let n = self.nodes.len();
-                    let slot = &mut self.nodes[to.index()];
-                    let local = slot.clock.local_at(at);
-                    let rng = &mut self.rng;
-                    let mut words = move || rng.next_u64();
-                    let mut ctx = Ctx {
-                        me: to,
-                        n,
-                        now_local: local,
-                        outbox: &mut outbox,
-                        rng_words: &mut words,
-                    };
-                    slot.process.on_message(&mut ctx, from, &msg);
-                }
-                self.metrics.delivered += 1;
-                self.apply_effects(to, &mut outbox);
-                self.scratch_outbox = outbox;
+                dests.clear();
+                self.bitset_pool.push(dests);
             }
             EventKind::Timer { node, token } => {
                 // The wheel entry just fired: forget its handle whether
@@ -552,12 +624,169 @@ impl<M: Clone, O> Simulation<M, O> {
     }
 
     /// Fans one payload out to every node. The message is wrapped in an
-    /// [`Arc`] exactly once; each destination's queue entry is a
-    /// reference-count bump, not a deep clone.
+    /// [`Arc`] exactly once, and destinations sharing a due time are
+    /// coalesced into a single [`EventKind::BroadcastDeliver`] wheel entry
+    /// carrying a destination bitmap — under a deterministic link delay
+    /// the entire fan-out is **one** queue entry instead of n.
+    ///
+    /// Determinism: the per-destination loop performs exactly the RNG
+    /// draws the pre-batch path performed, in the same order, and every
+    /// singleton push (a storm duplicate, or a corrupted copy peeled out
+    /// of its batch) first flushes the open batches so the `(due, seq)`
+    /// interleaving of all pushed entries matches the per-destination
+    /// path entry for entry. Within a batch, expiry delivers in ascending
+    /// destination id — the order equal-due per-destination entries
+    /// popped in. `BroadcastMode::PerDestination` keeps the old route as
+    /// the reference for the A/B parity tests.
     fn route_broadcast(&mut self, from: NodeId, msg: M) {
+        if self.mode == BroadcastMode::PerDestination {
+            self.route_broadcast_per_dest(from, msg);
+            return;
+        }
+        let shared = Arc::new(msg);
+        let mut batches = std::mem::take(&mut self.batch_scratch);
+        debug_assert!(batches.is_empty());
+        for i in 0..self.nodes.len() {
+            let to = NodeId::new(i as u32);
+            self.metrics.sent += 1;
+            if let Some(tagger) = self.tagger {
+                *self.metrics.per_tag.entry(tagger(&shared)).or_insert(0) += 1;
+            }
+            if self
+                .blocks
+                .iter()
+                .any(|b| b.from == from && b.to == to && self.now < b.until)
+            {
+                self.metrics.blocked += 1;
+                continue; // partitioned: the bit is simply never set
+            }
+            let storm_active = self.storm.is_some_and(|s| s.active_at(self.now));
+            if !storm_active {
+                let due = self.now + self.sample_delay(self.link.delay_min, self.link.delay_max);
+                Self::batch_insert(&mut batches, &mut self.bitset_pool, due, to);
+                continue;
+            }
+            let storm = self.storm.expect("checked");
+            if storm.drop_den > 0 && self.rng.gen_ratio(storm.drop_num, storm.drop_den) {
+                self.metrics.dropped += 1;
+                continue;
+            }
+            // A corrupted destination is peeled out of its batch before
+            // its copy is mutated. Broadcast corruption always operates
+            // on a deep clone: the batch holds the shared `Arc`, so the
+            // per-destination path's `Arc::try_unwrap` could never win
+            // here either — every other destination keeps the pristine
+            // payload. (Unicast sends in `route` keep the real
+            // try-unwrap, where the delivery can be the sole holder.)
+            let mut private: Option<Arc<M>> = None;
+            if storm.corrupt_den > 0 && self.rng.gen_ratio(storm.corrupt_num, storm.corrupt_den) {
+                if let Some(corruptor) = self.corruptor.as_mut() {
+                    let owned = (*shared).clone();
+                    match corruptor(owned, &mut self.rng) {
+                        Some(m) => {
+                            self.metrics.corrupted += 1;
+                            private = Some(Arc::new(m));
+                        }
+                        None => {
+                            self.metrics.dropped += 1;
+                            continue;
+                        }
+                    }
+                } else {
+                    // No corruptor installed: corruption degenerates to loss.
+                    self.metrics.dropped += 1;
+                    continue;
+                }
+            }
+            if storm.dup_den > 0 && self.rng.gen_ratio(storm.dup_num, storm.dup_den) {
+                self.metrics.duplicated += 1;
+                let at = self.now + self.sample_delay(Duration::ZERO, storm.max_delay);
+                let payload = private.clone().unwrap_or_else(|| Arc::clone(&shared));
+                // Preserve the per-destination (due, seq) interleaving:
+                // everything batched so far must sit before this push.
+                self.flush_batches(from, &shared, &mut batches);
+                self.push(
+                    at,
+                    EventKind::Deliver {
+                        to,
+                        from,
+                        msg: payload,
+                    },
+                );
+            }
+            let due = self.now + self.sample_delay(Duration::ZERO, storm.max_delay);
+            match private {
+                Some(p) => {
+                    self.flush_batches(from, &shared, &mut batches);
+                    self.push(due, EventKind::Deliver { to, from, msg: p });
+                }
+                None => Self::batch_insert(&mut batches, &mut self.bitset_pool, due, to),
+            }
+        }
+        self.flush_batches(from, &shared, &mut batches);
+        self.batch_scratch = batches;
+    }
+
+    /// The retained pre-batch fan-out: one queue entry per destination.
+    fn route_broadcast_per_dest(&mut self, from: NodeId, msg: M) {
         let shared = Arc::new(msg);
         for i in 0..self.nodes.len() {
             self.route(from, NodeId::new(i as u32), Arc::clone(&shared));
+        }
+    }
+
+    /// Adds `to` to the most recent open batch when the due matches,
+    /// opening a new run otherwise. Merging only into the *last* run
+    /// keeps this O(1) per destination; non-adjacent due collisions stay
+    /// separate entries, which flushes them in destination order —
+    /// exactly the per-destination path's equal-due pop order, so parity
+    /// is unaffected (the A/B battery covers jittered links). Under a
+    /// deterministic delay every destination matches the single open
+    /// run, collapsing the whole fan-out into one entry.
+    fn batch_insert(
+        batches: &mut Vec<(RealTime, NodeId, Option<NodeBitSet>)>,
+        pool: &mut Vec<NodeBitSet>,
+        due: RealTime,
+        to: NodeId,
+    ) {
+        if let Some((d, first, dests)) = batches.last_mut() {
+            if *d == due {
+                // Second or later member: materialize the bitmap lazily.
+                let dests = dests.get_or_insert_with(|| {
+                    let mut s = pool.pop().unwrap_or_default();
+                    s.insert(*first);
+                    s
+                });
+                dests.insert(to);
+                return;
+            }
+        }
+        batches.push((due, to, None));
+    }
+
+    /// Pushes every open batch onto the wheel, in creation order. A
+    /// single-destination run is a plain [`EventKind::Deliver`] — no
+    /// bitmap was ever created for it.
+    fn flush_batches(
+        &mut self,
+        from: NodeId,
+        shared: &Arc<M>,
+        batches: &mut Vec<(RealTime, NodeId, Option<NodeBitSet>)>,
+    ) {
+        for (due, first, dests) in batches.drain(..) {
+            let kind = match dests {
+                None => EventKind::Deliver {
+                    to: first,
+                    from,
+                    msg: Arc::clone(shared),
+                },
+                Some(dests) => EventKind::BroadcastDeliver {
+                    from,
+                    msg: Arc::clone(shared),
+                    dests,
+                },
+            };
+            self.queue.insert(due.as_nanos(), kind);
         }
     }
 

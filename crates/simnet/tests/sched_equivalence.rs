@@ -206,3 +206,79 @@ fn rescheduling_leaves_no_garbage_in_the_wheel() {
     assert_eq!(heap.len(), NODES);
     assert_eq!(heap.occupancy(), NODES * (ROUNDS + 1));
 }
+
+/// A batched-broadcast-shaped slab payload: the simulator's fan-out now
+/// schedules one entry per same-due destination batch, so wheel entries
+/// carry a destination bitmap next to the shared payload instead of a
+/// bare id. The scheduler is payload-generic — this pins that the batch
+/// shape (a wider, non-`Copy` payload with interior structure) changes
+/// neither pop order nor cancellation behaviour, wheel vs reference
+/// heap, bit for bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BatchEntry {
+    from: u8,
+    /// Two bitmap words — enough for 128 destinations.
+    dests: [u64; 2],
+    payload_tag: u64,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random insert/cancel/advance interleavings over batch-shaped
+    /// entries: the `(due, seq, payload)` pop streams must be identical.
+    #[test]
+    fn wheel_matches_heap_with_batch_entries(
+        tick_shift in 4u32..16,
+        ops in prop::collection::vec((0u32..8, any::<u64>(), 0usize..32), 1..150),
+    ) {
+        let mut wheel: TimerWheel<BatchEntry> = TimerWheel::with_tick_shift(tick_shift);
+        let mut heap: ReferenceQueue<BatchEntry> = ReferenceQueue::new();
+        let mut handles: Vec<(TimerHandle, TimerHandle)> = Vec::new();
+        let mut now = 0u64;
+        let mut tag = 0u64;
+        for (op, raw, pick) in ops {
+            match op {
+                0..=4 => {
+                    tag += 1;
+                    let e = BatchEntry {
+                        from: (raw % 64) as u8,
+                        dests: [raw.rotate_left(17), raw.rotate_right(9)],
+                        payload_tag: tag,
+                    };
+                    let due = now.saturating_add(raw % 40_000);
+                    let hw = wheel.insert(due, e.clone());
+                    let hh = heap.insert(due, e);
+                    handles.push((hw, hh));
+                }
+                5 | 6 => {
+                    if !handles.is_empty() {
+                        let (hw, hh) = handles[pick % handles.len()];
+                        assert_eq!(wheel.cancel(hw), heap.cancel(hh));
+                    }
+                }
+                _ => {
+                    for _ in 0..(pick % 6 + 1) {
+                        let w = wheel.pop();
+                        let h = heap.pop();
+                        assert_eq!(w, h, "batch-entry pop stream diverged");
+                        match w {
+                            Some(e) => now = now.max(e.due),
+                            None => break,
+                        }
+                    }
+                }
+            }
+            assert_eq!(wheel.len(), heap.len());
+            assert_eq!(wheel.peek_due(), heap.peek_due());
+        }
+        loop {
+            let w = wheel.pop();
+            let h = heap.pop();
+            assert_eq!(w, h);
+            if w.is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -222,18 +222,21 @@ proptest! {
 fn arb_msg(n: u32) -> impl Strategy<Value = Msg<u64>> {
     let node = move || (0..n).prop_map(NodeId::new);
     prop_oneof![
-        (node(), 0u64..8).prop_map(|(general, value)| Msg::Initiator { general, value }),
+        (node(), 0u64..8).prop_map(|(general, value)| Msg::Initiator {
+            general,
+            value: std::sync::Arc::new(value),
+        }),
         (node(), 0u64..8, 0usize..3).prop_map(|(general, value, k)| Msg::Ia {
             kind: IaKind::ALL[k],
             general,
-            value,
+            value: std::sync::Arc::new(value),
         }),
         (node(), node(), 0u64..8, 0usize..4, 0u32..4).prop_map(
             |(general, broadcaster, value, k, round)| Msg::Bcast {
                 kind: ssbyz::core::BcastKind::ALL[k],
                 general,
                 broadcaster,
-                value,
+                value: std::sync::Arc::new(value),
                 round,
             }
         ),

@@ -25,7 +25,7 @@ fn concurrent_generals_wall_clock() {
         let values: Vec<u64> = events
             .iter()
             .filter_map(|e| match &e.event {
-                Event::Decided { general, value, .. } if *general == g => Some(*value),
+                Event::Decided { general, value, .. } if *general == g => Some(**value),
                 _ => None,
             })
             .collect();
@@ -51,7 +51,7 @@ fn forged_ia_traffic_cannot_forge_acceptance() {
                         Msg::Ia {
                             kind,
                             general: NodeId::new(2),
-                            value: 666,
+                            value: std::sync::Arc::new(666),
                         },
                     )
                     .unwrap();
