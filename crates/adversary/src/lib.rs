@@ -8,7 +8,10 @@
 //!   (same value at wildly different times), [`SilentNode`].
 //! * **Byzantine followers** — [`GarbageNode`] (random well-formed junk),
 //!   [`EchoForger`] / [`IaForger`] (forged relay stages, the attacks
-//!   against unforgeability [IA-2]/[TPS-2]).
+//!   against unforgeability [IA-2]/[TPS-2]), and [`QuorumStalker`] (an
+//!   adaptive attacker that aims forgeries at the quietest — i.e.
+//!   recovering — nodes; the engine of the fault campaign's
+//!   adaptive-storm family).
 //! * **Transient faults** — message [`u64_corruptor`]s and spurious
 //!   [`u64_injector`]s for the simulator's storm phase, plus
 //!   [`RngEntropy`] to drive the core crate's engine-state scrambler.
@@ -23,5 +26,5 @@ mod nodes;
 mod storm;
 
 pub use generals::{PartialGeneral, SilentNode, SpamGeneral, StaggeredGeneral, TwoFacedGeneral};
-pub use nodes::{EchoForger, GarbageNode, IaForger};
+pub use nodes::{EchoForger, GarbageNode, IaForger, QuorumStalker};
 pub use storm::{u64_corruptor, u64_injector, RngEntropy};

@@ -1,5 +1,20 @@
 //! Byzantine *follower* strategies: nodes that disrupt other Generals'
 //! agreements without being the General themselves.
+//!
+//! Four strategies, ordered by sophistication:
+//!
+//! * [`GarbageNode`] — undirected syntactic noise across every protocol
+//!   stage (the fuzzing baseline);
+//! * [`IaForger`] — forged `Initiator-Accept` traffic for a value the
+//!   General never initiated (the [IA-2] unforgeability attack);
+//! * [`EchoForger`] — forged relay stages of `msgd-broadcast` for a
+//!   broadcast that never happened (the [TPS-2] attack);
+//! * [`QuorumStalker`] — an *adaptive* attacker that observes traffic and
+//!   aims its forgeries at the quietest nodes, i.e. exactly the ones
+//!   recovering from a crash, partition or scramble.
+//!
+//! All strategies draw randomness from the simulator's seeded stream via
+//! [`Ctx`], so runs containing them stay reproducible.
 
 use std::sync::Arc;
 
@@ -23,7 +38,14 @@ pub struct GarbageNode<V> {
 }
 
 impl<V: Value> GarbageNode<V> {
-    /// Creates a garbage generator drawing from `values`.
+    /// Creates a garbage generator drawing payloads from `values`, firing
+    /// a burst of 1–4 messages every `period` (local time), with forged
+    /// rounds up to `max_round`. Runs forever unless bounded with
+    /// [`GarbageNode::with_bursts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
     #[must_use]
     pub fn new(period: Duration, values: Vec<V>, max_round: u32) -> Self {
         assert!(!values.is_empty());
@@ -36,7 +58,8 @@ impl<V: Value> GarbageNode<V> {
         }
     }
 
-    /// Limits the number of bursts.
+    /// Limits the noise to `bursts` bursts (0 restores "forever"). Useful
+    /// when a test wants the storm to end before its probe window.
     #[must_use]
     pub fn with_bursts(mut self, bursts: u32) -> Self {
         self.bursts = bursts;
@@ -124,7 +147,10 @@ pub struct EchoForger<V> {
 }
 
 impl<V: Value> EchoForger<V> {
-    /// Creates a forger targeting the agreement instance of `general`.
+    /// Creates a forger targeting the agreement instance of `general`,
+    /// claiming `victim` broadcast `value` at `round`. Fires the full
+    /// `echo`/`init′`/`echo′` triplet every `period` for 40 bursts (long
+    /// enough to outlast any single agreement at the default tick).
     #[must_use]
     pub fn new(general: NodeId, victim: NodeId, value: V, round: u32, period: Duration) -> Self {
         EchoForger {
@@ -177,7 +203,10 @@ pub struct IaForger<V> {
 }
 
 impl<V: Value> IaForger<V> {
-    /// Creates a forger for the `(general, value)` instance.
+    /// Creates a forger for the `(general, value)` instance: every
+    /// `period` it broadcasts all three `Initiator-Accept` stages
+    /// (`support`/`approve`/`ready`) for a value `general` never
+    /// initiated, for 40 bursts.
     #[must_use]
     pub fn new(general: NodeId, value: V, period: Duration) -> Self {
         IaForger {
@@ -212,5 +241,104 @@ impl<V: Value, O> Process<Msg<V>, O> for IaForger<V> {
         if self.fired < self.bursts {
             ctx.set_timer_after(self.period, T_NOISE);
         }
+    }
+}
+
+/// An adaptive storm attacker: counts messages heard per peer and, every
+/// period, aims forged `Initiator-Accept` and relay traffic at the
+/// `targets` *quietest* peers — in a fault campaign those are exactly the
+/// nodes recovering from a crash, partition or scramble, so the forgeries
+/// pollute the weakest members of the current quorum while they rebuild
+/// state. Counts decay geometrically each burst, so the targeting tracks
+/// a recent window rather than all of history; ties break towards lower
+/// ids, keeping runs deterministic.
+pub struct QuorumStalker<V> {
+    values: Vec<Arc<V>>,
+    period: Duration,
+    targets: usize,
+    heard: Vec<u64>,
+}
+
+impl<V: Value> QuorumStalker<V> {
+    /// Creates a stalker drawing payloads from `values`, re-aiming every
+    /// `period` (local time) at the `targets` quietest peers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or `targets` is zero.
+    #[must_use]
+    pub fn new(values: Vec<V>, period: Duration, targets: usize) -> Self {
+        assert!(!values.is_empty());
+        assert!(targets > 0, "a stalker needs at least one target");
+        QuorumStalker {
+            values: values.into_iter().map(Arc::new).collect(),
+            period,
+            targets,
+            heard: Vec::new(),
+        }
+    }
+
+    /// The current weakest peers (quietest first), excluding `me`.
+    fn weakest(&self, me: NodeId, n: usize) -> Vec<NodeId> {
+        let mut ranked: Vec<(u64, u32)> = (0..n as u32)
+            .filter(|i| *i != me.index() as u32)
+            .map(|i| (self.heard.get(i as usize).copied().unwrap_or(0), i))
+            .collect();
+        ranked.sort_unstable();
+        ranked
+            .into_iter()
+            .take(self.targets)
+            .map(|(_, i)| NodeId::new(i))
+            .collect()
+    }
+}
+
+impl<V: Value, O> Process<Msg<V>, O> for QuorumStalker<V> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg<V>, O>) {
+        ctx.set_timer_after(self.period, T_NOISE);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg<V>, O>, from: NodeId, _msg: &Msg<V>) {
+        if self.heard.len() <= from.index() {
+            self.heard.resize(from.index() + 1, 0);
+        }
+        self.heard[from.index()] += 1;
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<V>, O>, token: u64) {
+        if token != T_NOISE {
+            return;
+        }
+        let n = ctx.n();
+        for victim in self.weakest(ctx.me(), n) {
+            let value = self.values[ctx.rand_below(self.values.len() as u64) as usize].clone();
+            // Forged IA traffic for the victim's own instance, sent
+            // straight at it: it must reject evidence it never produced.
+            for kind in IaKind::ALL {
+                ctx.send(
+                    victim,
+                    Msg::Ia {
+                        kind,
+                        general: victim,
+                        value: value.clone(),
+                    },
+                );
+            }
+            // Plus relay forgeries claiming the victim broadcast — aimed
+            // at everyone, poisoning what peers believe about the victim
+            // exactly while it is catching up.
+            let round = ctx.rand_below(3) as u32 + 1;
+            ctx.broadcast(Msg::Bcast {
+                kind: BcastKind::Echo,
+                general: victim,
+                broadcaster: victim,
+                value,
+                round,
+            });
+        }
+        for h in &mut self.heard {
+            *h /= 2;
+        }
+        ctx.set_timer_after(self.period, T_NOISE);
     }
 }

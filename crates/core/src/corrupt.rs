@@ -51,6 +51,18 @@ pub struct ScrambleConfig {
     pub corrupt_agreements: bool,
     /// Whether to plant fake quorum evidence in message logs.
     pub corrupt_logs: bool,
+    /// How many unreferenced junk values to plant in the value interner
+    /// (a transient fault may bloat the table with ids nothing points
+    /// at; the next mark/sweep must reclaim them), plus one bogus
+    /// `[IG2]` stamp and one phantom `[IG3]` monitor per pair of junk
+    /// values.
+    pub interner_junk: usize,
+    /// Whether the *driver* should also scramble scheduler state (eat or
+    /// fabricate pending wake-ups). The engine itself holds no timers —
+    /// this knob is consumed by the harness fault injector, which owns
+    /// the timer wheel; it lives here so one config describes the whole
+    /// scramble.
+    pub scramble_timers: bool,
 }
 
 impl Default for ScrambleConfig {
@@ -60,6 +72,8 @@ impl Default for ScrambleConfig {
             values_per_general: 3,
             corrupt_agreements: true,
             corrupt_logs: true,
+            interner_junk: 8,
+            scramble_timers: true,
         }
     }
 }
@@ -167,6 +181,22 @@ impl<V: Value> Engine<V> {
                 }
             }
         }
+        // --- Interned-era state corruption ---
+        for i in 0..cfg.interner_junk {
+            let v = gen_value(entropy);
+            if i % 2 == 0 {
+                // Junk id nothing references: sweep fodder.
+                let _ = self.corrupt_intern_junk(v);
+            } else if entropy.chance(1, 2) {
+                // Bogus [IG2] stamp (possibly future-dated).
+                let s = stamp(entropy);
+                self.corrupt_last_per_value(v, s);
+            } else {
+                // Phantom [IG3] monitor for a never-initiated value.
+                let s = stamp(entropy);
+                self.corrupt_pending_check(v, s);
+            }
+        }
         // --- General-role corruption ---
         let li = if entropy.chance(1, 2) {
             Some(stamp(entropy))
@@ -241,6 +271,36 @@ mod tests {
         };
         assert_eq!(build(9), build(9));
         assert_ne!(build(9), build(10));
+    }
+
+    #[test]
+    fn interner_junk_and_guards_decay_to_empty() {
+        let params = Params::from_d(4, 1, Duration::from_millis(10), 0).unwrap();
+        let mut engine: Engine<u64> = Engine::new(NodeId::new(0), params);
+        let mut e = xorshift(3);
+        let now = LocalTime::from_nanos(50_000_000_000);
+        let cfg = ScrambleConfig {
+            interner_junk: 16,
+            ..ScrambleConfig::default()
+        };
+        engine.scramble(now, &cfg, &mut e, &mut |e| e.next_u64());
+        assert!(
+            engine.interner().occupancy() > 0,
+            "junk must land in the interner"
+        );
+        // Tick far past every decay horizon (stamps reach +2Δ_rmv into
+        // the future; Δ_reset past that clears the [IG3] fallout).
+        let mut ob = crate::Outbox::new();
+        let mut t = now;
+        for _ in 0..500 {
+            t += Duration::from_millis(20);
+            engine.on_tick(t, &mut ob);
+        }
+        assert_eq!(
+            engine.interner().occupancy(),
+            0,
+            "every planted id must be swept once the state decays"
+        );
     }
 
     #[test]

@@ -716,6 +716,41 @@ impl<V: Value> Engine<V> {
         self.general_ctl.failed_at = failed_at;
     }
 
+    /// Plants an unreferenced junk value in the interner (corruption
+    /// harness): a transient fault may leave the value table holding ids
+    /// nothing points at. The next mark/sweep must reclaim them — the
+    /// stabilization suite pins that down.
+    #[doc(hidden)]
+    pub fn corrupt_intern_junk(&mut self, value: V) -> ValueId {
+        self.interner.intern(&value)
+    }
+
+    /// Plants a bogus `[IG2]` per-value initiation stamp (corruption
+    /// harness): the value is interned and recorded as initiated at `at`.
+    /// Future stamps are dropped at the next cleanup; past ones decay
+    /// after `Δ_v`.
+    #[doc(hidden)]
+    pub fn corrupt_last_per_value(&mut self, value: V, at: LocalTime) {
+        let id = self.interner.intern(&value);
+        self.general_ctl.last_per_value.insert(id, at);
+    }
+
+    /// Plants a phantom `[IG3]` progress monitor (corruption harness): a
+    /// pending check for a value this node never initiated. Stale checks
+    /// decay after `8d`; an un-completed one that survives to its deadline
+    /// sets `failed_at`, exercising the `Δ_reset` backoff.
+    #[doc(hidden)]
+    pub fn corrupt_pending_check(&mut self, value: V, invoked_at: LocalTime) {
+        let id = self.interner.intern(&value);
+        self.general_ctl.pending_checks.push(PendingCheck {
+            value: id,
+            invoked_at,
+            approve_ok: false,
+            ready_ok: false,
+            accept_ok: false,
+        });
+    }
+
     /// Wipes all protocol state (but not identity/params). Used by tests
     /// to model a node reboot; self-stabilization must work *without* this
     /// being called, via decay alone.

@@ -143,4 +143,20 @@ impl<V: Value> Process<Msg<V>, NodeEvent<V>> for EngineProcess<V> {
             _ => {}
         }
     }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, Msg<V>, NodeEvent<V>>) {
+        // Any timer that fired during the outage was dropped, so the
+        // self-re-arming tick chain may be dead. Cancel whatever survived
+        // (a pending tick scheduled just before the crash would otherwise
+        // double-chain with the one armed here), run one tick immediately
+        // — cleanup and deadline blocks catch up — and re-arm.
+        ctx.cancel_timer(TOKEN_TICK);
+        self.engine.on_tick(ctx.now(), &mut self.outbox);
+        self.apply(ctx);
+        ctx.set_timer_after(self.tick, TOKEN_TICK);
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
 }

@@ -324,6 +324,24 @@ pub fn check_separation(res: &ScenarioResult, general: NodeId) -> Violations {
     v
 }
 
+/// **Containment** (fault-injection campaigns): outputs emitted by
+/// correct nodes in `[from, to)` — a span in which no probe agreement
+/// runs, so every return there is fault residue that escaped containment.
+/// Returns `(radius, outputs)`: the number of distinct leaking correct
+/// nodes and the total leaked returns (decides and aborts alike).
+#[must_use]
+pub fn containment_radius(res: &ScenarioResult, from: RealTime, to: RealTime) -> (usize, usize) {
+    let leaked: Vec<_> = res
+        .decisions
+        .iter()
+        .filter(|r| r.real_at >= from && r.real_at < to && res.correct.contains(&r.node))
+        .collect();
+    let mut nodes: Vec<NodeId> = leaked.iter().map(|r| r.node).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    (nodes.len(), leaked.len())
+}
+
 /// Composite: the standard battery for a correct-General run.
 #[must_use]
 pub fn check_correct_general_run(

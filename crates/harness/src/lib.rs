@@ -10,7 +10,10 @@
 //!   Timeliness 1–4, [IA-1]/[IA-4]) as machine-checked predicates over a
 //!   [`ScenarioResult`];
 //! * [`experiments`] drives the E1–E11 reproduction experiments used by
-//!   the benches, the `experiments` binary and the integration tests.
+//!   the benches, the `experiments` binary and the integration tests;
+//! * [`faults`] scripts mid-run fault bursts ([`FaultSchedule`]) and
+//!   measures self-stabilization and containment ([`run_campaign`],
+//!   [`StabilizationReport`]) — see `docs/ROBUSTNESS.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,10 +21,15 @@
 pub mod adapter;
 pub mod checks;
 pub mod experiments;
+pub mod faults;
 pub mod scenario;
 
 pub use adapter::{EngineProcess, NodeEvent, TOKEN_INITIATE_BASE, TOKEN_TICK, TOKEN_WAKE};
 pub use checks::Violations;
+pub use faults::{
+    run_campaign, BurstReport, CampaignFamily, Fault, FaultSchedule, StabilizationReport,
+    TimedFault,
+};
 pub use scenario::{
     DecisionRecord, IaRecord, RunningScenario, ScenarioBuilder, ScenarioConfig, ScenarioResult, Val,
 };

@@ -186,6 +186,131 @@ fn termination_checker_bounds_running_time() {
     assert!(checks::check_termination(&ok, NodeId::new(0), Duration::ZERO).is_ok());
 }
 
+/// Nanosecond-precision record for bound-boundary tests.
+fn decision_ns(node: u32, value: Option<u64>, at_ns: u64, anchor_ns: u64) -> DecisionRecord {
+    DecisionRecord {
+        node: NodeId::new(node),
+        general: NodeId::new(0),
+        value,
+        local_at: LocalTime::from_nanos(at_ns),
+        real_at: RealTime::from_nanos(at_ns),
+        tau_g_local: LocalTime::from_nanos(anchor_ns),
+        tau_g_real: RealTime::from_nanos(anchor_ns),
+    }
+}
+
+#[test]
+fn skew_checker_boundary_exact_and_one_past() {
+    let bound = Duration::from_millis(30);
+    let base = 100_000_000u64; // 100ms
+                               // Exactly at the bound: allowed (the checker uses strict >).
+    let mut at_bound = base_result();
+    at_bound.decisions.push(decision_ns(0, Some(7), base, base));
+    at_bound
+        .decisions
+        .push(decision_ns(1, Some(7), base + bound.as_nanos(), base));
+    assert!(
+        checks::check_decision_skew(&at_bound, NodeId::new(0), bound, bound).is_ok(),
+        "skew exactly at the bound must pass"
+    );
+    // One nanosecond past: violation.
+    let mut past = base_result();
+    past.decisions.push(decision_ns(0, Some(7), base, base));
+    past.decisions
+        .push(decision_ns(1, Some(7), base + bound.as_nanos() + 1, base));
+    let v = checks::check_decision_skew(&past, NodeId::new(0), bound, bound);
+    assert!(
+        v.0.iter().any(|m| m.contains("decision skew")),
+        "one nanosecond past the bound must be flagged: {v:?}"
+    );
+}
+
+#[test]
+fn anchor_skew_boundary_exact_and_one_past() {
+    let anchor_bound = Duration::from_millis(10);
+    let wide = Duration::from_secs(1);
+    let base = 100_000_000u64;
+    let mut at_bound = base_result();
+    at_bound.decisions.push(decision_ns(0, Some(7), base, base));
+    at_bound.decisions.push(decision_ns(
+        1,
+        Some(7),
+        base,
+        base + anchor_bound.as_nanos(),
+    ));
+    assert!(
+        checks::check_decision_skew(&at_bound, NodeId::new(0), wide, anchor_bound).is_ok(),
+        "anchor skew exactly at the bound must pass"
+    );
+    let mut past = base_result();
+    past.decisions.push(decision_ns(0, Some(7), base, base));
+    past.decisions.push(decision_ns(
+        1,
+        Some(7),
+        base,
+        base + anchor_bound.as_nanos() + 1,
+    ));
+    let v = checks::check_decision_skew(&past, NodeId::new(0), wide, anchor_bound);
+    assert!(v.0.iter().any(|m| m.contains("anchor skew")));
+}
+
+#[test]
+fn termination_checker_boundary_exact_and_one_past() {
+    // Δ_agr = 3Φ = 24d = 240ms for n=4, f=1; bound = Δ_agr + slack.
+    let delta_agr = params().delta_agr();
+    let slack = Duration::from_micros(500);
+    let anchor = 100_000_000u64;
+    let mut at_bound = base_result();
+    at_bound.decisions.push(decision_ns(
+        0,
+        Some(7),
+        anchor + (delta_agr + slack).as_nanos(),
+        anchor,
+    ));
+    assert!(
+        checks::check_termination(&at_bound, NodeId::new(0), slack).is_ok(),
+        "return exactly at Δ_agr + slack must pass"
+    );
+    let mut past = base_result();
+    past.decisions.push(decision_ns(
+        0,
+        Some(7),
+        anchor + (delta_agr + slack).as_nanos() + 1,
+        anchor,
+    ));
+    let v = checks::check_termination(&past, NodeId::new(0), slack);
+    assert!(
+        v.0.iter().any(|m| m.contains("Δ_agr")),
+        "one nanosecond past Δ_agr + slack must be flagged: {v:?}"
+    );
+}
+
+#[test]
+fn containment_radius_counts_distinct_correct_leakers() {
+    let mut res = base_result();
+    // Node 1 leaks twice, node 2 once; node 3 outputs outside the span.
+    res.decisions.push(decision(1, None, 120, 100));
+    res.decisions.push(decision(1, Some(9), 140, 100));
+    res.decisions.push(decision(2, None, 150, 100));
+    res.decisions.push(decision(3, Some(7), 900, 880));
+    let (radius, outputs) = checks::containment_radius(
+        &res,
+        RealTime::from_nanos(100 * 1_000_000),
+        RealTime::from_nanos(500 * 1_000_000),
+    );
+    assert_eq!(radius, 2, "two distinct nodes leaked in the span");
+    assert_eq!(outputs, 3, "three leaked returns in the span");
+    // Byzantine leaks don't count: shrink the correct set.
+    res.correct = vec![NodeId::new(0), NodeId::new(2), NodeId::new(3)];
+    let (radius, outputs) = checks::containment_radius(
+        &res,
+        RealTime::from_nanos(100 * 1_000_000),
+        RealTime::from_nanos(500 * 1_000_000),
+    );
+    assert_eq!(radius, 1);
+    assert_eq!(outputs, 1);
+}
+
 #[test]
 fn violations_helpers() {
     let mut v = Violations::default();

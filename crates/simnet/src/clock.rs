@@ -90,6 +90,21 @@ impl DriftClock {
             .unwrap_or(RealTime::from_nanos(u64::MAX))
     }
 
+    /// The clock after a transient fault at real time `at`: the reading
+    /// jumps forward by `jump` (local-time wrap-around applies, so large
+    /// jumps model arbitrary post-fault readings) and the rate optionally
+    /// changes to `new_rate_ppm`. Readings before `at` are no longer
+    /// represented — fault injection replaces the clock wholesale, exactly
+    /// as a hardware timer glitch forgets its past.
+    #[must_use]
+    pub fn jumped(&self, at: RealTime, jump: Duration, new_rate_ppm: Option<i32>) -> Self {
+        DriftClock::new(
+            at,
+            self.local_at(at) + jump,
+            new_rate_ppm.unwrap_or(self.rate_ppm),
+        )
+    }
+
     /// Converts a real-time span to the span shown on this clock.
     #[must_use]
     pub fn scale_to_local(&self, real: Duration) -> Duration {
@@ -171,6 +186,19 @@ mod tests {
         let local = c.local_at(RealTime::from_nanos(100));
         assert_eq!(local.as_nanos(), 89); // wrapped
         assert_eq!(c.real_of_local(local), RealTime::from_nanos(100));
+    }
+
+    #[test]
+    fn jumped_clock_rebases() {
+        let c = DriftClock::new(RealTime::ZERO, LocalTime::from_nanos(100), 500);
+        let at = RealTime::from_nanos(1_000_000);
+        let before = c.local_at(at);
+        let j = c.jumped(at, Duration::from_millis(5), Some(-250));
+        // Continuity point: the jumped clock reads old + jump at `at`.
+        assert_eq!(j.local_at(at), before + Duration::from_millis(5));
+        assert_eq!(j.rate_ppm(), -250);
+        // Rate preserved when not overridden.
+        assert_eq!(c.jumped(at, Duration::ZERO, None).rate_ppm(), 500);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Network model: bounded-delay authenticated links + transient storms.
 
-use ssbyz_types::{Duration, NodeId, RealTime};
+use ssbyz_types::{Duration, NodeBitSet, NodeId, RealTime};
 
 /// Steady-state link behaviour: every message between non-faulty nodes is
 /// delivered within `[delay_min, delay_max]`, sampled uniformly. The
@@ -98,6 +98,75 @@ impl StormConfig {
     }
 }
 
+/// A network partition: nodes are split into disjoint groups and a
+/// message crosses the network only when sender and receiver share a
+/// group. A node that appears in **no** group is fully isolated (it still
+/// delivers to itself — a node always hears its own broadcasts).
+///
+/// Partitions are installed on the simulation as a whole
+/// (`Simulation::set_partition`) or scheduled from a fault controller via
+/// `Effect::SetPartition`, and lifted by installing `None`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Partition {
+    groups: Vec<NodeBitSet>,
+}
+
+impl Partition {
+    /// An empty partition (isolates every node until groups are added).
+    #[must_use]
+    pub fn new() -> Self {
+        Partition { groups: Vec::new() }
+    }
+
+    /// Adds a group of mutually reachable nodes.
+    #[must_use]
+    pub fn group(mut self, members: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut set = NodeBitSet::new();
+        for m in members {
+            set.insert(m);
+        }
+        self.groups.push(set);
+        self
+    }
+
+    /// A two-way split of `0..n`: `minority` on one side, everyone else on
+    /// the other.
+    #[must_use]
+    pub fn split(n: usize, minority: &[NodeId]) -> Self {
+        let mut small = NodeBitSet::new();
+        for m in minority {
+            small.insert(*m);
+        }
+        let mut big = NodeBitSet::new();
+        for i in 0..n {
+            let id = NodeId::new(i as u32);
+            if !small.contains(id) {
+                big.insert(id);
+            }
+        }
+        Partition {
+            groups: vec![big, small],
+        }
+    }
+
+    /// Whether a message from `from` may reach `to` under this partition.
+    #[must_use]
+    pub fn allows(&self, from: NodeId, to: NodeId) -> bool {
+        if from == to {
+            return true; // self-delivery never crosses the network
+        }
+        self.groups
+            .iter()
+            .any(|g| g.contains(from) && g.contains(to))
+    }
+
+    /// The groups, for introspection.
+    #[must_use]
+    pub fn groups(&self) -> &[NodeBitSet] {
+        &self.groups
+    }
+}
+
 /// A temporarily blocked (partitioned) directed link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinkBlock {
@@ -129,6 +198,20 @@ mod tests {
     fn fixed_link() {
         let l = LinkConfig::fixed(Duration::from_millis(1));
         assert_eq!(l.delay_min, l.delay_max);
+    }
+
+    #[test]
+    fn partition_groups_and_isolation() {
+        let p = Partition::split(5, &[NodeId::new(3), NodeId::new(4)]);
+        assert!(p.allows(NodeId::new(0), NodeId::new(1)));
+        assert!(p.allows(NodeId::new(3), NodeId::new(4)));
+        assert!(!p.allows(NodeId::new(0), NodeId::new(3)));
+        assert!(!p.allows(NodeId::new(4), NodeId::new(2)));
+        // Self-delivery always allowed, even for an unlisted node.
+        let lonely = Partition::new().group([NodeId::new(0), NodeId::new(1)]);
+        assert!(lonely.allows(NodeId::new(7), NodeId::new(7)));
+        assert!(!lonely.allows(NodeId::new(7), NodeId::new(0)));
+        assert_eq!(lonely.groups().len(), 1);
     }
 
     #[test]

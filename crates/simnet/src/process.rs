@@ -1,6 +1,10 @@
 //! The process abstraction: what a simulated node can see and do.
 
+use std::any::Any;
+
 use ssbyz_types::{Duration, LocalTime, NodeId};
+
+use crate::network::Partition;
 
 /// Everything a process may do during one event handler invocation.
 ///
@@ -19,12 +23,39 @@ pub struct Ctx<'a, M, O> {
 /// handler returns.
 #[derive(Debug)]
 pub(crate) enum Effect<M, O> {
-    Send { to: NodeId, msg: M },
-    Broadcast { msg: M },
-    TimerAtLocal { at: LocalTime, token: u64 },
-    TimerAfter { after: Duration, token: u64 },
-    CancelTimer { token: u64 },
+    Send {
+        to: NodeId,
+        msg: M,
+    },
+    Broadcast {
+        msg: M,
+    },
+    TimerAtLocal {
+        at: LocalTime,
+        token: u64,
+    },
+    TimerAfter {
+        after: Duration,
+        token: u64,
+    },
+    CancelTimer {
+        token: u64,
+    },
     Observe(O),
+    /// Fault injection: crash a node for a real-time span (controller
+    /// power — ordinary protocol processes have no business issuing it).
+    CrashNode {
+        node: NodeId,
+        down_for: Duration,
+    },
+    /// Fault injection: bring a crashed node back up immediately.
+    RecoverNode {
+        node: NodeId,
+    },
+    /// Fault injection: install (`Some`) or heal (`None`) a partition.
+    SetPartition {
+        partition: Option<Partition>,
+    },
 }
 
 impl<'a, M, O> Ctx<'a, M, O> {
@@ -88,6 +119,33 @@ impl<'a, M, O> Ctx<'a, M, O> {
         self.outbox.push(Effect::Observe(obs));
     }
 
+    /// Fault controller power: marks `node` crashed for a real-time span.
+    /// The simulator swallows its deliveries, drops its timers at fire
+    /// time, and invokes [`Process::on_recover`] when the span elapses.
+    /// Meant for fault-injection driver processes, not protocol nodes.
+    pub fn crash_node(&mut self, node: NodeId, down_for: Duration) {
+        self.outbox.push(Effect::CrashNode { node, down_for });
+    }
+
+    /// Fault controller power: recovers a crashed node immediately
+    /// (fires its [`Process::on_recover`] hook).
+    pub fn recover_node(&mut self, node: NodeId) {
+        self.outbox.push(Effect::RecoverNode { node });
+    }
+
+    /// Fault controller power: installs a network [`Partition`]. Replaces
+    /// any partition currently in force.
+    pub fn set_partition(&mut self, partition: Partition) {
+        self.outbox.push(Effect::SetPartition {
+            partition: Some(partition),
+        });
+    }
+
+    /// Fault controller power: heals the current partition, if any.
+    pub fn heal_partition(&mut self) {
+        self.outbox.push(Effect::SetPartition { partition: None });
+    }
+
     /// Deterministic per-simulation entropy (used by Byzantine strategies).
     pub fn rand_u64(&mut self) -> u64 {
         (self.rng_words)()
@@ -121,4 +179,19 @@ pub trait Process<M, O>: Send {
 
     /// Called when a previously scheduled timer fires.
     fn on_timer(&mut self, ctx: &mut Ctx<'_, M, O>, token: u64);
+
+    /// Called when the node comes back up after a crash (scheduled
+    /// recovery or explicit `recover_node`). Any timer that fired while
+    /// the node was down was silently dropped — periodic self-re-arming
+    /// timers are dead by now, so implementations should re-arm them
+    /// here. The default does nothing (a stateless process needs no
+    /// resurrection).
+    fn on_recover(&mut self, _ctx: &mut Ctx<'_, M, O>) {}
+
+    /// Downcast hook for harness-level fault injection (e.g. scrambling a
+    /// wrapped engine mid-run). Implementations that want to be reachable
+    /// return `Some(self)`; the default opts out.
+    fn as_any_mut(&mut self) -> Option<&mut dyn Any> {
+        None
+    }
 }

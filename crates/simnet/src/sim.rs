@@ -9,7 +9,7 @@ use ssbyz_sched::{EventQueue, TimerHandle, TimerWheel};
 use ssbyz_types::{Duration, LocalTime, NodeBitSet, NodeId, RealTime};
 
 use crate::clock::DriftClock;
-use crate::network::{LinkBlock, LinkConfig, StormConfig};
+use crate::network::{LinkBlock, LinkConfig, Partition, StormConfig};
 use crate::process::{Ctx, Effect, Process};
 
 /// A record emitted by a process via [`Ctx::observe`].
@@ -81,6 +81,12 @@ enum EventKind<M> {
         token: u64,
     },
     Injection,
+    /// Scheduled end of a crash: if the node is still due to come back at
+    /// this instant (it was not re-crashed meanwhile), clear the down
+    /// mark and run its recovery hook.
+    Recover {
+        node: NodeId,
+    },
 }
 
 /// How [`Ctx::broadcast`] fan-out is scheduled.
@@ -204,6 +210,8 @@ impl<M, O> SimBuilder<M, O> {
             link: self.link,
             storm: self.storm,
             blocks: Vec::new(),
+            partition: None,
+            delay_inflation: None,
             rng: StdRng::seed_from_u64(self.seed),
             corruptor: self.corruptor,
             injector: self.injector,
@@ -264,6 +272,13 @@ pub struct Simulation<M, O> {
     link: LinkConfig,
     storm: Option<StormConfig>,
     blocks: Vec<LinkBlock>,
+    /// The partition currently in force, if any (fault injection).
+    partition: Option<Partition>,
+    /// Link-delay inflation `(num, den, until)`: sampled delays are scaled
+    /// by `num/den` while `now < until` (fault injection). Applied after
+    /// the RNG draw so the draw sequence — and thus every downstream
+    /// random choice — is identical with and without the fault.
+    delay_inflation: Option<(u64, u64, RealTime)>,
     rng: StdRng,
     corruptor: Option<Corruptor<M>>,
     injector: Option<Injector<M>>,
@@ -343,6 +358,85 @@ impl<M: Clone, O> Simulation<M, O> {
     /// Blocks the directed link `from → to` until the given real time.
     pub fn block_link(&mut self, from: NodeId, to: NodeId, until: RealTime) {
         self.blocks.push(LinkBlock { from, to, until });
+    }
+
+    /// Crashes `node` for `down_for`: deliveries are swallowed and timers
+    /// dropped at fire time while down, and recovery is scheduled — at
+    /// `now + down_for` the node's [`Process::on_recover`] hook runs so it
+    /// can re-arm its periodic timers. Unlike the bare
+    /// [`Simulation::set_down_until`], this models a full crash/recover
+    /// cycle rather than a silent outage.
+    pub fn crash_node(&mut self, node: NodeId, down_for: Duration) {
+        let until = self.now + down_for;
+        self.nodes[node.index()].down_until = Some(until);
+        self.push(until, EventKind::Recover { node });
+    }
+
+    /// Recovers a crashed node immediately (clears the down mark and runs
+    /// its [`Process::on_recover`] hook). A no-op when the node is up.
+    pub fn recover_node(&mut self, node: NodeId) {
+        if self.nodes[node.index()].down_until.take().is_some() {
+            self.run_recover(node);
+        }
+    }
+
+    /// Installs (or, with `None`, heals) a network [`Partition`]. While a
+    /// partition is in force, messages between nodes in different groups
+    /// are suppressed at send time (counted as blocked); messages already
+    /// in flight still arrive, exactly as a real cut leaves packets on
+    /// the wire. Externally injected traffic is not subject to the
+    /// partition (it models fault residue, not link traffic).
+    pub fn set_partition(&mut self, partition: Option<Partition>) {
+        self.partition = partition;
+    }
+
+    /// The partition currently in force, if any.
+    #[must_use]
+    pub fn partition(&self) -> Option<&Partition> {
+        self.partition.as_ref()
+    }
+
+    /// Fault injection: jumps `node`'s clock forward by `jump` at the
+    /// current instant, optionally changing its drift rate. Pending
+    /// real-time wheel entries are deliberately left untouched — hardware
+    /// timers survive a clock-register glitch — so already-scheduled
+    /// wake-ups fire at their original real times and merely read the new
+    /// (jumped) local clock.
+    pub fn skew_clock(&mut self, node: NodeId, jump: Duration, new_rate_ppm: Option<i32>) {
+        let slot = &mut self.nodes[node.index()];
+        slot.clock = slot.clock.jumped(self.now, jump, new_rate_ppm);
+    }
+
+    /// Fault injection: inflates every sampled link delay by `num/den`
+    /// until the given real time (`num > den` models congestion that
+    /// violates the paper's δ bound — properties are only promised again
+    /// after the window closes). Scaling happens after the RNG draw, so
+    /// the random sequence is unchanged.
+    pub fn inflate_delays(&mut self, num: u64, den: u64, until: RealTime) {
+        assert!(den > 0, "inflation denominator must be positive");
+        self.delay_inflation = Some((num, den, until));
+    }
+
+    /// Fault injection: cancels every pending timer of `node` carrying
+    /// `token` (state scrambling — a transient fault may eat pending
+    /// wake-ups). Returns how many were removed.
+    pub fn cancel_node_timer(&mut self, node: NodeId, token: u64) -> usize {
+        self.cancel_timers(node, token)
+    }
+
+    /// Fault injection: plants a timer for `node` at `after` from now
+    /// carrying `token` — the complement of
+    /// [`Simulation::cancel_node_timer`]: a transient fault may also
+    /// fabricate spurious wake-ups.
+    pub fn plant_timer(&mut self, node: NodeId, after: Duration, token: u64) {
+        let at = self.now + after;
+        self.schedule_timer(node, at, token);
+    }
+
+    /// Mutable access to a node's process, for harness-level fault
+    /// injection (downcast via [`Process::as_any_mut`]).
+    pub fn process_mut(&mut self, node: NodeId) -> &mut dyn Process<M, O> {
+        &mut *self.nodes[node.index()].process
     }
 
     /// Externally injects a message with a *forged* sender identity — only
@@ -513,6 +607,29 @@ impl<M: Clone, O> Simulation<M, O> {
         self.scratch_outbox = outbox;
     }
 
+    /// Runs a node's [`Process::on_recover`] hook and applies its effects
+    /// (same scratch-outbox pattern as delivery dispatch).
+    fn run_recover(&mut self, node: NodeId) {
+        let mut outbox = std::mem::take(&mut self.scratch_outbox);
+        {
+            let n = self.nodes.len();
+            let slot = &mut self.nodes[node.index()];
+            let local = slot.clock.local_at(self.now);
+            let rng = &mut self.rng;
+            let mut words = move || rng.next_u64();
+            let mut ctx = Ctx {
+                me: node,
+                n,
+                now_local: local,
+                outbox: &mut outbox,
+                rng_words: &mut words,
+            };
+            slot.process.on_recover(&mut ctx);
+        }
+        self.apply_effects(node, &mut outbox);
+        self.scratch_outbox = outbox;
+    }
+
     fn dispatch(&mut self, at: RealTime, kind: EventKind<M>) {
         match kind {
             EventKind::Deliver { to, from, msg } => {
@@ -589,6 +706,18 @@ impl<M: Clone, O> Simulation<M, O> {
                     self.push(at + Duration::from_nanos(jitter), EventKind::Injection);
                 }
             }
+            EventKind::Recover { node } => {
+                // Stale when the node was re-crashed meanwhile (a later
+                // `down_until`) or already recovered by hand (`None`):
+                // only the event matching the current down mark acts.
+                let due_back = self.nodes[node.index()]
+                    .down_until
+                    .is_some_and(|until| until <= at);
+                if due_back {
+                    self.nodes[node.index()].down_until = None;
+                    self.run_recover(node);
+                }
+            }
         }
     }
 
@@ -618,6 +747,15 @@ impl<M: Clone, O> Simulation<M, O> {
                         local: clock.local_at(self.now),
                         event: obs,
                     });
+                }
+                Effect::CrashNode { node, down_for } => {
+                    self.crash_node(node, down_for);
+                }
+                Effect::RecoverNode { node } => {
+                    self.recover_node(node);
+                }
+                Effect::SetPartition { partition } => {
+                    self.set_partition(partition);
                 }
             }
         }
@@ -658,7 +796,14 @@ impl<M: Clone, O> Simulation<M, O> {
                 .any(|b| b.from == from && b.to == to && self.now < b.until)
             {
                 self.metrics.blocked += 1;
-                continue; // partitioned: the bit is simply never set
+                continue; // blocked: the bit is simply never set
+            }
+            // Partition suppression sits before any RNG draw, mirroring
+            // `route`, so both broadcast modes keep identical draw
+            // sequences under a partition.
+            if self.partition.as_ref().is_some_and(|p| !p.allows(from, to)) {
+                self.metrics.blocked += 1;
+                continue;
             }
             let storm_active = self.storm.is_some_and(|s| s.active_at(self.now));
             if !storm_active {
@@ -808,6 +953,11 @@ impl<M: Clone, O> Simulation<M, O> {
             self.metrics.blocked += 1;
             return;
         }
+        // Partition suppression (before any RNG draw — see route_broadcast).
+        if self.partition.as_ref().is_some_and(|p| !p.allows(from, to)) {
+            self.metrics.blocked += 1;
+            return;
+        }
         let storm_active = self.storm.is_some_and(|s| s.active_at(self.now));
         let mut payload = msg;
         let delay = if storm_active {
@@ -868,12 +1018,19 @@ impl<M: Clone, O> Simulation<M, O> {
     }
 
     fn sample_delay(&mut self, min: Duration, max: Duration) -> Duration {
-        if min == max {
-            return min;
+        let raw = if min == max {
+            min
+        } else {
+            let lo = min.as_nanos();
+            let hi = max.as_nanos();
+            Duration::from_nanos(self.rng.gen_range(lo..=hi))
+        };
+        // Delay-inflation fault: scale after the draw so the random
+        // sequence is unchanged by the fault being active.
+        match self.delay_inflation {
+            Some((num, den, until)) if self.now < until => raw.saturating_scale(num, den),
+            _ => raw,
         }
-        let lo = min.as_nanos();
-        let hi = max.as_nanos();
-        Duration::from_nanos(self.rng.gen_range(lo..=hi))
     }
 }
 
@@ -1116,6 +1273,153 @@ mod tests {
         while sim.step() {}
         assert!(!sim.step());
         assert_eq!(sim.observations().len(), 1);
+    }
+
+    /// Periodic self-re-arming ticker with a recovery hook (the pattern
+    /// the engine adapter uses): crashing it kills the tick chain, and
+    /// `on_recover` must rebuild it.
+    struct Ticker;
+    impl Process<u32, String> for Ticker {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32, String>) {
+            ctx.set_timer_after(Duration::from_millis(1), 7);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, u32, String>, _from: NodeId, _msg: &u32) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u32, String>, token: u64) {
+            if token == 7 {
+                ctx.observe("tick".to_string());
+                ctx.set_timer_after(Duration::from_millis(1), 7);
+            }
+        }
+        fn on_recover(&mut self, ctx: &mut Ctx<'_, u32, String>) {
+            ctx.observe("recovered".to_string());
+            ctx.cancel_timer(7);
+            ctx.set_timer_after(Duration::from_millis(1), 7);
+        }
+    }
+
+    fn one_ticker() -> Simulation<u32, String> {
+        SimBuilder::new(11)
+            .node(Box::new(Ticker), DriftClock::ideal())
+            .build()
+    }
+
+    #[test]
+    fn crash_kills_ticks_and_recover_rearms() {
+        let mut sim = one_ticker();
+        sim.run_until(RealTime::from_nanos(5_000_000));
+        let before = sim.observations().len();
+        assert!(before >= 4);
+        sim.crash_node(NodeId::new(0), Duration::from_millis(10));
+        sim.run_until(RealTime::from_nanos(30_000_000));
+        let recoveries: Vec<_> = sim
+            .observations()
+            .iter()
+            .filter(|o| o.event == "recovered")
+            .collect();
+        assert_eq!(recoveries.len(), 1);
+        assert_eq!(recoveries[0].real, RealTime::from_nanos(15_000_000));
+        // No tick lands inside the outage (strictly after the crash
+        // instant — the tick *at* 5ms fired before the crash call), and
+        // the chain resumes after.
+        let crash_at = RealTime::from_nanos(5_000_000);
+        let back_at = RealTime::from_nanos(15_000_000);
+        assert!(!sim
+            .observations()
+            .iter()
+            .any(|o| o.event == "tick" && o.real > crash_at && o.real < back_at));
+        let after = sim
+            .observations()
+            .iter()
+            .filter(|o| o.event == "tick" && o.real > back_at)
+            .count();
+        assert!(after >= 10, "tick chain must resume after recovery");
+    }
+
+    #[test]
+    fn recover_event_stale_after_recrash_or_manual_recovery() {
+        // Re-crash extends the outage: the first Recover event is stale.
+        let mut sim = one_ticker();
+        sim.crash_node(NodeId::new(0), Duration::from_millis(5));
+        sim.crash_node(NodeId::new(0), Duration::from_millis(20));
+        sim.run_until(RealTime::from_nanos(30_000_000));
+        let recs: Vec<_> = sim
+            .observations()
+            .iter()
+            .filter(|o| o.event == "recovered")
+            .map(|o| o.real)
+            .collect();
+        assert_eq!(recs, vec![RealTime::from_nanos(20_000_000)]);
+
+        // Manual recovery first: the scheduled Recover event is then stale.
+        let mut sim = one_ticker();
+        sim.crash_node(NodeId::new(0), Duration::from_millis(5));
+        sim.recover_node(NodeId::new(0));
+        sim.recover_node(NodeId::new(0)); // idempotent while up
+        sim.run_until(RealTime::from_nanos(30_000_000));
+        let recs = sim
+            .observations()
+            .iter()
+            .filter(|o| o.event == "recovered")
+            .count();
+        assert_eq!(recs, 1);
+    }
+
+    #[test]
+    fn partition_suppresses_then_heals() {
+        let mut sim = two_pingpong(6);
+        sim.set_partition(Some(Partition::split(2, &[NodeId::new(1)])));
+        sim.run_until(RealTime::from_nanos(100_000_000));
+        assert_eq!(sim.metrics().blocked, 1);
+        assert!(sim.observations().is_empty());
+        assert!(sim.partition().is_some());
+        // Heal and restart the exchange: traffic flows again.
+        sim.set_partition(None);
+        sim.inject_message(sim.now(), NodeId::new(0), NodeId::new(1), 0);
+        sim.run_until(RealTime::from_nanos(1_000_000_000));
+        assert!(sim.observations().len() >= 10);
+    }
+
+    #[test]
+    fn delay_inflation_scales_post_draw() {
+        let mut sim: Simulation<u32, String> = SimBuilder::new(0)
+            .link(LinkConfig::fixed(Duration::from_millis(1)))
+            .node(
+                Box::new(PingPong { limit: 0, count: 0 }),
+                DriftClock::ideal(),
+            )
+            .node(
+                Box::new(PingPong { limit: 0, count: 0 }),
+                DriftClock::ideal(),
+            )
+            .build();
+        sim.inflate_delays(3, 1, RealTime::from_nanos(500_000_000));
+        sim.run_until(RealTime::from_nanos(1_000_000_000));
+        // The 1ms fixed delay became 3ms under 3/1 inflation.
+        assert_eq!(sim.observations()[0].real, RealTime::from_nanos(3_000_000));
+    }
+
+    #[test]
+    fn skew_clock_jumps_local_reading() {
+        let mut sim = one_ticker();
+        sim.run_until(RealTime::from_nanos(2_500_000));
+        let before = sim.clock(NodeId::new(0)).local_at(sim.now());
+        sim.skew_clock(NodeId::new(0), Duration::from_millis(50), None);
+        let after = sim.clock(NodeId::new(0)).local_at(sim.now());
+        assert_eq!(after, before + Duration::from_millis(50));
+    }
+
+    #[test]
+    fn timer_plant_and_cancel_hooks() {
+        let mut sim = one_ticker();
+        sim.run_until(RealTime::from_nanos(2_500_000));
+        // One pending tick timer: cancelling it severs the chain.
+        assert_eq!(sim.cancel_node_timer(NodeId::new(0), 7), 1);
+        sim.run_until(RealTime::from_nanos(10_000_000));
+        assert_eq!(sim.observations().len(), 2);
+        // Planting a fresh wake-up restarts it.
+        sim.plant_timer(NodeId::new(0), Duration::from_millis(1), 7);
+        sim.run_until(RealTime::from_nanos(20_000_000));
+        assert!(sim.observations().len() > 10);
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Fault-injection campaign: repeated mid-run fault bursts — crash
+//! churn, healing partitions, state scrambles, adaptive storms — each
+//! followed by a probe agreement that must pass the full property
+//! battery. Measures time-to-stabilize and containment radius per burst
+//! and writes `BENCH_stabilization.json` (deterministic per seed, byte
+//! identical across re-runs).
+//!
+//! ```text
+//! cargo run --release --example fault_campaign            # full grid
+//! cargo run --release --example fault_campaign -- --smoke # CI smoke
+//! ```
+
+use std::fmt::Write as _;
+
+use ssbyz::harness::faults::{run_campaign, CampaignFamily, StabilizationReport};
+use ssbyz::Duration;
+
+const SEED: u64 = 1;
+
+fn fmt_opt(d: Option<Duration>) -> String {
+    d.map_or_else(|| "null".into(), |d| d.as_nanos().to_string())
+}
+
+fn render_row(out: &mut String, report: &StabilizationReport) {
+    let _ = write!(
+        out,
+        "    {{\n      \"family\": \"{}\",\n      \"n\": {},\n      \"f\": {},\n      \"seed\": {},\n      \"d_ns\": {},\n      \"delta_agr_ns\": {},\n      \"delta_stb_ns\": {},\n      \"settle_ns\": {},\n      \"max_stabilization_ns\": {},\n      \"max_containment\": {},\n      \"stabilized\": {},\n      \"bursts\": [\n",
+        report.family,
+        report.n,
+        report.f,
+        report.seed,
+        report.d.as_nanos(),
+        report.delta_agr.as_nanos(),
+        report.delta_stb.as_nanos(),
+        report.settle.as_nanos(),
+        fmt_opt(report.max_stabilization()),
+        report.max_containment(),
+        report.stabilized(),
+    );
+    for (i, b) in report.bursts.iter().enumerate() {
+        let sep = if i + 1 == report.bursts.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            out,
+            "        {{\"burst_at_ns\": {}, \"probe_t0_ns\": {}, \"first_decision_ns\": {}, \"all_correct_ns\": {}, \"containment_radius\": {}, \"wrong_outputs\": {}, \"violations\": {}}}{sep}",
+            b.burst_at.as_nanos(),
+            b.probe_t0.as_nanos(),
+            fmt_opt(b.first_decision_after),
+            fmt_opt(b.all_correct_after),
+            b.containment_radius,
+            b.wrong_outputs,
+            b.violations.len(),
+        );
+    }
+    let _ = write!(out, "      ]\n    }}");
+}
+
+fn run_cell(n: usize, f: usize, family: CampaignFamily, bursts: usize) -> StabilizationReport {
+    let report = run_campaign(n, f, SEED, family, bursts);
+    println!(
+        "  {:<20} n={:<3} f={:<3} bursts={}  stabilize≤{:<12} containment≤{}  {}",
+        report.family,
+        report.n,
+        report.f,
+        report.bursts.len(),
+        report
+            .max_stabilization()
+            .map_or_else(|| "∞".into(), |d| format!("{d}")),
+        report.max_containment(),
+        if report.stabilized() { "✓" } else { "✗" },
+    );
+    for v in report.violations() {
+        println!("      violation: {v}");
+    }
+    report
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    if smoke {
+        // CI smoke: one crash-churn burst and one mid-run scramble burst
+        // at n = 7 must stabilize with zero safety violations.
+        println!("fault-campaign smoke (n=7, seed={SEED}):");
+        let churn = run_cell(7, 2, CampaignFamily::CrashChurn, 1);
+        let scramble = run_cell(7, 2, CampaignFamily::RepeatedScrambles, 1);
+        for report in [&churn, &scramble] {
+            assert!(
+                report.stabilized(),
+                "{} must stabilize: {:?}",
+                report.family,
+                report.violations()
+            );
+            assert!(
+                report.max_stabilization().is_some(),
+                "stabilization time must be finite"
+            );
+        }
+        println!("smoke passed: finite stabilization, zero violations ✓");
+        return;
+    }
+
+    println!("fault-injection campaign grid (seed={SEED}):");
+    let mut rows: Vec<StabilizationReport> = Vec::new();
+    for (n, f) in [(7usize, 2usize), (16, 5), (64, 21)] {
+        for family in CampaignFamily::ALL {
+            rows.push(run_cell(n, f, family, 2));
+        }
+    }
+
+    let stabilized = rows.iter().filter(|r| r.stabilized()).count();
+    println!("\n{stabilized}/{} cells stabilized", rows.len());
+    assert_eq!(
+        stabilized,
+        rows.len(),
+        "every campaign cell must stabilize; violations: {:?}",
+        rows.iter()
+            .flat_map(StabilizationReport::violations)
+            .collect::<Vec<_>>()
+    );
+
+    let mut out = String::from("{\n  \"seed\": ");
+    let _ = write!(out, "{SEED},\n  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        render_row(&mut out, row);
+        out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_stabilization.json", &out).expect("write BENCH_stabilization.json");
+    println!("wrote BENCH_stabilization.json");
+}

@@ -73,6 +73,15 @@ fn main() {
         experiments::slack(params.d()),
     );
     battery.assert_ok("post-recovery agreement");
+    assert_eq!(
+        probe.decides_for(NodeId::new(0)).len(),
+        4,
+        "all four scrambled nodes must decide the probe value"
+    );
+    assert!(
+        result.metrics.dropped > 0 && result.metrics.injected > 0,
+        "the storm must actually have disturbed the network"
+    );
     println!(
         "\nstorm metrics: {} dropped, {} corrupted, {} spurious",
         result.metrics.dropped, result.metrics.corrupted, result.metrics.injected

@@ -109,8 +109,7 @@ fn scramble_decays_to_dormant() {
         &ScrambleConfig {
             generals: 4,
             values_per_general: 4,
-            corrupt_agreements: true,
-            corrupt_logs: true,
+            ..ScrambleConfig::default()
         },
         &mut entropy,
         &mut |e| ssbyz::core::Entropy::below(e, 16),
