@@ -7,7 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ssbyz_baseline::run_baseline;
-use ssbyz_harness::experiments::run_correct_general;
+use ssbyz_harness::experiments::{run_correct_general, run_correct_general_waved};
+use ssbyz_simnet::WaveMode;
 use ssbyz_types::Duration;
 
 fn bench_comparison(c: &mut Criterion) {
@@ -62,5 +63,38 @@ fn bench_n64(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_comparison, bench_n64);
+/// The wave-coalescing A/B at n = 64 on a **fixed-delay** network
+/// (min == max, so every delivery instant is draw-free and the coalesced
+/// mode merges same-instant fan-in into `on_wave_ref` batches). The
+/// jittered `n64` group above never forms same-due waves — nanosecond
+/// delay draws keep arrivals distinct — so this group is where
+/// receiver-side coalescing shows up at whole-simulation scale.
+fn bench_n64_fixed_delay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("msg_driven_vs_lockstep/n64_fixed_delay");
+    g.sample_size(10);
+    let delay = Duration::from_micros(250);
+    g.bench_function("coalesced", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let (res, _) =
+                run_correct_general_waved(64, 21, seed, delay, delay, 1, WaveMode::Coalesced);
+            assert!(!res.decisions.is_empty());
+            res.metrics.sent
+        });
+    });
+    g.bench_function("per_message", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let (res, _) =
+                run_correct_general_waved(64, 21, seed, delay, delay, 1, WaveMode::PerMessage);
+            assert!(!res.decisions.is_empty());
+            res.metrics.sent
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_comparison, bench_n64, bench_n64_fixed_delay);
 criterion_main!(benches);

@@ -283,6 +283,70 @@ fn bench_engine_heavy_accept_wave(c: &mut Criterion) {
     g.finish();
 }
 
+/// The tentpole A/B: 1024 echo arrivals at n = 64 — sixteen
+/// full-membership waves for a rotating handful of values — delivered
+/// either one `on_message_ref` call at a time (64 triplet-table passes
+/// per wave) or as sixteen `on_wave_ref` calls (one intern probe, one
+/// bulk arrival record, one double evaluation per wave). The workload is
+/// the steady duplicate-heavy state where the per-message path pays the
+/// full lookup + window-query cost on every arrival.
+fn bench_echo_wave_1k(c: &mut Criterion) {
+    const N: usize = 64;
+    const WAVES: usize = 16;
+    let build_waves = || -> Vec<Vec<(NodeId, Arc<Msg<u64>>)>> {
+        (0..WAVES)
+            .map(|w| {
+                let value = Arc::new(7 + (w % 4) as u64);
+                (0..N)
+                    .map(|s| {
+                        (
+                            NodeId::new(s as u32),
+                            Arc::new(Msg::Bcast {
+                                kind: ssbyz_core::BcastKind::Echo,
+                                general: NodeId::new(1),
+                                broadcaster: NodeId::new(2),
+                                value: Arc::clone(&value),
+                                round: 1,
+                            }),
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let mut g = c.benchmark_group("store_hot_path/echo_wave_1k");
+    g.bench_function("per_message", |b| {
+        let mut engine: Engine<u64> = Engine::new(NodeId::new(0), params_for(N));
+        let mut ob: Outbox<u64> = Outbox::new();
+        let waves = build_waves();
+        let mut t = 1_000_000_000u64;
+        b.iter(|| {
+            for wave in &waves {
+                t += 10_000;
+                let now = LocalTime::from_nanos(t);
+                for (s, m) in wave {
+                    engine.on_message_ref(now, *s, m, &mut ob);
+                }
+            }
+            black_box(ob.len())
+        });
+    });
+    g.bench_function("coalesced", |b| {
+        let mut engine: Engine<u64> = Engine::new(NodeId::new(0), params_for(N));
+        let mut ob: Outbox<u64> = Outbox::new();
+        let waves = build_waves();
+        let mut t = 1_000_000_000u64;
+        b.iter(|| {
+            for wave in &waves {
+                t += 10_000;
+                engine.on_wave_ref(LocalTime::from_nanos(t), wave, &mut ob);
+            }
+            black_box(ob.len())
+        });
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_arrival_log_dense,
@@ -292,6 +356,7 @@ criterion_group!(
     bench_engine_bcast_echo,
     bench_engine_bcast_echo_reference,
     bench_engine_ia_support_heavy,
-    bench_engine_heavy_accept_wave
+    bench_engine_heavy_accept_wave,
+    bench_echo_wave_1k
 );
 criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Multi-sample re-baseline driver for the n = 64 whole-simulation rows
+//! (`msg_driven_vs_lockstep/n64*`): runs the fault-free correct-General
+//! scenario at n = 64, f = 21 across seeds, in both wave modes, on both
+//! network shapes:
+//!
+//! * **jittered** (45–450 µs draws) — nanosecond delay granularity means
+//!   same-due waves essentially never form, so the coalescing gate stays
+//!   cold and both modes must time alike (the single-iteration criterion
+//!   row swings with container load; this multi-sample run is the
+//!   number to trust);
+//! * **fixed** (250 µs, min == max) — every delivery instant is
+//!   draw-free, broadcast fan-in lands as whole waves, and the coalesced
+//!   mode feeds each into one `Engine::on_wave_ref` pass.
+//!
+//! Numbers are committed in `BENCH_store_hot_path.json` under
+//! `wave_coalescing`.
+
+use ssbyz_harness::experiments::run_correct_general_waved;
+use ssbyz_simnet::WaveMode;
+use ssbyz_types::Duration;
+use std::time::Instant;
+
+fn sample(label: &str, min: Duration, max: Duration, mode: WaveMode, seeds: u64) {
+    let mut total = std::time::Duration::ZERO;
+    for seed in 1..=seeds {
+        let t = Instant::now();
+        let (res, _) = run_correct_general_waved(64, 21, seed, min, max, 1, mode);
+        assert!(!res.decisions.is_empty(), "{label}: run must decide");
+        let dt = t.elapsed();
+        total += dt;
+        println!("{label} {mode:?} seed {seed}: {dt:?}");
+    }
+    println!(
+        "{label} {mode:?} mean over {seeds}: {:?}",
+        total / seeds as u32
+    );
+}
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    for mode in [WaveMode::Coalesced, WaveMode::PerMessage] {
+        sample(
+            "jittered(45-450us)",
+            Duration::from_micros(45),
+            Duration::from_micros(450),
+            mode,
+            seeds,
+        );
+    }
+    for mode in [WaveMode::Coalesced, WaveMode::PerMessage] {
+        sample(
+            "fixed(250us)",
+            Duration::from_micros(250),
+            Duration::from_micros(250),
+            mode,
+            seeds,
+        );
+    }
+}

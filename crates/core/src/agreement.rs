@@ -634,6 +634,42 @@ impl InternedAgreement {
         self.absorb_msgd(now, interner, msgd_scratch, out);
     }
 
+    /// Feeds one coalesced same-key wave of interned `msgd-broadcast`
+    /// messages: all of `senders` claimed `(kind, broadcaster, value,
+    /// round)` at the same instant. One primitive pass
+    /// ([`InternedMsgdBroadcast::on_wave`]) plus one absorb replaces the
+    /// per-arrival loop; the action sequence emitted into `out` is
+    /// bit-identical to calling [`InternedAgreement::on_bcast`] per
+    /// sender in order. (At most one `Accepted` can fire per same-key
+    /// wave — the triplet latches — and no send can cross after it, so a
+    /// single block-S pass at the end sees exactly the state the
+    /// per-message path saw at its accept.)
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_bcast_wave<V: Value>(
+        &mut self,
+        now: LocalTime,
+        senders: &[NodeId],
+        kind: BcastKind,
+        broadcaster: NodeId,
+        value: ValueId,
+        round: u32,
+        interner: &ValueInterner<V>,
+        msgd_scratch: &mut Vec<MsgdAction<ValueId>>,
+        out: &mut Vec<AgrAction<ValueId>>,
+    ) {
+        self.msgd.on_wave(
+            now,
+            senders,
+            kind,
+            broadcaster,
+            value,
+            round,
+            self.tau_g,
+            msgd_scratch,
+        );
+        self.absorb_msgd(now, interner, msgd_scratch, out);
+    }
+
     /// Converts primitive actions into agreement actions, recording accepts
     /// and running block S. Drains `macts` completely.
     fn absorb_msgd<V: Value>(

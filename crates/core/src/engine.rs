@@ -348,6 +348,13 @@ impl<V: Value> Engine<V> {
         ob: &mut Outbox<V>,
     ) {
         ob.begin();
+        self.handle_message(now, sender, msg, ob);
+    }
+
+    /// One message's dispatch, sans the per-call output reset — shared by
+    /// [`Engine::on_message_ref`] and the singleton/fallback arm of
+    /// [`Engine::on_wave_ref`].
+    fn handle_message(&mut self, now: LocalTime, sender: NodeId, msg: &Msg<V>, ob: &mut Outbox<V>) {
         let n = self.params.n();
         // The membership is fixed and globally known: claims naming ids
         // outside `0..n` can only be transient residue or adversary
@@ -421,6 +428,141 @@ impl<V: Value> Engine<V> {
         }
         // A value-minting storm faster than the cleanup cadence must not
         // balloon the arena: force a sweep past the high-water mark.
+        if self.interner.occupancy() > self.sweep_high_water {
+            self.sweep_interner();
+        }
+    }
+
+    /// Coalesced dispatch of one delivery wave: every `(sender, message)`
+    /// pair arrived at the same local instant, in slice order.
+    ///
+    /// Maximal contiguous runs of `Bcast` messages sharing `(kind,
+    /// general, broadcaster, value, round)` — the msgd echo storm, where
+    /// all `n` peers relay the same triplet at once — are dispatched as
+    /// **one** wave through the agreement layer: one membership/validity
+    /// check, one intern probe, one bulk [`ArrivalLog`] record pass and
+    /// two quorum evaluations, instead of the full per-message walk `n`
+    /// times. Everything else (mixed keys, `Ia`/`Initiator` traffic,
+    /// singleton runs) falls back to the per-message path, which remains
+    /// the golden model: the outputs accumulated across the wave are
+    /// bit-identical to draining `n` separate
+    /// [`Engine::on_message_ref`] calls in the same order (pinned by the
+    /// `wave_equivalence` proptests).
+    ///
+    /// The slice element is anything that borrows to a message —
+    /// `&Msg<V>` for borrowed waves, `Arc<Msg<V>>` for a simulator's
+    /// pooled batch — so callers never copy or re-collect a wave to
+    /// dispatch it.
+    ///
+    /// [`ArrivalLog`]: crate::store::ArrivalLog
+    pub fn on_wave_ref<W: std::borrow::Borrow<Msg<V>>>(
+        &mut self,
+        now: LocalTime,
+        wave: &[(NodeId, W)],
+        ob: &mut Outbox<V>,
+    ) {
+        ob.begin();
+        let mut i = 0;
+        while i < wave.len() {
+            let msg = wave[i].1.borrow();
+            let run_len = if let Msg::Bcast {
+                kind,
+                general,
+                broadcaster,
+                value,
+                round,
+            } = msg
+            {
+                let mut j = i + 1;
+                while j < wave.len() {
+                    match wave[j].1.borrow() {
+                        Msg::Bcast {
+                            kind: k2,
+                            general: g2,
+                            broadcaster: b2,
+                            value: v2,
+                            round: r2,
+                        } if k2 == kind
+                            && g2 == general
+                            && b2 == broadcaster
+                            && r2 == round
+                            && (Arc::ptr_eq(v2, value) || **v2 == **value) =>
+                        {
+                            j += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                j - i
+            } else {
+                1
+            };
+            if run_len >= 2 {
+                self.handle_bcast_run(now, &wave[i..i + run_len], ob);
+            } else {
+                self.handle_message(now, wave[i].0, msg, ob);
+            }
+            i += run_len;
+        }
+    }
+
+    /// One same-key `Bcast` run (length ≥ 2) from [`Engine::on_wave_ref`]:
+    /// shared checks once, then a single wave pass through the agreement
+    /// instance. Check order mirrors the per-message path exactly —
+    /// sender membership (per message), cleanup on the first message that
+    /// passes it, then the round/broadcaster validity shared by the run.
+    fn handle_bcast_run<W: std::borrow::Borrow<Msg<V>>>(
+        &mut self,
+        now: LocalTime,
+        run: &[(NodeId, W)],
+        ob: &mut Outbox<V>,
+    ) {
+        let n = self.params.n();
+        let Msg::Bcast {
+            kind,
+            general,
+            broadcaster,
+            value,
+            round,
+        } = run[0].1.borrow()
+        else {
+            unreachable!("handle_bcast_run only receives Bcast runs");
+        };
+        if general.index() >= n {
+            return; // every message of the run fails the membership check
+        }
+        let mut senders = std::mem::take(&mut ob.wave);
+        senders.extend(run.iter().map(|(s, _)| *s).filter(|s| s.index() < n));
+        if senders.is_empty() {
+            ob.wave = senders;
+            return;
+        }
+        self.cleanup_if_due(now);
+        if *round == 0 || *round > self.params.max_round() || broadcaster.index() >= n {
+            senders.clear();
+            ob.wave = senders;
+            return;
+        }
+        let id = self.interner.intern_shared(value);
+        let me = self.me;
+        let params = self.params;
+        let agr = self
+            .agr
+            .get_or_insert_with(*general, || InternedAgreement::new(me, *general, params));
+        agr.on_bcast_wave(
+            now,
+            &senders,
+            *kind,
+            *broadcaster,
+            id,
+            *round,
+            &self.interner,
+            &mut ob.msgd,
+            &mut ob.agr,
+        );
+        self.absorb_agr(now, *general, ob);
+        senders.clear();
+        ob.wave = senders;
         if self.interner.occupancy() > self.sweep_high_water {
             self.sweep_interner();
         }

@@ -647,6 +647,109 @@ impl InternedMsgdBroadcast {
         }
     }
 
+    /// Coalesced delivery of one same-`(kind, broadcaster, value, round)`
+    /// wave: every listed sender's arrival is recorded at the same
+    /// instant, with the validity checks, triplet admission and quorum
+    /// evaluation paid **once per wave** instead of once per arrival.
+    ///
+    /// Bit-identical to feeding the senders through
+    /// [`InternedMsgdBroadcast::on_message`] one by one (the golden
+    /// model, pinned by the `wave_equivalence` proptests). Two triplet
+    /// evaluations make that exact: the first arrival is recorded and
+    /// evaluated alone — firing, in block order, any condition already
+    /// true at wave start (e.g. a stale latch left by a transient fault),
+    /// exactly as the per-message path's first step would. The remaining
+    /// arrivals then land in one bulk [`ArrivalLog::record_wave`] pass
+    /// and a single final evaluation fires whatever the accumulated
+    /// counts newly crossed. Within a single-kind wave every later
+    /// crossing lives in one deadline block whose emission order equals
+    /// its count-crossing order (weak quorum before strong), so the
+    /// collapsed final pass reproduces the per-message output sequence.
+    ///
+    /// Callers must pre-filter `senders` to the membership; an empty wave
+    /// is a no-op.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_wave(
+        &mut self,
+        now: LocalTime,
+        senders: &[NodeId],
+        kind: BcastKind,
+        broadcaster: NodeId,
+        value: ValueId,
+        round: u32,
+        anchor: Option<LocalTime>,
+        out: &mut Vec<MsgdAction<ValueId>>,
+    ) {
+        let Some((&first, rest)) = senders.split_first() else {
+            return;
+        };
+        debug_assert!(
+            senders.iter().all(|s| s.index() < self.params.n()),
+            "wave senders must be pre-filtered to the membership"
+        );
+        if round == 0 || round > self.params.max_round() {
+            return; // bogus round — no legitimate broadcast uses it
+        }
+        if broadcaster.index() >= self.params.n() {
+            return; // claimed broadcaster outside the membership
+        }
+        if self.triplet_count >= MAX_TRACKED_TRIPLETS
+            && self.triplet(broadcaster, round, value).is_none()
+        {
+            return; // bound memory against triplet-minting adversaries
+        }
+        {
+            let st = Self::triplet_entry(
+                &mut self.triplets,
+                &mut self.triplet_count,
+                broadcaster,
+                round,
+                value,
+            );
+            st.touched = Some(now);
+            match kind {
+                BcastKind::Init => {
+                    if first == broadcaster && st.init_from_p.is_none() {
+                        st.init_from_p = Some(now);
+                    }
+                }
+                BcastKind::Echo => st.echo.record(now, first),
+                BcastKind::InitPrime => st.init_prime.record(now, first),
+                BcastKind::EchoPrime => st.echo_prime.record(now, first),
+            }
+        }
+        if let Some(anchor) = anchor {
+            self.evaluate_triplet(now, anchor, broadcaster, round, value, out);
+        }
+        if rest.is_empty() {
+            return;
+        }
+        {
+            let st = self
+                .triplets
+                .get_mut(value)
+                .and_then(|pv| pv.get_mut(broadcaster))
+                .and_then(|slots| slots.get_mut(round))
+                .expect("triplet recorded above cannot vanish mid-wave");
+            match kind {
+                BcastKind::Init => {
+                    // Only an init from the broadcaster itself counts (W2).
+                    for &s in rest {
+                        if s == broadcaster && st.init_from_p.is_none() {
+                            st.init_from_p = Some(now);
+                        }
+                    }
+                }
+                BcastKind::Echo => st.echo.record_wave(now, rest),
+                BcastKind::InitPrime => st.init_prime.record_wave(now, rest),
+                BcastKind::EchoPrime => st.echo_prime.record_wave(now, rest),
+            }
+        }
+        if let Some(anchor) = anchor {
+            self.evaluate_triplet(now, anchor, broadcaster, round, value, out);
+        }
+    }
+
     /// Called when the anchor `τ_G` becomes known: evaluates every logged
     /// triplet against it. The golden model walks its `BTreeMap` in value
     /// order, so the buffered triplets are evaluated here in the same

@@ -72,6 +72,9 @@ pub struct Outbox<V> {
     pub(crate) msgd: Vec<MsgdAction<ValueId>>,
     /// Scratch list of live Generals for `on_tick`.
     pub(crate) generals: Vec<NodeId>,
+    /// Scratch list of wave senders for `on_wave_ref` (the valid senders
+    /// of one same-key run, collected before the bulk record).
+    pub(crate) wave: Vec<NodeId>,
 }
 
 impl<V> Outbox<V> {
@@ -85,6 +88,7 @@ impl<V> Outbox<V> {
             agr: Vec::new(),
             msgd: Vec::new(),
             generals: Vec::new(),
+            wave: Vec::new(),
         }
     }
 
@@ -101,6 +105,7 @@ impl<V> Outbox<V> {
             self.generals.is_empty(),
             "generals scratch leaked between calls"
         );
+        debug_assert!(self.wave.is_empty(), "wave scratch leaked between calls");
     }
 
     /// The outputs produced by the most recent engine call.
@@ -142,17 +147,18 @@ impl<V> Outbox<V> {
     }
 
     /// Current buffer capacities as
-    /// `[outputs, ia, agr, msgd, generals]` — used by the reuse
+    /// `[outputs, ia, agr, msgd, generals, wave]` — used by the reuse
     /// regression tests to assert that capacity plateaus instead of
     /// growing without bound.
     #[must_use]
-    pub fn capacities(&self) -> [usize; 5] {
+    pub fn capacities(&self) -> [usize; 6] {
         [
             self.out.capacity(),
             self.ia.capacity(),
             self.agr.capacity(),
             self.msgd.capacity(),
             self.generals.capacity(),
+            self.wave.capacity(),
         ]
     }
 }

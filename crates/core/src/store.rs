@@ -217,6 +217,25 @@ impl ArrivalLog {
         self.occupied.insert(sender);
     }
 
+    /// Bulk [`ArrivalLog::record`]: logs one same-instant arrival per
+    /// listed sender. Exactly equivalent to calling `record(now, s)` for
+    /// each sender in order (same duplicate collapsing — a sender listed
+    /// twice records once), but the occupancy bitset is updated in a
+    /// single pass after the slot writes instead of per arrival. This is
+    /// the echo-wave fast path: a coalesced wave hands the whole
+    /// same-(broadcaster, round, kind) sender set to the log at once.
+    pub fn record_wave(&mut self, now: LocalTime, senders: &[NodeId]) {
+        for &s in senders {
+            let slot = self.slot_mut(s);
+            if !slot.contains(now) {
+                slot.push(now);
+            }
+        }
+        for &s in senders {
+            self.occupied.insert(s);
+        }
+    }
+
     /// Drops arrivals older than `retention` and arrivals stamped in the
     /// future of `now` (bogus state from a transient fault).
     pub fn prune(&mut self, now: LocalTime, retention: Duration) {

@@ -323,6 +323,63 @@ fn accepted_broadcast_allocations_are_bounded() {
     );
 }
 
+/// The coalesced wave path: after warm-up, a full-membership duplicate
+/// echo wave through `Engine::on_wave_ref` — one intern probe, one bulk
+/// arrival record, one evaluation pass — performs **zero** heap
+/// allocations, with the wave scratch pooled inside the outbox
+/// (`capacities()[5]`) exactly like the dispatch arenas.
+#[test]
+fn coalesced_echo_wave_is_allocation_free() {
+    let p = params(7, 2);
+    let mut engine: Engine<u64> = Engine::new(NodeId::new(0), p);
+    let mut ob: Outbox<u64> = Outbox::new();
+    let mut t = 7_000_000_000_000u64;
+    // The wave is built once (the simulator hands the engine a pooled
+    // slice of Arc-shared arrivals; constructing it is the network
+    // layer's cost, not the engine's).
+    let value = Arc::new(9u64);
+    let wave: Vec<(NodeId, Arc<Msg<u64>>)> = (0..7)
+        .map(|s| {
+            (
+                NodeId::new(s),
+                Arc::new(Msg::Bcast {
+                    kind: BcastKind::Echo,
+                    general: NodeId::new(1),
+                    broadcaster: NodeId::new(2),
+                    value: Arc::clone(&value),
+                    round: 1,
+                }),
+            )
+        })
+        .collect();
+    // Warm-up: triplet state, arrival slots, outbox arenas and the wave
+    // scratch all reach steady-state capacity.
+    for _ in 0..1_000u64 {
+        t += 10_000;
+        engine.on_wave_ref(LocalTime::from_nanos(t), &wave, &mut ob);
+    }
+    let caps = ob.capacities();
+    assert!(
+        caps[5] >= 7,
+        "the wave scratch must be pooled in the outbox: {caps:?}"
+    );
+    let (allocs, _) = count_allocs(|| {
+        for _ in 0..10_000u64 {
+            t += 10_000;
+            engine.on_wave_ref(LocalTime::from_nanos(t), &wave, &mut ob);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "coalesced duplicate echo waves must be allocation-free after warm-up"
+    );
+    assert_eq!(
+        ob.capacities(),
+        caps,
+        "steady-state waves must not grow any pooled buffer"
+    );
+}
+
 // ---------------------------------------------------------------------
 // Clone-counter extension: the Arc<V> emission path must never deep-copy
 // the value — not per delivery, not per emitted Broadcast/Event.

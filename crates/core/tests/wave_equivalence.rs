@@ -1,0 +1,309 @@
+//! Wave-coalescing equivalence battery: feeding a slice of same-instant
+//! deliveries through [`Engine::on_wave_ref`] must produce the
+//! **bit-identical** output sequence of calling [`Engine::on_message_ref`]
+//! once per entry (at the same local time) and concatenating the
+//! per-call outputs — over random wave shapes including mixed keys,
+//! Byzantine duplicates, out-of-membership senders, interleaved non-Bcast
+//! traffic and hash-colliding values.
+//!
+//! The per-message dispatch is the specification (itself pinned against
+//! the Vec-returning golden model in `outbox_equivalence.rs`); the
+//! coalesced path is pure mechanics — one intern probe, one bulk arrival
+//! record, one (double) triplet evaluation per same-key run — and must
+//! not change a single emitted action or its order. Each case runs many
+//! waves against the same engine pair with ticks in between, so state
+//! divergence in one wave would surface in every later one.
+
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use ssbyz_core::{BcastKind, Engine, IaKind, Msg, Outbox, Output, Params};
+use ssbyz_types::{Duration, LocalTime, NodeId, Value};
+
+const D: u64 = 10_000_000; // 10ms in ns
+
+/// One raw generated wave entry, decoded by [`decode`].
+type RawEntry = (u32, u32, u32, u64, u32);
+
+/// Decodes a raw tuple into one `(sender, message)` wave entry.
+///
+/// The selector is biased heavily toward `Bcast` with a tiny key space so
+/// generated waves contain long same-key runs (the coalescible shape),
+/// salted with key changes mid-wave, duplicates, foreign senders (`n` and
+/// beyond), forged initiations and IA traffic.
+fn decode<V: Value>(
+    (sel, sender, aux, value, round): RawEntry,
+    mk: &dyn Fn(u64) -> V,
+) -> (NodeId, Msg<V>) {
+    let sender_id = NodeId::new(sender);
+    let msg = match sel {
+        // The dominant shape: broadcast-stage messages over 2 generals ×
+        // 3 broadcasters × small value/round spaces.
+        0..=79 => Msg::Bcast {
+            kind: BcastKind::ALL[(sel % 4) as usize],
+            general: NodeId::new(sel % 2),
+            broadcaster: NodeId::new(aux % 3),
+            value: Arc::new(mk(value)),
+            round,
+        },
+        // Broadcasts naming an out-of-membership general/broadcaster.
+        80..=84 => Msg::Bcast {
+            kind: BcastKind::Echo,
+            general: NodeId::new(100 + (sel % 2)),
+            broadcaster: NodeId::new(aux),
+            value: Arc::new(mk(value)),
+            round: 1,
+        },
+        // IA-stage traffic interleaved into the wave.
+        85..=94 => Msg::Ia {
+            kind: IaKind::ALL[(sel % 3) as usize],
+            general: NodeId::new(aux % 3),
+            value: Arc::new(mk(value)),
+        },
+        // Initiations (forged whenever sender ≠ claimed general).
+        _ => Msg::Initiator {
+            general: NodeId::new(aux % 3),
+            value: Arc::new(mk(value)),
+        },
+    };
+    (sender_id, msg)
+}
+
+/// Drives a wave-dispatching engine and a per-message engine through the
+/// same delivery schedule and requires identical output sequences.
+///
+/// `waves` is a flat op list: each chunk becomes one same-instant wave,
+/// with time advancing (and an occasional tick) between waves.
+fn run_equivalence<V: Value>(
+    me: u32,
+    n: usize,
+    f: usize,
+    anchored: bool,
+    ops: Vec<RawEntry>,
+    mk: &dyn Fn(u64) -> V,
+) {
+    let params = Params::from_d(n, f, Duration::from_nanos(D), 0).unwrap();
+    let mut waved: Engine<V> = Engine::new(NodeId::new(me), params);
+    let mut serial: Engine<V> = Engine::new(NodeId::new(me), params);
+    let mut wob: Outbox<V> = Outbox::new();
+    let mut sob: Outbox<V> = Outbox::new();
+    let mut now = 1_000_000_000_000u64;
+    if anchored {
+        // A live anchor makes the deadline blocks evaluate, so waves emit
+        // (sends, accepts, decides) instead of only recording arrivals.
+        for g in [0u32, 1] {
+            let tau_g = LocalTime::from_nanos(now - 2 * D);
+            waved.agreement_raw(NodeId::new(g)).corrupt_anchor(tau_g);
+            serial.agreement_raw(NodeId::new(g)).corrupt_anchor(tau_g);
+        }
+    }
+    let mut wave: Vec<(NodeId, Msg<V>)> = Vec::new();
+    for (wave_no, chunk) in ops.chunks(11).enumerate() {
+        wave.clear();
+        wave.extend(chunk.iter().map(|raw| decode(*raw, mk)));
+        now += 300_000 * (1 + wave_no as u64 % 7);
+        let t = LocalTime::from_nanos(now);
+
+        // Coalesced: the whole wave in one call.
+        let wave_refs: Vec<(NodeId, &Msg<V>)> = wave.iter().map(|(s, m)| (*s, m)).collect();
+        waved.on_wave_ref(t, &wave_refs, &mut wob);
+
+        // Specification: one call per entry at the same instant, outputs
+        // concatenated.
+        let mut want: Vec<Output<V>> = Vec::new();
+        for (sender, msg) in &wave {
+            serial.on_message_ref(t, *sender, msg, &mut sob);
+            want.extend(sob.outputs().iter().cloned());
+        }
+        assert_eq!(
+            wob.outputs(),
+            want.as_slice(),
+            "wave {wave_no} diverged at {now} (len {}, anchored {anchored})",
+            wave.len()
+        );
+
+        // The wave scratch must be returned to the pool drained.
+        assert!(wob.capacities().len() == 6);
+
+        // Periodic ticks keep cleanup cadences and deadline blocks in
+        // play on both sides; their outputs must stay identical too.
+        if wave_no % 5 == 4 {
+            now += D / 2;
+            let t = LocalTime::from_nanos(now);
+            waved.on_tick(t, &mut wob);
+            serial.on_tick(t, &mut sob);
+            assert_eq!(wob.outputs(), sob.outputs(), "tick after wave {wave_no}");
+        }
+    }
+}
+
+/// A value whose `Hash` is a single constant: every distinct value lands
+/// in the same interner bucket, forcing the full-equality probe on each
+/// lookup. Coalescing interns once per run, so collisions must not
+/// change *what* is interned — only how often the probe runs.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct Colliding(u64);
+
+impl Hash for Colliding {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        0u64.hash(state);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// n = 7, f = 2, anchored instances: waves of mixed broadcast runs
+    /// with duplicates and foreign senders, evaluated against live
+    /// deadline blocks.
+    #[test]
+    fn wave_matches_per_message_n7_anchored(
+        ops in prop::collection::vec(
+            (0u32..100, 0u32..9, 0u32..9, 0u64..4, 0u32..4),
+            1..200,
+        ),
+    ) {
+        run_equivalence(3, 7, 2, true, ops, &|v| v);
+    }
+
+    /// n = 7 with cold (unanchored) instances: pure recording waves; the
+    /// triplet table fills, decays and sweeps identically.
+    #[test]
+    fn wave_matches_per_message_n7_cold(
+        ops in prop::collection::vec(
+            (0u32..100, 0u32..9, 0u32..9, 0u64..4, 0u32..4),
+            1..200,
+        ),
+    ) {
+        run_equivalence(3, 7, 2, false, ops, &|v| v);
+    }
+
+    /// n = 4, f = 1: weak quorum 2, strong quorum 3 — a single wave can
+    /// cross both thresholds, so send/accept interleavings are densest.
+    #[test]
+    fn wave_matches_per_message_n4(
+        ops in prop::collection::vec(
+            (0u32..100, 0u32..6, 0u32..6, 0u64..3, 0u32..3),
+            1..250,
+        ),
+    ) {
+        run_equivalence(0, 4, 1, true, ops, &|v| v);
+    }
+
+    /// Spam shape: a tiny value/sender space so nearly every wave is all
+    /// duplicates — the bulk-record fast path must stay inert.
+    #[test]
+    fn wave_matches_per_message_duplicate_spam(
+        ops in prop::collection::vec(
+            (0u32..80, 0u32..4, 0u32..3, 0u64..2, 1u32..3),
+            1..300,
+        ),
+    ) {
+        run_equivalence(1, 4, 1, true, ops, &|v| v);
+    }
+
+    /// Hash-colliding values: distinct payloads that all hash alike, so
+    /// the interner resolves every wave through bucket collision chains.
+    #[test]
+    fn wave_matches_per_message_hash_collisions(
+        ops in prop::collection::vec(
+            (0u32..100, 0u32..9, 0u32..9, 0u64..6, 0u32..4),
+            1..150,
+        ),
+    ) {
+        run_equivalence(2, 7, 2, true, ops, &Colliding);
+    }
+}
+
+/// Deterministic single-kind run: a full echo wave for one key delivered
+/// as one slice crosses weak and strong quorums inside a single
+/// `on_wave_ref` call and must emit exactly the per-message concatenation
+/// (support send, then the accept chain).
+#[test]
+fn full_echo_wave_single_call_matches() {
+    let params = Params::from_d(7, 2, Duration::from_nanos(D), 0).unwrap();
+    let t0 = 2_000_000_000_000u64;
+    let g = NodeId::new(0);
+    let mk = |me: u32| {
+        let mut e: Engine<u64> = Engine::new(NodeId::new(me), params);
+        e.agreement_raw(g)
+            .corrupt_anchor(LocalTime::from_nanos(t0 - 6 * D));
+        e
+    };
+    let mut waved = mk(1);
+    let mut serial = mk(1);
+    let mut wob: Outbox<u64> = Outbox::new();
+    let mut sob: Outbox<u64> = Outbox::new();
+    let value = Arc::new(7u64);
+    let wave: Vec<(NodeId, Msg<u64>)> = (0..7)
+        .map(|s| {
+            (
+                NodeId::new(s),
+                Msg::Bcast {
+                    kind: BcastKind::Echo,
+                    general: g,
+                    broadcaster: NodeId::new(2),
+                    value: Arc::clone(&value),
+                    round: 1,
+                },
+            )
+        })
+        .collect();
+    let t = LocalTime::from_nanos(t0);
+    let refs: Vec<(NodeId, &Msg<u64>)> = wave.iter().map(|(s, m)| (*s, m)).collect();
+    waved.on_wave_ref(t, &refs, &mut wob);
+    let mut want: Vec<Output<u64>> = Vec::new();
+    for (s, m) in &wave {
+        serial.on_message_ref(t, *s, m, &mut sob);
+        want.extend(sob.outputs().iter().cloned());
+    }
+    assert!(
+        want.iter()
+            .any(|o| matches!(o, Output::Broadcast(Msg::Bcast { .. }))),
+        "the reference wave must actually emit sends: {want:?}"
+    );
+    assert_eq!(wob.outputs(), want.as_slice());
+}
+
+/// `on_wave_ref` also accepts `Arc`-held messages (the simulator's wire
+/// representation) — same outputs as the borrowed form.
+#[test]
+fn arc_wave_matches_ref_wave() {
+    let params = Params::from_d(4, 1, Duration::from_nanos(D), 0).unwrap();
+    let t0 = 3_000_000_000_000u64;
+    let g = NodeId::new(0);
+    let mut a: Engine<u64> = Engine::new(NodeId::new(1), params);
+    let mut b: Engine<u64> = Engine::new(NodeId::new(1), params);
+    a.agreement_raw(g)
+        .corrupt_anchor(LocalTime::from_nanos(t0 - 6 * D));
+    b.agreement_raw(g)
+        .corrupt_anchor(LocalTime::from_nanos(t0 - 6 * D));
+    let mut aob: Outbox<u64> = Outbox::new();
+    let mut bob: Outbox<u64> = Outbox::new();
+    let value = Arc::new(9u64);
+    let msgs: Vec<Msg<u64>> = (0..4)
+        .map(|_| Msg::Bcast {
+            kind: BcastKind::Echo,
+            general: g,
+            broadcaster: NodeId::new(2),
+            value: Arc::clone(&value),
+            round: 1,
+        })
+        .collect();
+    let arc_wave: Vec<(NodeId, Arc<Msg<u64>>)> = msgs
+        .iter()
+        .enumerate()
+        .map(|(i, m)| (NodeId::new(i as u32), Arc::new(m.clone())))
+        .collect();
+    let ref_wave: Vec<(NodeId, &Msg<u64>)> = msgs
+        .iter()
+        .enumerate()
+        .map(|(i, m)| (NodeId::new(i as u32), m))
+        .collect();
+    let t = LocalTime::from_nanos(t0);
+    a.on_wave_ref(t, &arc_wave, &mut aob);
+    b.on_wave_ref(t, &ref_wave, &mut bob);
+    assert!(!aob.is_empty(), "the accepted wave must emit");
+    assert_eq!(aob.outputs(), bob.outputs());
+}

@@ -117,6 +117,18 @@ impl<V: Value> Process<Msg<V>, NodeEvent<V>> for EngineProcess<V> {
         self.apply(ctx);
     }
 
+    fn on_message_batch(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg<V>, NodeEvent<V>>,
+        batch: &[(NodeId, std::sync::Arc<Msg<V>>)],
+    ) {
+        // A coalesced wave: all same-instant arrivals enter the engine in
+        // one call, which interns each distinct value once and walks the
+        // triplet table once per same-key run instead of once per message.
+        self.engine.on_wave_ref(ctx.now(), batch, &mut self.outbox);
+        self.apply(ctx);
+    }
+
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<V>, NodeEvent<V>>, token: u64) {
         match token {
             TOKEN_TICK => {

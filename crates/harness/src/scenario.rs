@@ -13,6 +13,7 @@ use ssbyz_core::corrupt::ScrambleConfig;
 use ssbyz_core::{Engine, Event, Msg, Params};
 use ssbyz_simnet::{
     BroadcastMode, DriftClock, LinkConfig, Metrics, Process, SimBuilder, Simulation, StormConfig,
+    WaveMode,
 };
 use ssbyz_types::{ConfigError, Duration, LocalTime, NodeId, RealTime};
 
@@ -119,6 +120,7 @@ pub struct ScenarioBuilder {
     ideal_clocks: bool,
     boot_readings: Option<Vec<LocalTime>>,
     broadcast_mode: BroadcastMode,
+    wave_mode: WaveMode,
 }
 
 impl ScenarioBuilder {
@@ -139,6 +141,7 @@ impl ScenarioBuilder {
             ideal_clocks: false,
             boot_readings: None,
             broadcast_mode: BroadcastMode::default(),
+            wave_mode: WaveMode::default(),
         }
     }
 
@@ -148,6 +151,15 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn broadcast_mode(mut self, mode: BroadcastMode) -> Self {
         self.broadcast_mode = mode;
+        self
+    }
+
+    /// Selects the simulator's receiver-side wave coalescing mode — the
+    /// A/B parity tests run the same scenario coalesced and per-message
+    /// and require equivalent results.
+    #[must_use]
+    pub fn wave_mode(mut self, mode: WaveMode) -> Self {
+        self.wave_mode = mode;
         self
     }
 
@@ -252,6 +264,7 @@ impl ScenarioBuilder {
                 self.cfg.actual_max,
             ))
             .broadcast_mode(self.broadcast_mode)
+            .wave_mode(self.wave_mode)
             .tagger(Msg::tag);
         if let Some(storm) = self.storm {
             builder = builder

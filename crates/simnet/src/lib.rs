@@ -36,4 +36,6 @@ pub use ssbyz_sched as sched;
 pub use clock::{DriftClock, PPM};
 pub use network::{LinkBlock, LinkConfig, Partition, StormConfig};
 pub use process::{Ctx, Process};
-pub use sim::{BroadcastMode, Corruptor, Injector, Metrics, Observation, SimBuilder, Simulation};
+pub use sim::{
+    BroadcastMode, Corruptor, Injector, Metrics, Observation, SimBuilder, Simulation, WaveMode,
+};

@@ -1,6 +1,7 @@
 //! The process abstraction: what a simulated node can see and do.
 
 use std::any::Any;
+use std::sync::Arc;
 
 use ssbyz_types::{Duration, LocalTime, NodeId};
 
@@ -176,6 +177,29 @@ pub trait Process<M, O>: Send {
     /// ownership clones explicitly — and one that drops or filters the
     /// message (the common case under load) never pays for a deep copy.
     fn on_message(&mut self, ctx: &mut Ctx<'_, M, O>, from: NodeId, msg: &M);
+
+    /// Called with a coalesced **wave**: every same-instant delivery
+    /// destined for this node, in arrival order, as one handler
+    /// invocation. The simulator routes through this entry point when
+    /// receiver-side coalescing is active (`WaveMode::Coalesced` on a
+    /// draw-free instant); each `Arc` clone in the batch is a reference
+    /// bump on the broadcast-shared payload, never a deep copy.
+    ///
+    /// The default implementation loops [`Process::on_message`] per
+    /// arrival, so existing processes keep their exact behavior;
+    /// override it only to exploit the batch (the engine adapter feeds
+    /// the whole wave into one triplet-table pass).
+    ///
+    /// Determinism contract: a handler reachable from this path must not
+    /// draw `rand_u64`/`rand_below` or issue fault-controller powers —
+    /// the simulator's coalescing gate assumes delivery handlers leave
+    /// the seeded RNG stream untouched (timers are where the adversary
+    /// strategies draw).
+    fn on_message_batch(&mut self, ctx: &mut Ctx<'_, M, O>, batch: &[(NodeId, Arc<M>)]) {
+        for (from, msg) in batch {
+            self.on_message(ctx, *from, msg);
+        }
+    }
 
     /// Called when a previously scheduled timer fires.
     fn on_timer(&mut self, ctx: &mut Ctx<'_, M, O>, token: u64);

@@ -102,6 +102,32 @@ pub enum BroadcastMode {
     PerDestination,
 }
 
+/// How same-instant deliveries are dispatched to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WaveMode {
+    /// Receiver-side coalescing (the default): on a **draw-free** instant
+    /// (deterministic link delay in force, no storm active) the run loop
+    /// drains every same-due delivery entry, then invokes each
+    /// destination node once with its whole wave via
+    /// [`Process::on_message_batch`]. On any instant where routing would
+    /// draw randomness — jittered links, storm windows — the per-message
+    /// path is used unchanged, so the seeded RNG stream is identical in
+    /// both modes.
+    ///
+    /// Coalescing transposes dispatch from entry-major to
+    /// destination-major *within one instant*: each node still receives
+    /// its own arrivals in `(due, seq)` order, every metric counts the
+    /// same messages, and non-delivery events (timers, injections,
+    /// recoveries) keep their exact position — the drain stops at them.
+    #[default]
+    Coalesced,
+    /// The pre-wave route: every delivery invokes
+    /// [`Process::on_message`] separately, in global `(due, seq)` pop
+    /// order. Retained as the reference side of the wave A/B parity
+    /// tests.
+    PerMessage,
+}
+
 struct NodeSlot<M, O> {
     process: Box<dyn Process<M, O>>,
     clock: DriftClock,
@@ -122,6 +148,7 @@ pub struct SimBuilder<M, O> {
     injector: Option<Injector<M>>,
     tagger: Option<fn(&M) -> &'static str>,
     mode: BroadcastMode,
+    wave_mode: WaveMode,
     nodes: Vec<NodeSlot<M, O>>,
 }
 
@@ -137,6 +164,7 @@ impl<M, O> SimBuilder<M, O> {
             injector: None,
             tagger: None,
             mode: BroadcastMode::default(),
+            wave_mode: WaveMode::default(),
             nodes: Vec::new(),
         }
     }
@@ -146,6 +174,14 @@ impl<M, O> SimBuilder<M, O> {
     #[must_use]
     pub fn broadcast_mode(mut self, mode: BroadcastMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Selects how same-instant deliveries are dispatched (defaults to
+    /// [`WaveMode::Coalesced`]).
+    #[must_use]
+    pub fn wave_mode(mut self, mode: WaveMode) -> Self {
+        self.wave_mode = mode;
         self
     }
 
@@ -222,8 +258,11 @@ impl<M, O> SimBuilder<M, O> {
             events_processed: 0,
             scratch_outbox: Vec::new(),
             mode: self.mode,
+            wave_mode: self.wave_mode,
             batch_scratch: Vec::new(),
             bitset_pool: Vec::new(),
+            wave_group: Vec::new(),
+            wave_batch: Vec::new(),
         };
         if sim.storm.is_some() && sim.injector.is_some() {
             sim.queue
@@ -251,6 +290,20 @@ impl<M, O> SimBuilder<M, O> {
 ///     }
 ///     fn on_message(&mut self, ctx: &mut Ctx<'_, u32, u32>, _from: NodeId, msg: &u32) {
 ///         ctx.observe(*msg);
+///     }
+///     // Same-instant arrivals can land as one coalesced wave. The
+///     // default implementation loops `on_message` per arrival — bit
+///     // -identical behavior for free; override it (as here) only to
+///     // consume the whole batch in one pass, the way the engine
+///     // adapter feeds a wave into a single triplet-table walk.
+///     fn on_message_batch(
+///         &mut self,
+///         ctx: &mut Ctx<'_, u32, u32>,
+///         batch: &[(NodeId, std::sync::Arc<u32>)],
+///     ) {
+///         for (_from, msg) in batch {
+///             ctx.observe(**msg);
+///         }
 ///     }
 ///     fn on_timer(&mut self, _ctx: &mut Ctx<'_, u32, u32>, _token: u64) {}
 /// }
@@ -301,6 +354,16 @@ pub struct Simulation<M, O> {
     /// Recycled destination bitmaps — steady-state batched fan-out
     /// allocates no fresh bitsets.
     bitset_pool: Vec<NodeBitSet>,
+    /// How same-instant deliveries are dispatched.
+    wave_mode: WaveMode,
+    /// Pooled drain buffer for one coalesced instant: the contiguous run
+    /// of same-due delivery entries popped off the wheel before
+    /// destination-major dispatch.
+    wave_group: Vec<EventKind<M>>,
+    /// Pooled per-node wave buffer handed to
+    /// [`Process::on_message_batch`] — reference bumps only, reused
+    /// across nodes and instants.
+    wave_batch: Vec<(NodeId, Arc<M>)>,
 }
 
 impl<M: Clone, O> Simulation<M, O> {
@@ -464,7 +527,7 @@ impl<M: Clone, O> Simulation<M, O> {
             let ev = self.queue.pop().expect("peeked");
             self.now = RealTime::from_nanos(ev.due);
             self.events_processed += 1;
-            self.dispatch(self.now, ev.payload);
+            self.dispatch_coalescing(self.now, ev.payload);
         }
         self.now = self.now.max(t);
     }
@@ -476,6 +539,8 @@ impl<M: Clone, O> Simulation<M, O> {
     }
 
     /// Processes a single event; returns `false` when the queue is empty.
+    /// Always per-event: `step` never coalesces, so single-stepping is
+    /// exactly the [`WaveMode::PerMessage`] order regardless of mode.
     pub fn step(&mut self) -> bool {
         self.start_if_needed();
         match self.queue.pop() {
@@ -605,6 +670,135 @@ impl<M: Clone, O> Simulation<M, O> {
         self.metrics.delivered += 1;
         self.apply_effects(to, &mut outbox);
         self.scratch_outbox = outbox;
+    }
+
+    /// Delivers one coalesced same-instant wave to one (live) node: a
+    /// single [`Process::on_message_batch`] invocation covering what
+    /// would have been `batch.len()` separate
+    /// [`Simulation::deliver_to`] calls. Metrics count per message, so
+    /// both dispatch routes report identical totals.
+    fn deliver_batch(&mut self, at: RealTime, to: NodeId, batch: &[(NodeId, Arc<M>)]) {
+        if self.is_down(to, at) {
+            self.metrics.swallowed += batch.len() as u64;
+            return;
+        }
+        let mut outbox = std::mem::take(&mut self.scratch_outbox);
+        {
+            let n = self.nodes.len();
+            let slot = &mut self.nodes[to.index()];
+            let local = slot.clock.local_at(at);
+            let rng = &mut self.rng;
+            let mut words = move || rng.next_u64();
+            let mut ctx = Ctx {
+                me: to,
+                n,
+                now_local: local,
+                outbox: &mut outbox,
+                rng_words: &mut words,
+            };
+            slot.process.on_message_batch(&mut ctx, batch);
+        }
+        self.metrics.delivered += batch.len() as u64;
+        self.apply_effects(to, &mut outbox);
+        self.scratch_outbox = outbox;
+    }
+
+    /// Dispatch entry for the run loop: coalesces the contiguous run of
+    /// same-due delivery entries starting at `kind` into per-destination
+    /// waves when the instant is draw-free, and falls back to plain
+    /// [`Simulation::dispatch`] otherwise.
+    ///
+    /// Order preservation: the drain pops exactly the entries that would
+    /// have popped next anyway (same due, ascending seq) and stops at the
+    /// first non-delivery event, which is dispatched *after* the wave —
+    /// its seq exceeds every drained entry, so that is its original
+    /// position. Within the wave, each node receives its arrivals in the
+    /// drained entry order, i.e. its own `(due, seq)` subsequence; only
+    /// the interleaving *across* nodes becomes destination-major, which
+    /// no per-node handler can observe directly.
+    fn dispatch_coalescing(&mut self, at: RealTime, kind: EventKind<M>) {
+        if self.wave_mode != WaveMode::Coalesced || !self.draw_free_at(at) {
+            self.dispatch(at, kind);
+            return;
+        }
+        match kind {
+            EventKind::Deliver { .. } | EventKind::BroadcastDeliver { .. } => {}
+            other => {
+                self.dispatch(at, other);
+                return;
+            }
+        }
+        if self.queue.peek_due() != Some(at.as_nanos()) {
+            // Nothing else due this instant — a lone entry has no wave to
+            // join; the plain path avoids the group scan.
+            self.dispatch(at, kind);
+            return;
+        }
+        debug_assert!(self.wave_group.is_empty());
+        self.wave_group.push(kind);
+        let mut trailing = None;
+        while self.queue.peek_due() == Some(at.as_nanos()) {
+            let ev = self.queue.pop().expect("peeked");
+            self.events_processed += 1;
+            match ev.payload {
+                k @ (EventKind::Deliver { .. } | EventKind::BroadcastDeliver { .. }) => {
+                    self.wave_group.push(k);
+                }
+                other => {
+                    trailing = Some(other);
+                    break;
+                }
+            }
+        }
+        self.dispatch_wave(at);
+        if let Some(ev) = trailing {
+            self.dispatch(at, ev);
+        }
+    }
+
+    /// Whether dispatch order at `at` cannot perturb the seeded RNG
+    /// stream: with a deterministic link delay routing draws nothing, and
+    /// outside a storm window no drop/corrupt/duplicate draws occur.
+    /// Delivery handlers themselves draw no randomness (the
+    /// [`Process::on_message_batch`] determinism contract; every shipped
+    /// adversary strategy draws in `on_timer` only), so reordering them
+    /// within an instant leaves every downstream draw identical.
+    fn draw_free_at(&self, at: RealTime) -> bool {
+        self.link.delay_min == self.link.delay_max && !self.storm.is_some_and(|s| s.active_at(at))
+    }
+
+    /// Destination-major dispatch of one drained wave group: nodes in
+    /// ascending id order, each invoked once with its `(due, seq)`-ordered
+    /// arrivals. Bitmaps are recycled exactly as the per-message
+    /// `BroadcastDeliver` arm recycles them.
+    fn dispatch_wave(&mut self, at: RealTime) {
+        for i in 0..self.nodes.len() {
+            let node = NodeId::new(i as u32);
+            let mut batch = std::mem::take(&mut self.wave_batch);
+            debug_assert!(batch.is_empty());
+            for ev in &self.wave_group {
+                match ev {
+                    EventKind::Deliver { to, from, msg } if *to == node => {
+                        batch.push((*from, Arc::clone(msg)));
+                    }
+                    EventKind::BroadcastDeliver { from, msg, dests } if dests.contains(node) => {
+                        batch.push((*from, Arc::clone(msg)));
+                    }
+                    _ => {}
+                }
+            }
+            if !batch.is_empty() {
+                self.deliver_batch(at, node, &batch);
+                batch.clear();
+            }
+            self.wave_batch = batch;
+        }
+        for ev in self.wave_group.drain(..) {
+            if let EventKind::BroadcastDeliver { mut dests, .. } = ev {
+                dests.clear();
+                self.bitset_pool.push(dests);
+            }
+        }
     }
 
     /// Runs a node's [`Process::on_recover`] hook and applies its effects
