@@ -186,6 +186,11 @@ pub struct ValueInterner<V> {
     live: usize,
     /// Mark bits for the current sweep, one per slot.
     marks: Vec<u64>,
+    /// Whether a mark/sweep cycle is open ([`ValueInterner::begin_sweep`]
+    /// called, [`ValueInterner::finish_sweep`] not yet). Values interned
+    /// inside the window are auto-marked, so an in-flight sweep can never
+    /// reclaim a value the caller was handed an id for mid-cycle.
+    in_sweep: bool,
 }
 
 impl<V: Value> ValueInterner<V> {
@@ -201,6 +206,7 @@ impl<V: Value> ValueInterner<V> {
             // (which may land inside an allocation-counted window) does
             // not have to grow the bit storage.
             marks: vec![0; 4],
+            in_sweep: false,
         }
     }
 
@@ -242,7 +248,12 @@ impl<V: Value> ValueInterner<V> {
     /// no clone, no allocation.
     pub fn intern(&mut self, value: &V) -> ValueId {
         match self.probe(value) {
-            Ok(id) => id,
+            Ok(id) => {
+                if self.in_sweep {
+                    self.mark(id);
+                }
+                id
+            }
             Err((bucket, hash)) => self.place(Arc::new(value.clone()), hash, bucket),
         }
     }
@@ -254,7 +265,12 @@ impl<V: Value> ValueInterner<V> {
     /// the arena without copying its bytes.
     pub fn intern_shared(&mut self, value: &Arc<V>) -> ValueId {
         match self.probe(value) {
-            Ok(id) => id,
+            Ok(id) => {
+                if self.in_sweep {
+                    self.mark(id);
+                }
+                id
+            }
             Err((bucket, hash)) => self.place(Arc::clone(value), hash, bucket),
         }
     }
@@ -301,6 +317,17 @@ impl<V: Value> ValueInterner<V> {
             }
         };
         self.live += 1;
+        if self.in_sweep {
+            // Interned mid-sweep: the caller holds this id, so the open
+            // cycle must treat it as live. Auto-mark it (growing the bit
+            // storage if the arena outgrew the begin_sweep sizing), or
+            // finish_sweep would reclaim it out from under the caller.
+            let i = idx as usize;
+            if i / 64 >= self.marks.len() {
+                self.marks.resize(i / 64 + 1, 0);
+            }
+            self.marks[i / 64] |= 1u64 << (i % 64);
+        }
         if self.live * 2 > self.table.len() {
             // The rebuild re-inserts every occupied slot, the fresh one
             // included (its value is already in place).
@@ -378,7 +405,11 @@ impl<V: Value> ValueInterner<V> {
 
     /// Starts a mark/sweep cycle: clears all mark bits (the bit storage is
     /// retained across cycles, so steady-state sweeps do not allocate).
+    /// Until the matching [`ValueInterner::finish_sweep`], any value
+    /// interned (first sight *or* probe hit) is auto-marked — an in-flight
+    /// sweep never reclaims an id handed out inside its own window.
     pub fn begin_sweep(&mut self) {
+        debug_assert!(!self.in_sweep, "begin_sweep with a sweep already open");
         let words = self.slots.len().div_ceil(64);
         if self.marks.len() < words {
             self.marks.resize(words, 0);
@@ -386,6 +417,7 @@ impl<V: Value> ValueInterner<V> {
         for w in &mut self.marks {
             *w = 0;
         }
+        self.in_sweep = true;
     }
 
     /// Marks `id` as referenced by live protocol state.
@@ -403,6 +435,8 @@ impl<V: Value> ValueInterner<V> {
     /// generation bumped, and the index pushed onto the free-list. Returns
     /// the number of reclaimed slots.
     pub fn finish_sweep(&mut self) -> usize {
+        debug_assert!(self.in_sweep, "finish_sweep without begin_sweep");
+        self.in_sweep = false;
         let mut removed = 0usize;
         for (i, slot) in self.slots.iter_mut().enumerate() {
             if slot.value.is_some() && self.marks[i / 64] & (1u64 << (i % 64)) == 0 {
@@ -430,6 +464,7 @@ impl<V: Value> ValueInterner<V> {
         self.table.clear();
         self.table.resize(MIN_TABLE, EMPTY);
         self.live = 0;
+        self.in_sweep = false;
     }
 }
 
@@ -694,6 +729,57 @@ mod tests {
         // The old value re-interned gets a brand-new slot.
         let b2 = it.intern(&9);
         assert_ne!(b2.index(), b.index());
+    }
+
+    #[test]
+    fn intern_during_sweep_survives_the_in_flight_cycle() {
+        let mut it: ValueInterner<u64> = ValueInterner::new();
+        let a = it.intern(&7);
+        let b = it.intern(&9);
+        it.begin_sweep();
+        it.mark(a);
+        // New value interned mid-cycle: auto-marked, must survive.
+        let c = it.intern(&11);
+        // Probe hit mid-cycle on an otherwise-unmarked slot: the caller
+        // was just handed `b`, so the sweep must keep it too.
+        let b_again = it.intern(&9);
+        assert_eq!(b_again, b);
+        // Arc-path variant of the fresh intern.
+        let d = it.intern_shared(&std::sync::Arc::new(13));
+        assert_eq!(
+            it.finish_sweep(),
+            0,
+            "every live id was handed out in-window"
+        );
+        assert_eq!(it.occupancy(), 4);
+        assert_eq!(it.lookup(&11), Some(c));
+        assert_eq!(it.lookup(&9), Some(b));
+        assert_eq!(it.lookup(&13), Some(d));
+        assert_eq!(*it.resolve(c), 11);
+        // The next full cycle reclaims them normally when unmarked.
+        it.begin_sweep();
+        it.mark(a);
+        assert_eq!(it.finish_sweep(), 3);
+        assert_eq!(it.occupancy(), 1);
+        assert_eq!(it.lookup(&7), Some(a));
+        assert_eq!(it.lookup(&11), None);
+    }
+
+    #[test]
+    fn intern_during_sweep_survives_mark_storage_growth() {
+        // begin_sweep sizes the mark bitmap to the arena at that moment;
+        // interning enough fresh values mid-cycle forces `place` to grow
+        // the bit storage before auto-marking.
+        let mut it: ValueInterner<u64> = ValueInterner::new();
+        let a = it.intern(&1);
+        it.begin_sweep();
+        it.mark(a);
+        let fresh: Vec<ValueId> = (100..230u64).map(|v| it.intern(&v)).collect();
+        assert_eq!(it.finish_sweep(), 0);
+        for (i, id) in fresh.iter().enumerate() {
+            assert_eq!(*it.resolve(*id), 100 + i as u64);
+        }
+        assert_eq!(it.occupancy(), 1 + fresh.len());
     }
 
     #[test]

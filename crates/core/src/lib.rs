@@ -58,6 +58,7 @@ pub mod message;
 pub mod msgd_broadcast;
 pub mod outbox;
 pub mod params;
+pub mod pipeline;
 pub mod proposer;
 pub mod store;
 
@@ -70,6 +71,9 @@ pub use message::{BcastKind, IaKind, Msg};
 pub use msgd_broadcast::{InternedMsgdBroadcast, MsgdAction, MsgdBroadcast};
 pub use outbox::Outbox;
 pub use params::Params;
+pub use pipeline::{
+    DecisionLog, PipeEvent, PipeOutput, PipelineConfig, SlotMsg, SlotPipeline, CATCHUP_BATCH,
+};
 pub use proposer::Proposer;
 
 // Re-export the substrate types for one-import ergonomics.

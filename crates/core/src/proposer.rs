@@ -94,19 +94,33 @@ impl<V: Value> Proposer<V> {
         match engine.initiate(now, value, ob) {
             Ok(()) => {
                 self.queue.pop_front();
-                // If more values wait, they cannot start before Δ0.
-                let next = if self.queue.is_empty() {
-                    None
-                } else {
-                    Some(engine.params().delta_0())
-                };
+                // Ask the engine how long the *next* head is actually
+                // blocked for: a flat Δ0 hint would wake the caller into
+                // a `SameValueTooSoon` (Δ_v) or `BackingOff` (Δ_reset)
+                // refusal and spin whenever those guards outlast [IG1].
+                let next = self
+                    .queue
+                    .front()
+                    .map(|v| engine.initiation_wait(now, v).unwrap_or(Duration::ZERO))
+                    .map(|w| w.max(Duration::from_nanos(1)));
                 (true, next)
             }
             Err(
                 InitiateError::TooSoon { wait }
                 | InitiateError::SameValueTooSoon { wait }
                 | InitiateError::BackingOff { wait },
-            ) => (false, Some(wait.max(Duration::from_nanos(1)))),
+            ) => {
+                // The error carries the *first* refusing guard's wait;
+                // a later guard may block longer (e.g. [IG1] refused but
+                // [IG2] still has most of Δ_v to run for this value).
+                // The dry-run accessor takes the max over all three.
+                let wait = self
+                    .queue
+                    .front()
+                    .and_then(|v| engine.initiation_wait(now, v))
+                    .unwrap_or(wait);
+                (false, Some(wait.max(Duration::from_nanos(1))))
+            }
         }
     }
 }
@@ -174,6 +188,53 @@ mod tests {
         let wait = retry.expect("wait hint");
         let (initiated, _) = proposer.pump(after_d0 + wait, &mut engine, &mut ob);
         assert!(initiated, "after Δ_v the duplicate value may go");
+    }
+
+    #[test]
+    fn success_hint_covers_same_value_too_soon_wait() {
+        // Regression: pump used to return a flat Δ0 hint after a
+        // successful initiation. With a duplicate value queued next, the
+        // engine's [IG2] state rejects it for Δ_v > Δ0 — the hint must
+        // cover the full wait so the caller doesn't wake early and spin.
+        let (mut engine, mut proposer, now) = setup();
+        let mut ob = Outbox::new();
+        let d0 = engine.params().delta_0();
+        let dv = engine.params().delta_v();
+        assert!(dv > d0, "Δ_v must dominate Δ0 for this test to bite");
+        proposer.enqueue(5);
+        proposer.enqueue(5);
+        let (initiated, retry) = proposer.pump(now, &mut engine, &mut ob);
+        assert!(initiated);
+        let hint = retry.expect("a queued value must produce a hint");
+        assert_eq!(
+            hint, dv,
+            "hint must cover the duplicate's SameValueTooSoon wait, not Δ0"
+        );
+        // Honouring the hint succeeds in one pump — no early wake-up.
+        let (initiated, retry) = proposer.pump(now + hint, &mut engine, &mut ob);
+        assert!(initiated, "pumping exactly at the hint must succeed");
+        assert_eq!(retry, None);
+        assert!(proposer.is_empty());
+    }
+
+    #[test]
+    fn refusal_hint_covers_the_longest_guard() {
+        // A refusal inside Δ0 for a duplicate value reports the [IG1]
+        // wait first, but [IG2] blocks longer: the hint must be the max.
+        let (mut engine, mut proposer, now) = setup();
+        let mut ob = Outbox::new();
+        let dv = engine.params().delta_v();
+        proposer.enqueue(5);
+        let (initiated, _) = proposer.pump(now, &mut engine, &mut ob);
+        assert!(initiated);
+        proposer.enqueue(5);
+        let step = Duration::from_nanos(10);
+        let (initiated, retry) = proposer.pump(now + step, &mut engine, &mut ob);
+        assert!(!initiated);
+        let hint = retry.expect("refusal must advise a wait");
+        assert_eq!(hint, dv - step, "must report the [IG2] remainder");
+        let (initiated, _) = proposer.pump(now + step + hint, &mut engine, &mut ob);
+        assert!(initiated, "pumping exactly at the hint must succeed");
     }
 
     #[test]

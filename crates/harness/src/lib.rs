@@ -22,6 +22,7 @@ pub mod adapter;
 pub mod checks;
 pub mod experiments;
 pub mod faults;
+pub mod pipeline;
 pub mod scenario;
 
 pub use adapter::{EngineProcess, NodeEvent, TOKEN_INITIATE_BASE, TOKEN_TICK, TOKEN_WAKE};
@@ -29,6 +30,10 @@ pub use checks::Violations;
 pub use faults::{
     run_campaign, BurstReport, CampaignFamily, Fault, FaultSchedule, StabilizationReport,
     TimedFault,
+};
+pub use pipeline::{
+    PipelineProcess, PipelineScenario, Workload, PIPE_TOKEN_TICK, PIPE_TOKEN_WAKE,
+    PIPE_TOKEN_WORKLOAD,
 };
 pub use scenario::{
     DecisionRecord, IaRecord, RunningScenario, ScenarioBuilder, ScenarioConfig, ScenarioResult, Val,

@@ -17,7 +17,7 @@
 //!   exact network metrics — the protocol behaves identically, message
 //!   for message.
 
-use ssbyz_harness::{ScenarioBuilder, ScenarioConfig};
+use ssbyz_harness::{Fault, FaultSchedule, ScenarioBuilder, ScenarioConfig};
 use ssbyz_simnet::{StormConfig, WaveMode};
 use ssbyz_types::{Duration, NodeId, RealTime};
 
@@ -162,6 +162,124 @@ fn fixed_delay_storm_scenario_is_equivalent_across_wave_modes() {
             m_c.corrupted + m_c.dropped + m_c.duplicated > 0,
             "seed {seed}: the storm must actually bite"
         );
+    }
+}
+
+/// A burst-heavy fault schedule: two delay-inflation windows (the second
+/// overlapping the agreement's echo phase) and clock jumps on two nodes.
+/// Both faults mutate exactly the state the draw-free gate inspects —
+/// link delays — or the per-node clocks feeding wave timestamps, so the
+/// gate must be re-evaluated at every instant, not latched at build time.
+fn burst_schedule() -> FaultSchedule {
+    FaultSchedule::new()
+        .at(
+            RealTime::from_nanos(20_000_000),
+            Fault::DelayInflation {
+                num: 3,
+                den: 1,
+                lasts: Duration::from_millis(15),
+            },
+        )
+        .at(
+            RealTime::from_nanos(70_000_000),
+            Fault::ClockJump {
+                node: NodeId::new(2),
+                jump: Duration::from_millis(2),
+                new_rate_ppm: Some(250),
+            },
+        )
+        .at(
+            RealTime::from_nanos(90_000_000),
+            Fault::DelayInflation {
+                num: 5,
+                den: 2,
+                lasts: Duration::from_millis(20),
+            },
+        )
+        .at(
+            RealTime::from_nanos(130_000_000),
+            Fault::ClockJump {
+                node: NodeId::new(4),
+                jump: Duration::from_millis(1),
+                new_rate_ppm: None,
+            },
+        )
+}
+
+/// Runs the 7-node agreement under [`burst_schedule`] in the given mode.
+fn run_with_faults(
+    seed: u64,
+    mode: WaveMode,
+    fixed_delay: bool,
+) -> (Vec<String>, Vec<String>, ssbyz_simnet::Metrics) {
+    let mut cfg = ScenarioConfig::new(7, 2).with_seed(seed);
+    if fixed_delay {
+        cfg = cfg.with_actual_delays(Duration::from_micros(900), Duration::from_micros(900));
+    }
+    let mut scenario = ScenarioBuilder::new(cfg)
+        .wave_mode(mode)
+        .correct_general(Duration::from_millis(60), 41)
+        .correct()
+        .correct()
+        .correct()
+        .correct()
+        .correct()
+        .correct()
+        .build();
+    scenario.run_schedule(&burst_schedule(), RealTime::from_nanos(400_000_000), seed);
+    let trace: Vec<String> = scenario
+        .sim()
+        .observations()
+        .iter()
+        .map(|o| format!("{:?}@{:?}/{:?}: {:?}", o.node, o.real, o.local, o.event))
+        .collect();
+    let mut multiset = trace.clone();
+    multiset.sort_unstable();
+    (trace, multiset, scenario.sim().metrics().clone())
+}
+
+/// Jittered links + delay-inflation/clock-jump bursts: the gate never
+/// opens (inflated jittered delays still draw), so the coalesced route
+/// must be bit-identical — same trace, same metrics, same RNG stream —
+/// while the schedule actively rewrites delays and clocks mid-run.
+#[test]
+fn fault_schedule_jittered_scenario_is_bit_identical_across_wave_modes() {
+    for seed in [5u64, 19] {
+        let (coalesced, _, m_c) = run_with_faults(seed, WaveMode::Coalesced, false);
+        let (per_msg, _, m_p) = run_with_faults(seed, WaveMode::PerMessage, false);
+        assert!(
+            coalesced.iter().any(|l| l.contains("Decided")),
+            "seed {seed}: scenario must still decide under bursts"
+        );
+        assert_eq!(
+            coalesced, per_msg,
+            "fault-schedule jittered trace diverged at seed {seed}"
+        );
+        assert_eq!(m_c, m_p, "fault-schedule metrics diverged at seed {seed}");
+    }
+}
+
+/// Fixed-delay links + the same burst schedule: delay inflation scales a
+/// draw-free link deterministically (min == max still holds after
+/// inflation), so calm instants keep coalescing and inflated instants
+/// must too — per-(node, instant) multisets and metrics match exactly.
+/// This is the regression pin for the gate being evaluated per instant:
+/// a gate latched before the first inflation window would dispatch the
+/// inflated instants down the wrong route in exactly one of the modes.
+#[test]
+fn fault_schedule_fixed_delay_scenario_is_equivalent_across_wave_modes() {
+    for seed in [6u64, 27] {
+        let (trace_c, ms_c, m_c) = run_with_faults(seed, WaveMode::Coalesced, true);
+        let (_, ms_p, m_p) = run_with_faults(seed, WaveMode::PerMessage, true);
+        assert!(
+            trace_c.iter().any(|l| l.contains("Decided")),
+            "seed {seed}: fixed-delay burst scenario must still decide"
+        );
+        assert_eq!(
+            ms_c, ms_p,
+            "fault-schedule fixed-delay multiset diverged at seed {seed}"
+        );
+        assert_eq!(m_c, m_p, "fault-schedule metrics diverged at seed {seed}");
     }
 }
 

@@ -25,6 +25,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pipeline;
+
+pub use pipeline::{CommitRecord, PipelineCluster};
+
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -80,7 +84,7 @@ pub struct ClusterEvent<V> {
 }
 
 /// Destination shape of a routed message.
-enum RouterDest {
+pub(crate) enum RouterDest {
     /// Unicast (the adversary-inject path); `due` includes the sampled
     /// link delay.
     One(NodeId),
@@ -93,25 +97,28 @@ enum RouterDest {
     All,
 }
 
-struct RouterMsg<V> {
-    due: Instant,
-    from: NodeId,
-    dest: RouterDest,
+/// A routed wire message, generic over the payload: the one-shot
+/// cluster routes `Msg<V>`, the pipeline cluster routes `SlotMsg<V>` —
+/// same router, same wheel, same delay model.
+pub(crate) struct RouterMsg<M> {
+    pub(crate) due: Instant,
+    pub(crate) from: NodeId,
+    pub(crate) dest: RouterDest,
     /// Shared payload: fan-out clones the `Arc`, never the message.
-    msg: Arc<Msg<V>>,
+    pub(crate) msg: Arc<M>,
 }
 
 /// A delivery waiting on the router's wheel.
-struct Pending<V> {
+struct Pending<M> {
     to: NodeId,
     from: NodeId,
-    msg: Arc<Msg<V>>,
+    msg: Arc<M>,
 }
 
 /// A live cluster of engine threads.
 pub struct Cluster<V: Value> {
     cmd_txs: Vec<Sender<NodeCmd<V>>>,
-    router_tx: Sender<RouterMsg<V>>,
+    router_tx: Sender<RouterMsg<Msg<V>>>,
     events: Arc<Mutex<Vec<ClusterEvent<V>>>>,
     threads: Vec<JoinHandle<()>>,
     start: Instant,
@@ -125,7 +132,7 @@ impl<V: Value> Cluster<V> {
         let n = params.n();
         let start = Instant::now();
         let events: Arc<Mutex<Vec<ClusterEvent<V>>>> = Arc::new(Mutex::new(Vec::new()));
-        let (router_tx, router_rx) = unbounded::<RouterMsg<V>>();
+        let (router_tx, router_rx) = unbounded::<RouterMsg<Msg<V>>>();
         let mut cmd_txs = Vec::with_capacity(n);
         let mut cmd_rxs = Vec::with_capacity(n);
         for _ in 0..n {
@@ -137,7 +144,10 @@ impl<V: Value> Cluster<V> {
         {
             let cmd_txs = cmd_txs.clone();
             threads.push(std::thread::spawn(move || {
-                router_loop(router_rx, cmd_txs, cfg);
+                router_loop(router_rx, cmd_txs, cfg, |from, msg| NodeCmd::Deliver {
+                    from,
+                    msg,
+                });
             }));
         }
         for (i, rx) in cmd_rxs.into_iter().enumerate() {
@@ -252,14 +262,24 @@ impl<V: Value> Cluster<V> {
 /// reorderings that implies) exactly as under the per-send path. Due
 /// times are nanoseconds since the router's epoch; wheel seq numbers
 /// preserve arrival FIFO order within a due time.
-fn router_loop<V: Value>(
-    rx: Receiver<RouterMsg<V>>,
-    cmd_txs: Vec<Sender<NodeCmd<V>>>,
+///
+/// Generic over the wire payload `M` and the node-command type `C`:
+/// `wrap` turns a matured delivery into the destination thread's
+/// command, so the one-shot cluster (`Msg<V>` / `NodeCmd`) and the
+/// pipeline cluster (`SlotMsg<V>` / its own command enum) share the
+/// whole delay model.
+pub(crate) fn router_loop<M, C, F>(
+    rx: Receiver<RouterMsg<M>>,
+    cmd_txs: Vec<Sender<C>>,
     cfg: RuntimeConfig,
-) {
+    wrap: F,
+) where
+    M: Send + Sync,
+    F: Fn(NodeId, Arc<M>) -> C,
+{
     let epoch = Instant::now();
     let now_ns = |epoch: Instant| u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
-    let mut wheel: TimerWheel<Pending<V>> = TimerWheel::for_span_hint(cfg.delay_max.as_nanos());
+    let mut wheel: TimerWheel<Pending<M>> = TimerWheel::for_span_hint(cfg.delay_max.as_nanos());
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7075_7265_726f_7574);
     loop {
         let timeout = wheel
@@ -305,10 +325,7 @@ fn router_loop<V: Value>(
         }
         while wheel.peek_due().is_some_and(|due| due <= now_ns(epoch)) {
             let p = wheel.pop().expect("peeked").payload;
-            let _ = cmd_txs[p.to.index()].send(NodeCmd::Deliver {
-                from: p.from,
-                msg: p.msg,
-            });
+            let _ = cmd_txs[p.to.index()].send(wrap(p.from, p.msg));
         }
     }
 }
@@ -318,7 +335,7 @@ fn node_loop<V: Value>(
     params: Params,
     cfg: RuntimeConfig,
     rx: Receiver<NodeCmd<V>>,
-    router_tx: Sender<RouterMsg<V>>,
+    router_tx: Sender<RouterMsg<Msg<V>>>,
     events: Arc<Mutex<Vec<ClusterEvent<V>>>>,
     start: Instant,
 ) {

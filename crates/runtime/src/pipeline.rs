@@ -1,0 +1,348 @@
+//! Threaded wall-clock execution of the slot pipeline: a
+//! [`PipelineCluster`] serves a continuous stream of client values, one
+//! [`SlotPipeline`] per node thread, commits applied in slot order to
+//! each node's replicated decision log. The delay router is shared with
+//! the one-shot [`crate::Cluster`] — same wheel, same per-destination
+//! jitter model — instantiated over [`SlotMsg`] payloads.
+//!
+//! ```no_run
+//! use ssbyz_core::{Params, PipelineConfig};
+//! use ssbyz_runtime::{PipelineCluster, RuntimeConfig};
+//! use ssbyz_types::{Duration, NodeId};
+//!
+//! let params = Params::from_d(4, 1, Duration::from_millis(20), 0)?;
+//! let pipe_cfg = PipelineConfig::new(NodeId::new(0), &params);
+//! let cluster: PipelineCluster<u64> =
+//!     PipelineCluster::spawn(params, pipe_cfg, RuntimeConfig::default());
+//! for v in 0..8u64 {
+//!     cluster.submit(v)?;
+//! }
+//! cluster.wait_for_commits(4 * 8, std::time::Duration::from_secs(10));
+//! cluster.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use ssbyz_core::{LocalTime, Params, PipeEvent, PipeOutput, PipelineConfig, SlotMsg, SlotPipeline};
+use ssbyz_types::{NodeId, Value};
+
+use crate::{router_loop, RouterDest, RouterMsg, RuntimeConfig};
+
+/// Commands accepted by a pipeline node thread.
+enum PipeCmd<V> {
+    Deliver { from: NodeId, msg: Arc<SlotMsg<V>> },
+    Submit(V),
+    Shutdown,
+}
+
+/// One slot commit observed on the cluster: `node` applied `value` at
+/// `slot` in its replicated log, `elapsed` after cluster start.
+#[derive(Debug, Clone)]
+pub struct CommitRecord<V> {
+    /// The committing node.
+    pub node: NodeId,
+    /// The slot number (per-node logs are gap-free and in slot order).
+    pub slot: u64,
+    /// The decided value (shared wire handle, no deep copy).
+    pub value: Arc<V>,
+    /// Wall-clock time since cluster start.
+    pub elapsed: std::time::Duration,
+}
+
+/// A live cluster of slot-pipeline threads serving a value stream.
+pub struct PipelineCluster<V: Value> {
+    cmd_txs: Vec<Sender<PipeCmd<V>>>,
+    router_tx: Sender<RouterMsg<SlotMsg<V>>>,
+    commits: Arc<Mutex<Vec<CommitRecord<V>>>>,
+    threads: Vec<JoinHandle<()>>,
+    proposer: NodeId,
+    n: usize,
+}
+
+impl<V: Value> PipelineCluster<V> {
+    /// Spawns `params.n()` pipeline threads plus the delay router.
+    /// `pipe_cfg` configures every node's multiplexer (same window,
+    /// retry and catch-up policy cluster-wide).
+    #[must_use]
+    pub fn spawn(params: Params, pipe_cfg: PipelineConfig, cfg: RuntimeConfig) -> Self {
+        let n = params.n();
+        let proposer = pipe_cfg.proposer;
+        let start = Instant::now();
+        let commits: Arc<Mutex<Vec<CommitRecord<V>>>> = Arc::new(Mutex::new(Vec::new()));
+        let (router_tx, router_rx) = unbounded::<RouterMsg<SlotMsg<V>>>();
+        let mut cmd_txs = Vec::with_capacity(n);
+        let mut cmd_rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = bounded::<PipeCmd<V>>(4096);
+            cmd_txs.push(tx);
+            cmd_rxs.push(rx);
+        }
+        let mut threads = Vec::new();
+        {
+            let cmd_txs = cmd_txs.clone();
+            threads.push(std::thread::spawn(move || {
+                router_loop(router_rx, cmd_txs, cfg, |from, msg| PipeCmd::Deliver {
+                    from,
+                    msg,
+                });
+            }));
+        }
+        for (i, rx) in cmd_rxs.into_iter().enumerate() {
+            let id = NodeId::new(i as u32);
+            let router_tx = router_tx.clone();
+            let commits = Arc::clone(&commits);
+            let pipe_cfg_i = pipe_cfg.clone();
+            let cfg_i = cfg;
+            threads.push(std::thread::spawn(move || {
+                pipe_node_loop(id, params, pipe_cfg_i, cfg_i, rx, router_tx, commits, start);
+            }));
+        }
+        PipelineCluster {
+            cmd_txs,
+            router_tx,
+            commits,
+            threads,
+            proposer,
+            n,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Enqueues `value` on the proposer's stream; it will be batched
+    /// into the next open slot the window allows.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the proposer thread has shut down.
+    pub fn submit(&self, value: V) -> Result<(), &'static str> {
+        self.cmd_txs[self.proposer.index()]
+            .send(PipeCmd::Submit(value))
+            .map_err(|_| "proposer thread is gone")
+    }
+
+    /// Injects a raw slot message with a forged sender (adversary
+    /// testing; delivered immediately, no link delay).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the router has shut down.
+    pub fn inject(&self, from: NodeId, to: NodeId, msg: SlotMsg<V>) -> Result<(), &'static str> {
+        self.router_tx
+            .send(RouterMsg {
+                due: Instant::now(),
+                from,
+                dest: RouterDest::One(to),
+                msg: Arc::new(msg),
+            })
+            .map_err(|_| "router is gone")
+    }
+
+    /// Snapshot of all commit records so far, in observation order.
+    #[must_use]
+    pub fn commits(&self) -> Vec<CommitRecord<V>> {
+        self.commits.lock().clone()
+    }
+
+    /// Per-node committed logs, each in slot order.
+    #[must_use]
+    pub fn committed_logs(&self) -> Vec<Vec<(u64, Arc<V>)>> {
+        let mut logs: Vec<Vec<(u64, Arc<V>)>> = vec![Vec::new(); self.n];
+        for c in self.commits() {
+            logs[c.node.index()].push((c.slot, c.value));
+        }
+        logs
+    }
+
+    /// Waits (up to `timeout`) until `count` commit records exist
+    /// across the cluster.
+    #[must_use]
+    pub fn wait_for_commits(&self, count: usize, timeout: std::time::Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.commits.lock().len() >= count {
+                return true;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        self.commits.lock().len() >= count
+    }
+
+    /// Stops all threads and joins them.
+    pub fn shutdown(self) {
+        for tx in &self.cmd_txs {
+            let _ = tx.send(PipeCmd::Shutdown);
+        }
+        drop(self.router_tx);
+        drop(self.cmd_txs);
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pipe_node_loop<V: Value>(
+    id: NodeId,
+    params: Params,
+    pipe_cfg: PipelineConfig,
+    cfg: RuntimeConfig,
+    rx: Receiver<PipeCmd<V>>,
+    router_tx: Sender<RouterMsg<SlotMsg<V>>>,
+    commits: Arc<Mutex<Vec<CommitRecord<V>>>>,
+    start: Instant,
+) {
+    let mut pipe: SlotPipeline<V> = SlotPipeline::new(id, params, pipe_cfg);
+    // Caller-owned output buffer reused across every pipeline call.
+    let mut out: Vec<PipeOutput<V>> = Vec::new();
+
+    let now_local = |start: Instant| {
+        LocalTime::from_nanos(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    };
+    let tick: std::time::Duration = cfg.tick.into();
+    let mut next_tick = Instant::now() + tick;
+    loop {
+        let timeout = next_tick.saturating_duration_since(Instant::now());
+        let cmd = rx.recv_timeout(timeout);
+        let now = now_local(start);
+        match cmd {
+            Ok(PipeCmd::Deliver { from, msg }) => {
+                pipe.on_message(now, from, &msg, &mut out);
+            }
+            Ok(PipeCmd::Submit(value)) => {
+                pipe.enqueue(value);
+                pipe.pump(now, &mut out);
+            }
+            Ok(PipeCmd::Shutdown) => return,
+            Err(RecvTimeoutError::Timeout) => {
+                next_tick = Instant::now() + tick;
+                pipe.on_tick(now, &mut out);
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        for o in out.drain(..) {
+            match o {
+                PipeOutput::Broadcast(msg) => {
+                    // One channel send per broadcast; the router samples
+                    // the per-destination link delays when it fans out.
+                    let _ = router_tx.send(RouterMsg {
+                        due: Instant::now(),
+                        from: id,
+                        dest: RouterDest::All,
+                        msg: Arc::new(msg),
+                    });
+                }
+                PipeOutput::Send(to, msg) => {
+                    // Catch-up traffic is unicast: log-served replies go
+                    // straight to the lagging peer.
+                    let _ = router_tx.send(RouterMsg {
+                        due: Instant::now(),
+                        from: id,
+                        dest: RouterDest::One(to),
+                        msg: Arc::new(msg),
+                    });
+                }
+                PipeOutput::WakeAt(at) => {
+                    // Honor the precise wake-up by shortening the tick.
+                    let wait = at.since_or_zero(now);
+                    let due = Instant::now() + std::time::Duration::from(wait);
+                    if due < next_tick {
+                        next_tick = due;
+                    }
+                }
+                PipeOutput::Event(PipeEvent::Committed { slot, value }) => {
+                    commits.lock().push(CommitRecord {
+                        node: id,
+                        slot,
+                        value,
+                        elapsed: start.elapsed(),
+                    });
+                }
+                // Per-slot protocol events and catch-up adoptions are
+                // interior progress; the committed prefix is the API.
+                PipeOutput::Event(_) => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssbyz_types::Duration;
+
+    const STREAM: u64 = 8;
+
+    #[test]
+    fn pipeline_cluster_serves_a_stream_in_slot_order() {
+        let params = Params::from_d(4, 1, Duration::from_millis(20), 0).unwrap();
+        let pipe_cfg = PipelineConfig::new(NodeId::new(0), &params).with_window(4);
+        let cluster: PipelineCluster<u64> =
+            PipelineCluster::spawn(params, pipe_cfg, RuntimeConfig::default());
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        for v in 0..STREAM {
+            cluster.submit(500 + v).unwrap();
+        }
+        assert!(
+            cluster.wait_for_commits(4 * STREAM as usize, std::time::Duration::from_secs(20)),
+            "commits: {:?}",
+            cluster.commits().len()
+        );
+        let logs = cluster.committed_logs();
+        for (i, log) in logs.iter().enumerate() {
+            assert_eq!(log.len(), STREAM as usize, "node {i} missing commits");
+            for (slot, (got_slot, got_val)) in log.iter().enumerate() {
+                assert_eq!(*got_slot, slot as u64, "node {i} out of slot order");
+                assert_eq!(**got_val, 500 + slot as u64, "node {i} wrong value");
+            }
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn pipeline_cluster_shutdown_is_clean_without_traffic() {
+        let params = Params::from_d(4, 1, Duration::from_millis(20), 0).unwrap();
+        let pipe_cfg = PipelineConfig::new(NodeId::new(0), &params);
+        let cluster: PipelineCluster<u64> =
+            PipelineCluster::spawn(params, pipe_cfg, RuntimeConfig::default());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(cluster.commits().is_empty());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn forged_slot_initiator_does_not_commit() {
+        use ssbyz_core::Msg;
+        let params = Params::from_d(4, 1, Duration::from_millis(20), 0).unwrap();
+        let pipe_cfg = PipelineConfig::new(NodeId::new(0), &params);
+        let cluster: PipelineCluster<u64> =
+            PipelineCluster::spawn(params, pipe_cfg, RuntimeConfig::default());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cluster
+            .inject(
+                NodeId::new(2),
+                NodeId::new(3),
+                SlotMsg::Slot {
+                    slot: 0,
+                    attempt: 0,
+                    inner: Msg::Initiator {
+                        general: NodeId::new(1),
+                        value: Arc::new(9),
+                    },
+                },
+            )
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        assert!(cluster.commits().is_empty());
+        cluster.shutdown();
+    }
+}

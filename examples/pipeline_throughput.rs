@@ -1,0 +1,138 @@
+//! Slot-pipeline sustained-throughput bench: decisions per second under
+//! a continuous client stream at n = 7 / 16 / 64, with and without
+//! receiver-side wave coalescing. Time is simulated, so every number is
+//! deterministic per seed and the output is byte-identical across
+//! re-runs. Writes `BENCH_pipeline.json`.
+//!
+//! ```text
+//! cargo run --release --example pipeline_throughput            # full grid
+//! cargo run --release --example pipeline_throughput -- --smoke # CI smoke
+//! ```
+
+use std::fmt::Write as _;
+
+use ssbyz::core::{PipeEvent, PipelineConfig};
+use ssbyz::harness::{PipelineScenario, ScenarioConfig, Workload};
+use ssbyz::simnet::WaveMode;
+use ssbyz::{Duration, NodeId, RealTime};
+
+const SEED: u64 = 1;
+const WINDOW: u64 = 8;
+
+struct Row {
+    n: usize,
+    f: usize,
+    mode: &'static str,
+    values: usize,
+    completed: bool,
+    span_ns: u64,
+    slots_per_sec: f64,
+    commits_per_sec: f64,
+}
+
+fn mode_name(mode: WaveMode) -> &'static str {
+    match mode {
+        WaveMode::Coalesced => "coalesced",
+        WaveMode::PerMessage => "per-message",
+    }
+}
+
+/// Runs one grid cell: a saturating stream of `values` client values in
+/// batches of 8 every 10 ms against an (n, f) cluster — faster than the
+/// window drains, so the measured rate is the pipeline's, not the
+/// client's — measured from the epoch to the last commit anywhere in
+/// the cluster.
+fn run_cell(n: usize, f: usize, mode: WaveMode, values: usize) -> Row {
+    let cfg = ScenarioConfig::new(n, f).with_seed(SEED);
+    let params = cfg.params().expect("valid n/f");
+    let pipe_cfg = PipelineConfig::new(NodeId::new(0), &params).with_window(WINDOW);
+    let workload = Workload::steady(values, 8, Duration::from_millis(10));
+    let mut s = PipelineScenario::new(&cfg, &pipe_cfg, workload, mode);
+    // Generous deadline: the workload arrives within (values / 8) * 10
+    // ms; the queue and window tail drain well before this.
+    s.run_until(RealTime::from_nanos(60_000_000_000));
+
+    let logs = s.committed_logs();
+    let decided = logs.iter().map(Vec::len).min().unwrap_or(0);
+    let completed = decided == values;
+    let last_commit = s
+        .sim()
+        .observations()
+        .iter()
+        .filter(|o| matches!(o.event, PipeEvent::Committed { .. }))
+        .map(|o| o.real)
+        .max()
+        .unwrap_or(RealTime::ZERO);
+    let span_ns = last_commit.as_nanos().max(1);
+    let secs = span_ns as f64 / 1e9;
+    Row {
+        n,
+        f,
+        mode: mode_name(mode),
+        values,
+        completed,
+        span_ns,
+        slots_per_sec: decided as f64 / secs,
+        commits_per_sec: s.total_commits() as f64 / secs,
+    }
+}
+
+fn print_row(r: &Row) {
+    println!(
+        "  n={:<3} f={:<3} {:<12} values={:<3} span={:>7.1}ms  {:>7.1} slots/s  {:>8.1} commits/s  {}",
+        r.n,
+        r.f,
+        r.mode,
+        r.values,
+        r.span_ns as f64 / 1e6,
+        r.slots_per_sec,
+        r.commits_per_sec,
+        if r.completed { "✓" } else { "✗" },
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    if smoke {
+        // CI smoke: a short stream at n = 7 must fully commit on every
+        // node in both wave modes.
+        println!("pipeline-throughput smoke (n=7, seed={SEED}):");
+        for mode in [WaveMode::Coalesced, WaveMode::PerMessage] {
+            let row = run_cell(7, 2, mode, 12);
+            print_row(&row);
+            assert!(row.completed, "{} stream must fully commit", row.mode);
+        }
+        println!("smoke passed: full stream committed in both wave modes ✓");
+        return;
+    }
+
+    println!("slot-pipeline throughput grid (seed={SEED}, window={WINDOW}):");
+    let mut rows: Vec<Row> = Vec::new();
+    for (n, f, values) in [(7usize, 2usize, 48usize), (16, 5, 48), (64, 21, 24)] {
+        for mode in [WaveMode::Coalesced, WaveMode::PerMessage] {
+            let row = run_cell(n, f, mode, values);
+            print_row(&row);
+            assert!(
+                row.completed,
+                "n={} {} stream must fully commit",
+                row.n, row.mode
+            );
+            rows.push(row);
+        }
+    }
+
+    let mut out = String::from("{\n  \"seed\": ");
+    let _ = write!(out, "{SEED},\n  \"window\": {WINDOW},\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"n\": {}, \"f\": {}, \"wave_mode\": \"{}\", \"values\": {}, \"completed\": {}, \"span_ns\": {}, \"slots_per_sec\": {:.1}, \"commits_per_sec\": {:.1}}}{sep}",
+            r.n, r.f, r.mode, r.values, r.completed, r.span_ns, r.slots_per_sec, r.commits_per_sec,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_pipeline.json", &out).expect("write BENCH_pipeline.json");
+    println!("wrote BENCH_pipeline.json");
+}
