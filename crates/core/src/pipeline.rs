@@ -23,12 +23,17 @@
 //!   committed events therefore see an identical prefix on every
 //!   correct node.
 //! * **Catch-up.** A node that missed a slot (crash, partition) notices
-//!   the cluster running ahead (`highest_seen` beyond its window) or an
-//!   out-of-order hole in its own log, and broadcasts a
-//!   [`SlotMsg::CatchUpRequest`]. Peers answer from their logs with
-//!   direct [`SlotMsg::CatchUpReply`]s; `f + 1` matching replies from
+//!   the cluster running ahead or an out-of-order hole in its own log,
+//!   and broadcasts a [`SlotMsg::CatchUpRequest`]. "Running ahead" is
+//!   judged from per-peer slot claims, `f + 1` of which must agree
+//!   before a slot counts as seen — a lone Byzantine peer cannot forge
+//!   cluster progress and turn the probe into a permanent broadcast
+//!   loop. Peers answer from their logs with direct
+//!   [`SlotMsg::CatchUpReply`]s; `f + 1` matching replies from
 //!   distinct senders are required before an entry is adopted, so `f`
-//!   Byzantine peers cannot forge history.
+//!   Byzantine peers cannot forge history, and replies are only
+//!   collected inside a bounded horizon past the committed prefix, so
+//!   they cannot grow memory without bound.
 //! * **Golden model.** A single-slot pipeline is bit-identical to a
 //!   bare [`Engine`]: every engine output is wrapped verbatim (see the
 //!   `pipeline_equivalence` proptest battery).
@@ -36,7 +41,11 @@
 //! Retries: if the proposer's slot stalls (no decision within
 //! [`PipelineConfig::retry_after`]), it re-initiates the *same value* on
 //! a fresh engine under an incremented attempt number; receivers reset
-//! their slot engine when they see a higher attempt. A correct proposer
+//! their slot engine when they see the **proposer's own `Initiator`**
+//! under a higher attempt (attempt bumps from any other sender, or in
+//! any other message kind, are dropped — otherwise a single Byzantine
+//! peer could wipe every in-progress engine with a forged
+//! `attempt: u32::MAX` and wedge the slot). A correct proposer
 //! always retries the same value, so all attempts of a slot can only
 //! decide that value (a Byzantine proposer could equivocate across
 //! attempts — containment of that is the agreement layer's job, and a
@@ -66,7 +75,8 @@ pub enum SlotMsg<V> {
         /// The slot this execution decides.
         slot: u64,
         /// Proposer retry attempt (0 for the first initiation).
-        /// Receivers reset their slot engine when this increases.
+        /// Receivers reset their slot engine when this increases —
+        /// but only on the proposer's own `Initiator`.
         attempt: u32,
         /// The unmodified one-shot protocol message.
         inner: Msg<V>,
@@ -322,8 +332,15 @@ pub struct SlotPipeline<V: Value> {
     proposals: VecDeque<V>,
     /// Next slot this node (as proposer) will open.
     next_open: u64,
-    /// Highest slot observed in any peer's traffic.
-    highest_seen: u64,
+    /// Per-peer highest slot claimed to exist in that peer's traffic
+    /// (slot messages, catch-up replies, heartbeats). The catch-up
+    /// triggers use the `f + 1`-th largest claim ([`highest_seen`]),
+    /// so `f` Byzantine peers cannot fabricate cluster progress; one
+    /// bounded entry per peer, so forged `u64::MAX` claims cannot
+    /// poison anything or grow memory.
+    ///
+    /// [`highest_seen`]: SlotPipeline::highest_seen
+    seen_claims: BTreeMap<NodeId, u64>,
     catchup: BTreeMap<u64, CatchUpVotes<V>>,
     last_catchup: Option<LocalTime>,
     /// Armed while peers are known to be past our committed prefix but
@@ -348,7 +365,7 @@ impl<V: Value> SlotPipeline<V> {
             log: DecisionLog::new(),
             proposals: VecDeque::new(),
             next_open: 0,
-            highest_seen: 0,
+            seen_claims: BTreeMap::new(),
             catchup: BTreeMap::new(),
             last_catchup: None,
             catchup_probe: None,
@@ -460,6 +477,7 @@ impl<V: Value> SlotPipeline<V> {
                     let (slot, attempt) = (*slot, *attempt);
                     // Extend the run over same-slot same-attempt messages.
                     let mut j = i;
+                    let mut reset_ok = false;
                     inner_run.clear();
                     while j < wave.len() {
                         match wave[j].1.borrow() {
@@ -468,13 +486,17 @@ impl<V: Value> SlotPipeline<V> {
                                 attempt: a,
                                 inner,
                             } if *s == slot && *a == attempt => {
-                                inner_run.push((wave[j].0, inner));
+                                let sender = wave[j].0;
+                                self.note_claim(sender, slot);
+                                reset_ok |= sender == self.cfg.proposer
+                                    && matches!(inner, Msg::Initiator { .. });
+                                inner_run.push((sender, inner));
                                 j += 1;
                             }
                             _ => break,
                         }
                     }
-                    if self.admit_slot(now, slot, attempt) {
+                    if self.admit_slot(now, slot, attempt, reset_ok) {
                         if let Some(state) = self.slots.get_mut(&slot) {
                             state.engine.on_wave_ref(now, &inner_run, &mut self.scratch);
                             self.drain_engine(slot, attempt, out);
@@ -528,7 +550,10 @@ impl<V: Value> SlotPipeline<V> {
                 inner,
             } => {
                 let (slot, attempt) = (*slot, *attempt);
-                if self.admit_slot(now, slot, attempt) {
+                self.note_claim(sender, slot);
+                let reset_ok =
+                    sender == self.cfg.proposer && matches!(inner, Msg::Initiator { .. });
+                if self.admit_slot(now, slot, attempt, reset_ok) {
                     if let Some(state) = self.slots.get_mut(&slot) {
                         state
                             .engine
@@ -543,8 +568,15 @@ impl<V: Value> SlotPipeline<V> {
 
     /// Admits (and lazily creates / attempt-resets) the engine for
     /// `slot`, or returns `false` if the message must be dropped.
-    fn admit_slot(&mut self, now: LocalTime, slot: u64, attempt: u32) -> bool {
-        self.highest_seen = self.highest_seen.max(slot);
+    ///
+    /// `reset_ok` says the admission carries the proposer's own
+    /// `Initiator` for this attempt. Attempt numbers above the local
+    /// one are honored solely on that evidence — a retry always starts
+    /// with the proposer's broadcast `Initiator`, so gating on it costs
+    /// correct traffic nothing, while a Byzantine peer can no longer
+    /// wipe an in-progress engine (or pre-create one at a sky-high
+    /// attempt) and wedge the slot by out-bidding the real proposer.
+    fn admit_slot(&mut self, now: LocalTime, slot: u64, attempt: u32, reset_ok: bool) -> bool {
         let committed = self.log.committed();
         if slot < committed || self.log.get(slot).is_some() {
             // Already decided here; the sender catches up on its own.
@@ -552,12 +584,15 @@ impl<V: Value> SlotPipeline<V> {
         }
         if slot >= committed.saturating_add(self.cfg.window) {
             // Beyond our window: we are behind — the catch-up probe on
-            // the next tick will notice `highest_seen`.
+            // the next tick will notice the corroborated claims.
             return false;
         }
         match self.slots.get_mut(&slot) {
             Some(state) => {
                 if attempt > state.attempt {
+                    if !reset_ok {
+                        return false;
+                    }
                     // The proposer restarted this slot: replace the
                     // stale execution wholesale. (Receiver side only —
                     // the proposer's own retry path bumps `attempt`.)
@@ -570,6 +605,9 @@ impl<V: Value> SlotPipeline<V> {
                 }
             }
             None => {
+                if attempt > 0 && !reset_ok {
+                    return false;
+                }
                 self.slots.insert(
                     slot,
                     SlotState {
@@ -583,6 +621,40 @@ impl<V: Value> SlotPipeline<V> {
             }
         }
         true
+    }
+
+    /// Records `sender`'s implicit claim that `slot` exists (carried by
+    /// its slot traffic, catch-up replies, and heartbeats).
+    fn note_claim(&mut self, sender: NodeId, slot: u64) {
+        if sender == self.me {
+            return;
+        }
+        let claim = self.seen_claims.entry(sender).or_insert(slot);
+        if slot > *claim {
+            *claim = slot;
+        }
+    }
+
+    /// Highest slot corroborated by `f + 1` distinct peers — at least
+    /// one of them correct, so the slot really exists. This (not any
+    /// single peer's claim) drives the catch-up triggers: a lone forged
+    /// `slot: u64::MAX` never surfaces here.
+    fn highest_seen(&self) -> u64 {
+        let f = self.params.f();
+        if self.seen_claims.len() <= f {
+            return 0;
+        }
+        let mut claims: Vec<u64> = self.seen_claims.values().copied().collect();
+        claims.sort_unstable_by(|a, b| b.cmp(a));
+        claims[f]
+    }
+
+    /// Horizon past the committed prefix inside which catch-up votes
+    /// are collected: wide enough for a full reply batch (a far-behind
+    /// node adopts whole batches without re-requesting), but bounded so
+    /// forged replies for arbitrary slots cannot grow the vote map.
+    fn catchup_horizon(&self) -> u64 {
+        self.cfg.window.max(CATCHUP_BATCH)
     }
 
     /// Wraps everything the engine just put in the scratch outbox and
@@ -634,6 +706,10 @@ impl<V: Value> SlotPipeline<V> {
             // catch-up, not from our echoes.
             self.slots.remove(&s);
         }
+        // Catch-up votes below the committed prefix can never be
+        // adopted (the commit cascade may have leapt past them): drop
+        // them so the vote map stays bounded by the horizon.
+        self.catchup = self.catchup.split_off(&self.log.committed());
     }
 
     /// Handles catch-up requests and replies.
@@ -671,8 +747,16 @@ impl<V: Value> SlotPipeline<V> {
             }
             SlotMsg::CatchUpReply { slot, value } => {
                 let slot = *slot;
-                self.highest_seen = self.highest_seen.max(slot);
-                if self.log.get(slot).is_some() {
+                self.note_claim(sender, slot);
+                let committed = self.log.committed();
+                if slot < committed
+                    || slot >= committed.saturating_add(self.catchup_horizon())
+                    || self.log.get(slot).is_some()
+                {
+                    // Outside the horizon (or already decided): votes
+                    // for it are unusable — collecting them anyway
+                    // would let a single faulty peer grow the map (and
+                    // its Arc'd forged values) without bound.
                     return;
                 }
                 let entry = self.catchup.entry(slot).or_default();
@@ -699,9 +783,9 @@ impl<V: Value> SlotPipeline<V> {
             SlotMsg::Heartbeat { committed } => {
                 // A peer with a longer prefix has decided slots we have
                 // not seen: record the highest one so the catch-up
-                // probe arms.
-                if sender != self.me && *committed > 0 {
-                    self.highest_seen = self.highest_seen.max(committed - 1);
+                // probe arms once f + 1 peers agree.
+                if *committed > 0 {
+                    self.note_claim(sender, committed - 1);
                 }
             }
             SlotMsg::Slot { .. } => unreachable!("slot traffic routed before dispatch_catchup"),
@@ -744,9 +828,15 @@ impl<V: Value> SlotPipeline<V> {
             .collect();
         for slot in due {
             let state = self.slots.get_mut(&slot).expect("collected above");
+            let Some(next_attempt) = state.attempt.checked_add(1) else {
+                // Attempt numbers exhausted: a wrapped attempt would be
+                // dropped as stale everywhere, so stop retrying and
+                // leave the slot to the catch-up path.
+                continue;
+            };
             let value = state.proposed.clone().expect("filtered on proposed");
             state.engine = Engine::new(self.me, self.params);
-            state.attempt += 1;
+            state.attempt = next_attempt;
             state.started_at = now;
             let attempt = state.attempt;
             state
@@ -772,12 +862,13 @@ impl<V: Value> SlotPipeline<V> {
     ///   disarms it.
     fn maybe_catch_up(&mut self, now: LocalTime, out: &mut Vec<PipeOutput<V>>) {
         let committed = self.log.committed();
+        let highest_seen = self.highest_seen();
         let internal_gap = self
             .log
             .highest_recorded()
             .is_some_and(|h| h.saturating_add(1) > committed);
-        let hard = internal_gap || self.highest_seen >= committed.saturating_add(self.cfg.window);
-        let soft = self.highest_seen > committed;
+        let hard = internal_gap || highest_seen >= committed.saturating_add(self.cfg.window);
+        let soft = highest_seen > committed;
         if !hard && !soft {
             self.catchup_probe = None;
             return;
@@ -1000,7 +1091,7 @@ mod tests {
 
     #[test]
     fn out_of_window_traffic_is_rejected_and_noted() {
-        let p = params();
+        let p = params(); // f = 1 → 2 corroborating claims required
         let mut pipe: SlotPipeline<u64> = SlotPipeline::new(
             NodeId::new(1),
             p,
@@ -1017,7 +1108,13 @@ mod tests {
         };
         pipe.on_message(t(0), NodeId::new(0), &msg, &mut out);
         assert_eq!(pipe.in_flight(), 0, "slot 7 is outside [0, 2)");
-        assert_eq!(pipe.highest_seen, 7, "but the lag is recorded");
+        assert_eq!(
+            pipe.highest_seen(),
+            0,
+            "one claim is not evidence — f peers can forge it"
+        );
+        pipe.on_message(t(0), NodeId::new(2), &msg, &mut out);
+        assert_eq!(pipe.highest_seen(), 7, "f + 1 claims record the lag");
         // The next tick (past the catch-up interval) probes for it.
         pipe.on_tick(t(1), &mut out);
         assert!(
@@ -1027,6 +1124,34 @@ mod tests {
             )),
             "lagging node must ask for the missing prefix"
         );
+    }
+
+    #[test]
+    fn forged_slot_number_does_not_arm_catch_up() {
+        let p = params();
+        let mut pipe: SlotPipeline<u64> =
+            SlotPipeline::new(NodeId::new(1), p, PipelineConfig::new(NodeId::new(0), &p));
+        let mut out = Vec::new();
+        // A single Byzantine peer claims an absurd slot exists.
+        let forged = SlotMsg::Slot {
+            slot: u64::MAX,
+            attempt: 0,
+            inner: Msg::Initiator {
+                general: NodeId::new(0),
+                value: Arc::new(5u64),
+            },
+        };
+        pipe.on_message(t(0), NodeId::new(3), &forged, &mut out);
+        assert_eq!(pipe.highest_seen(), 0, "uncorroborated claim ignored");
+        // No tick — however far in the future — broadcasts a request.
+        for step in 1..=10u64 {
+            pipe.on_tick(t(step * 1_000_000_000), &mut out);
+            assert!(
+                !out.iter()
+                    .any(|o| matches!(o, PipeOutput::Broadcast(SlotMsg::CatchUpRequest { .. }))),
+                "forged slot must not turn the probe into a broadcast loop"
+            );
+        }
     }
 
     #[test]
@@ -1108,6 +1233,164 @@ mod tests {
         // Stale attempt-0 traffic is now dropped.
         pipe.on_message(t(20), NodeId::new(0), &init(0), &mut out);
         assert_eq!(pipe.slots[&0].attempt, 2);
+    }
+
+    #[test]
+    fn attempt_bump_from_non_proposer_is_ignored() {
+        let p = params();
+        let mut pipe: SlotPipeline<u64> =
+            SlotPipeline::new(NodeId::new(1), p, PipelineConfig::new(NodeId::new(0), &p));
+        let mut out = Vec::new();
+        let init = |attempt: u32| SlotMsg::Slot {
+            slot: 0,
+            attempt,
+            inner: Msg::Initiator {
+                general: NodeId::new(0),
+                value: Arc::new(5u64),
+            },
+        };
+        pipe.on_message(t(0), NodeId::new(0), &init(0), &mut out);
+        assert_eq!(pipe.slots[&0].attempt, 0);
+        // A Byzantine peer out-bids the proposer with a huge attempt:
+        // the in-progress engine must survive untouched...
+        pipe.on_message(t(10), NodeId::new(2), &init(u32::MAX), &mut out);
+        assert_eq!(pipe.slots[&0].attempt, 0, "forged bump must not reset");
+        // ...and genuine proposer traffic at the real attempt is still
+        // admitted (the slot is not wedged behind a forged attempt).
+        pipe.on_message(t(20), NodeId::new(0), &init(0), &mut out);
+        assert_eq!(pipe.slots[&0].attempt, 0);
+        assert_eq!(pipe.in_flight(), 1);
+    }
+
+    #[test]
+    fn attempt_bump_requires_the_proposers_initiator() {
+        let p = params();
+        let mut pipe: SlotPipeline<u64> =
+            SlotPipeline::new(NodeId::new(1), p, PipelineConfig::new(NodeId::new(0), &p));
+        let mut out = Vec::new();
+        // No engine exists for slot 0 yet: non-proposer traffic at a
+        // non-zero attempt must not create one at that attempt (that
+        // would drop the real proposer's lower-attempt messages).
+        let forged = SlotMsg::Slot {
+            slot: 0,
+            attempt: 7,
+            inner: Msg::Initiator {
+                general: NodeId::new(0),
+                value: Arc::new(5u64),
+            },
+        };
+        pipe.on_message(t(0), NodeId::new(3), &forged, &mut out);
+        assert_eq!(pipe.in_flight(), 0, "non-proposer cannot open attempt 7");
+        // Open the slot legitimately at attempt 0.
+        let init0 = SlotMsg::Slot {
+            slot: 0,
+            attempt: 0,
+            inner: Msg::Initiator {
+                general: NodeId::new(0),
+                value: Arc::new(5u64),
+            },
+        };
+        pipe.on_message(t(0), NodeId::new(0), &init0, &mut out);
+        assert_eq!(pipe.slots[&0].attempt, 0);
+        // Even the proposer itself only resets via an Initiator: a
+        // bumped-attempt support message does not qualify.
+        let proposer_support = SlotMsg::Slot {
+            slot: 0,
+            attempt: 5,
+            inner: Msg::Ia {
+                kind: crate::message::IaKind::Support,
+                general: NodeId::new(0),
+                value: Arc::new(5u64),
+            },
+        };
+        pipe.on_message(t(5), NodeId::new(0), &proposer_support, &mut out);
+        assert_eq!(pipe.slots[&0].attempt, 0, "non-Initiator cannot reset");
+        let wave = [(
+            NodeId::new(0),
+            SlotMsg::Slot {
+                slot: 0,
+                attempt: 3,
+                inner: Msg::Initiator {
+                    general: NodeId::new(0),
+                    value: Arc::new(5u64),
+                },
+            },
+        )];
+        pipe.on_wave(t(10), &wave, &mut out);
+        assert_eq!(
+            pipe.slots[&0].attempt, 3,
+            "proposer Initiator resets via the wave path too"
+        );
+    }
+
+    #[test]
+    fn catch_up_replies_outside_the_horizon_are_dropped() {
+        let p = params();
+        let mut pipe: SlotPipeline<u64> =
+            SlotPipeline::new(NodeId::new(1), p, PipelineConfig::new(NodeId::new(0), &p));
+        let mut out = Vec::new();
+        let horizon = pipe.catchup_horizon();
+        // Replies for arbitrary far-away slots must not accumulate.
+        for k in 0..100u64 {
+            pipe.on_message(
+                t(0),
+                NodeId::new(3),
+                &SlotMsg::CatchUpReply {
+                    slot: horizon + k,
+                    value: Arc::new(666),
+                },
+                &mut out,
+            );
+        }
+        assert!(
+            pipe.catchup.is_empty(),
+            "out-of-horizon votes must not be collected"
+        );
+        // In-horizon votes are, and commits garbage-collect the ones
+        // the cascade leaps past.
+        for slot in [1u64, 2] {
+            pipe.on_message(
+                t(0),
+                NodeId::new(3),
+                &SlotMsg::CatchUpReply {
+                    slot,
+                    value: Arc::new(10 * slot),
+                },
+                &mut out,
+            );
+        }
+        assert_eq!(pipe.catchup.len(), 2);
+        pipe.commit(1, Arc::new(11), &mut out);
+        pipe.commit(2, Arc::new(22), &mut out);
+        pipe.commit(0, Arc::new(0), &mut out); // cascade commits 0..=2
+        assert_eq!(pipe.log().committed(), 3);
+        assert!(
+            pipe.catchup.is_empty(),
+            "votes below the committed prefix must be garbage-collected"
+        );
+    }
+
+    #[test]
+    fn retry_stops_at_attempt_exhaustion_without_panicking() {
+        let p = params();
+        let retry = Duration::from_millis(50);
+        let mut pipe: SlotPipeline<u64> = SlotPipeline::new(
+            NodeId::new(0),
+            p,
+            PipelineConfig::new(NodeId::new(0), &p).with_retry_after(Some(retry)),
+        );
+        let mut out = Vec::new();
+        pipe.enqueue(9);
+        pipe.pump(t(0), &mut out);
+        pipe.slots.get_mut(&0).unwrap().attempt = u32::MAX;
+        // Must neither overflow-panic nor wrap to attempt 0.
+        pipe.on_tick(t(retry.as_nanos() + 1), &mut out);
+        assert_eq!(pipe.slots[&0].attempt, u32::MAX, "no wrap");
+        assert!(
+            !out.iter()
+                .any(|o| matches!(o, PipeOutput::Broadcast(SlotMsg::Slot { .. }))),
+            "an exhausted slot is not re-initiated"
+        );
     }
 
     #[test]
