@@ -15,7 +15,7 @@
 //! let params = Params::from_d(4, 1, Duration::from_millis(20), 0)?;
 //! let cluster: Cluster<u64> = Cluster::spawn(params, RuntimeConfig::default());
 //! cluster.initiate(ssbyz_types::NodeId::new(0), 42)?;
-//! std::thread::sleep(std::time::Duration::from_millis(300));
+//! cluster.wait_for_decisions(4, std::time::Duration::from_secs(5))?;
 //! let decisions = cluster.decisions();
 //! cluster.shutdown();
 //! assert_eq!(decisions.len(), 4);
@@ -27,7 +27,7 @@
 
 pub mod pipeline;
 
-pub use pipeline::{CommitRecord, PipelineCluster};
+pub use pipeline::{CommitRecord, InProcessTransport, InProcessTx, PipelineCluster};
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -64,6 +64,28 @@ impl Default for RuntimeConfig {
         }
     }
 }
+
+/// Why a cluster operation could not be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A worker thread (node, router, or wire reactor) has exited, so
+    /// the cluster can no longer accept or complete work. Callers
+    /// should tear the cluster down rather than retry.
+    Shutdown,
+    /// The wait deadline passed before the requested progress existed.
+    Timeout,
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Shutdown => write!(f, "cluster worker has shut down"),
+            ClusterError::Timeout => write!(f, "timed out waiting for cluster progress"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
 
 /// Commands accepted by a node thread.
 enum NodeCmd<V> {
@@ -179,19 +201,19 @@ impl<V: Value> Cluster<V> {
     ///
     /// # Errors
     ///
-    /// Fails if the node thread has shut down.
-    pub fn initiate(&self, node: NodeId, value: V) -> Result<(), &'static str> {
+    /// [`ClusterError::Shutdown`] if the node thread has exited.
+    pub fn initiate(&self, node: NodeId, value: V) -> Result<(), ClusterError> {
         self.cmd_txs[node.index()]
             .send(NodeCmd::Initiate(value))
-            .map_err(|_| "node thread is gone")
+            .map_err(|_| ClusterError::Shutdown)
     }
 
     /// Injects a raw message with a forged sender (adversary testing).
     ///
     /// # Errors
     ///
-    /// Fails if the router has shut down.
-    pub fn inject(&self, from: NodeId, to: NodeId, msg: Msg<V>) -> Result<(), &'static str> {
+    /// [`ClusterError::Shutdown`] if the router thread has exited.
+    pub fn inject(&self, from: NodeId, to: NodeId, msg: Msg<V>) -> Result<(), ClusterError> {
         self.router_tx
             .send(RouterMsg {
                 due: Instant::now(),
@@ -199,7 +221,7 @@ impl<V: Value> Cluster<V> {
                 dest: RouterDest::One(to),
                 msg: Arc::new(msg),
             })
-            .map_err(|_| "router is gone")
+            .map_err(|_| ClusterError::Shutdown)
     }
 
     /// Snapshot of all events so far.
@@ -229,16 +251,32 @@ impl<V: Value> Cluster<V> {
     }
 
     /// Waits (up to `timeout`) until `count` decisions exist.
-    #[must_use]
-    pub fn wait_for_decisions(&self, count: usize, timeout: std::time::Duration) -> bool {
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Shutdown`] as soon as any worker thread has
+    /// exited (the count can no longer be reached — previously this
+    /// blocked for the full timeout and then reported a misleading
+    /// plain `false`); [`ClusterError::Timeout`] if the deadline
+    /// passes first.
+    pub fn wait_for_decisions(
+        &self,
+        count: usize,
+        timeout: std::time::Duration,
+    ) -> Result<(), ClusterError> {
         let deadline = Instant::now() + timeout;
-        while Instant::now() < deadline {
+        loop {
             if self.decisions().len() >= count {
-                return true;
+                return Ok(());
+            }
+            if self.threads.iter().any(JoinHandle::is_finished) {
+                return Err(ClusterError::Shutdown);
+            }
+            if Instant::now() >= deadline {
+                return Err(ClusterError::Timeout);
             }
             std::thread::sleep(std::time::Duration::from_millis(2));
         }
-        self.decisions().len() >= count
     }
 
     /// Stops all threads and joins them.
@@ -268,6 +306,11 @@ impl<V: Value> Cluster<V> {
 /// command, so the one-shot cluster (`Msg<V>` / `NodeCmd`) and the
 /// pipeline cluster (`SlotMsg<V>` / its own command enum) share the
 /// whole delay model.
+/// Furthest-future due time the router will schedule, relative to now.
+/// Deliveries beyond it (clock skew, arithmetic overflow upstream) are
+/// clamped: they arrive late rather than never.
+const MAX_DELAY_HORIZON_NS: u64 = 60 * 1_000_000_000;
+
 pub(crate) fn router_loop<M, C, F>(
     rx: Receiver<RouterMsg<M>>,
     cmd_txs: Vec<Sender<C>>,
@@ -288,8 +331,14 @@ pub(crate) fn router_loop<M, C, F>(
             .unwrap_or(std::time::Duration::from_millis(50));
         match rx.recv_timeout(timeout) {
             Ok(m) => {
+                // A due timestamp too far past the epoch to fit in u64
+                // nanoseconds used to saturate to `u64::MAX`, a due time
+                // the wheel never reaches — the message was silently
+                // dropped *forever*. Saturate to a bounded horizon past
+                // "now" instead: the delivery is late, not lost.
+                let horizon_ns = now_ns(epoch).saturating_add(MAX_DELAY_HORIZON_NS);
                 let base_ns = u64::try_from(m.due.saturating_duration_since(epoch).as_nanos())
-                    .unwrap_or(u64::MAX);
+                    .map_or(horizon_ns, |ns| ns.min(horizon_ns));
                 match m.dest {
                     RouterDest::One(to) => {
                         wheel.insert(
@@ -323,9 +372,18 @@ pub(crate) fn router_loop<M, C, F>(
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => return,
         }
+        // Single pop per iteration: peeking and popping in two steps
+        // invited a panic if the two calls ever disagreed (`expect`
+        // on the pop). With `if let` the router degrades to "nothing
+        // due" instead of killing the thread — and with it the whole
+        // cluster's message plane.
         while wheel.peek_due().is_some_and(|due| due <= now_ns(epoch)) {
-            let p = wheel.pop().expect("peeked").payload;
-            let _ = cmd_txs[p.to.index()].send(wrap(p.from, p.msg));
+            if let Some(entry) = wheel.pop() {
+                let p = entry.payload;
+                let _ = cmd_txs[p.to.index()].send(wrap(p.from, p.msg));
+            } else {
+                break;
+            }
         }
     }
 }
@@ -411,8 +469,9 @@ mod tests {
         let cluster: Cluster<u64> = Cluster::spawn(params, RuntimeConfig::default());
         std::thread::sleep(std::time::Duration::from_millis(30));
         cluster.initiate(NodeId::new(0), 42).unwrap();
-        assert!(
+        assert_eq!(
             cluster.wait_for_decisions(4, std::time::Duration::from_secs(5)),
+            Ok(()),
             "decisions: {:?}",
             cluster.decisions()
         );
@@ -457,11 +516,14 @@ mod tests {
         let cluster: Cluster<u64> = Cluster::spawn(params, RuntimeConfig::default());
         std::thread::sleep(std::time::Duration::from_millis(30));
         cluster.initiate(NodeId::new(0), 1).unwrap();
-        assert!(cluster.wait_for_decisions(4, std::time::Duration::from_secs(5)));
+        cluster
+            .wait_for_decisions(4, std::time::Duration::from_secs(5))
+            .unwrap();
         std::thread::sleep(std::time::Duration::from_millis(400));
         cluster.initiate(NodeId::new(0), 2).unwrap();
-        assert!(
+        assert_eq!(
             cluster.wait_for_decisions(8, std::time::Duration::from_secs(5)),
+            Ok(()),
             "second agreement: {:?}",
             cluster.decisions()
         );

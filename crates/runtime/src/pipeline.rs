@@ -1,9 +1,22 @@
 //! Threaded wall-clock execution of the slot pipeline: a
 //! [`PipelineCluster`] serves a continuous stream of client values, one
 //! [`SlotPipeline`] per node thread, commits applied in slot order to
-//! each node's replicated decision log. The delay router is shared with
-//! the one-shot [`crate::Cluster`] — same wheel, same per-destination
-//! jitter model — instantiated over [`SlotMsg`] payloads.
+//! each node's replicated decision log.
+//!
+//! The cluster is generic over the message plane via the
+//! [`Transport`] seam from `ssbyz-wire`:
+//!
+//! * [`InProcessTransport`] (the default) is the golden model — the
+//!   crossbeam-channel delay router shared with the one-shot
+//!   [`crate::Cluster`], same wheel, same per-destination jitter,
+//!   instantiated over [`SlotMsg`] payloads;
+//! * [`TcpTransport`] (via [`PipelineCluster::spawn_tcp`]) runs the
+//!   same node threads over authenticated, length-prefixed frames on a
+//!   loopback TCP mesh driven by a single readiness-loop reactor.
+//!
+//! The node event loop is identical under both — only the sending
+//! handle differs — which is what lets the equivalence battery pin the
+//! two transports to bit-identical decision logs.
 //!
 //! ```no_run
 //! use ssbyz_core::{Params, PipelineConfig};
@@ -17,7 +30,7 @@
 //! for v in 0..8u64 {
 //!     cluster.submit(v)?;
 //! }
-//! cluster.wait_for_commits(4 * 8, std::time::Duration::from_secs(10));
+//! cluster.wait_for_commits(4 * 8, std::time::Duration::from_secs(10))?;
 //! cluster.shutdown();
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -26,12 +39,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use ssbyz_core::{LocalTime, Params, PipeEvent, PipeOutput, PipelineConfig, SlotMsg, SlotPipeline};
 use ssbyz_types::{NodeId, Value};
+use ssbyz_wire::{TcpTransport, Transport, TransportTx, WireConfig, WireValue};
 
-use crate::{router_loop, RouterDest, RouterMsg, RuntimeConfig};
+use crate::{router_loop, ClusterError, RouterDest, RouterMsg, RuntimeConfig};
 
 /// Commands accepted by a pipeline node thread.
 enum PipeCmd<V> {
@@ -54,62 +68,192 @@ pub struct CommitRecord<V> {
     pub elapsed: std::time::Duration,
 }
 
-/// A live cluster of slot-pipeline threads serving a value stream.
-pub struct PipelineCluster<V: Value> {
-    cmd_txs: Vec<Sender<PipeCmd<V>>>,
+/// The in-process message plane: the crossbeam delay router behind the
+/// [`Transport`] seam. This is the golden model the TCP reactor is
+/// pinned against — one router thread, a shared timer wheel, an
+/// independently sampled link delay per destination.
+pub struct InProcessTransport<V: Value> {
     router_tx: Sender<RouterMsg<SlotMsg<V>>>,
+    thread: JoinHandle<()>,
+}
+
+impl<V: Value> InProcessTransport<V> {
+    /// Spawns the router thread. Matured deliveries for node `i` are
+    /// wrapped by `wrap` and pushed into `delivery[i]`.
+    #[must_use]
+    pub fn start<C, F>(cfg: RuntimeConfig, delivery: Vec<Sender<C>>, wrap: F) -> Self
+    where
+        C: Send + 'static,
+        F: Fn(NodeId, Arc<SlotMsg<V>>) -> C + Send + 'static,
+    {
+        let (router_tx, router_rx) = unbounded::<RouterMsg<SlotMsg<V>>>();
+        let thread = std::thread::spawn(move || {
+            router_loop(router_rx, delivery, cfg, wrap);
+        });
+        InProcessTransport { router_tx, thread }
+    }
+}
+
+impl<V: Value> Transport<V> for InProcessTransport<V> {
+    type Tx = InProcessTx<V>;
+
+    fn tx(&self) -> InProcessTx<V> {
+        InProcessTx {
+            tx: self.router_tx.clone(),
+        }
+    }
+
+    fn shutdown(self) {
+        // Dropping the last sender disconnects the router's receive
+        // side; the loop returns on its own. Node threads are already
+        // joined by the time the cluster calls this, so their `Tx`
+        // clones are gone.
+        drop(self.router_tx);
+        let _ = self.thread.join();
+    }
+}
+
+/// Sending handle for [`InProcessTransport`]; one clone per node
+/// thread.
+pub struct InProcessTx<V: Value> {
+    tx: Sender<RouterMsg<SlotMsg<V>>>,
+}
+
+impl<V: Value> Clone for InProcessTx<V> {
+    fn clone(&self) -> Self {
+        InProcessTx {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+impl<V: Value> TransportTx<V> for InProcessTx<V> {
+    fn broadcast(&self, from: NodeId, msg: SlotMsg<V>) {
+        // One channel send per broadcast carrying one Arc; the router
+        // samples the per-destination link delays when it fans out.
+        let _ = self.tx.send(RouterMsg {
+            due: Instant::now(),
+            from,
+            dest: RouterDest::All,
+            msg: Arc::new(msg),
+        });
+    }
+
+    fn unicast(&self, from: NodeId, to: NodeId, msg: SlotMsg<V>) {
+        let _ = self.tx.send(RouterMsg {
+            due: Instant::now(),
+            from,
+            dest: RouterDest::One(to),
+            msg: Arc::new(msg),
+        });
+    }
+}
+
+/// A live cluster of slot-pipeline threads serving a value stream,
+/// generic over its message plane (`T`). `spawn` keeps the in-process
+/// router; [`PipelineCluster::spawn_tcp`] runs the same node threads
+/// over the authenticated TCP reactor.
+pub struct PipelineCluster<V: Value, T: Transport<V> = InProcessTransport<V>> {
+    cmd_txs: Vec<Sender<PipeCmd<V>>>,
     commits: Arc<Mutex<Vec<CommitRecord<V>>>>,
+    /// Node threads only; transport threads are owned by `transport`.
     threads: Vec<JoinHandle<()>>,
+    transport: T,
     proposer: NodeId,
     n: usize,
 }
 
 impl<V: Value> PipelineCluster<V> {
-    /// Spawns `params.n()` pipeline threads plus the delay router.
-    /// `pipe_cfg` configures every node's multiplexer (same window,
-    /// retry and catch-up policy cluster-wide).
+    /// Spawns `params.n()` pipeline threads plus the in-process delay
+    /// router. `pipe_cfg` configures every node's multiplexer (same
+    /// window, retry and catch-up policy cluster-wide).
     #[must_use]
     pub fn spawn(params: Params, pipe_cfg: PipelineConfig, cfg: RuntimeConfig) -> Self {
+        let spawned: Result<Self, std::convert::Infallible> =
+            Self::spawn_with(params, pipe_cfg, cfg.tick.into(), |delivery| {
+                Ok(InProcessTransport::start(cfg, delivery, |from, msg| {
+                    PipeCmd::Deliver { from, msg }
+                }))
+            });
+        match spawned {
+            Ok(cluster) => cluster,
+            Err(never) => match never {},
+        }
+    }
+}
+
+impl<V: Value + WireValue> PipelineCluster<V, TcpTransport<V>> {
+    /// Spawns `params.n()` pipeline threads over the authenticated TCP
+    /// loopback mesh: binds the listener, performs the MAC'd
+    /// handshakes, and starts the readiness-loop reactor. `tick` is the
+    /// node engine tick (the link-delay knobs of [`RuntimeConfig`] do
+    /// not apply — loopback latency is whatever the kernel provides).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding or connecting the mesh.
+    pub fn spawn_tcp(
+        params: Params,
+        pipe_cfg: PipelineConfig,
+        tick: ssbyz_types::Duration,
+        wire: WireConfig,
+    ) -> std::io::Result<Self> {
+        let n = params.n();
+        Self::spawn_with(params, pipe_cfg, tick.into(), |delivery| {
+            TcpTransport::start(n, wire, delivery, |from, msg| PipeCmd::Deliver {
+                from,
+                msg,
+            })
+        })
+    }
+}
+
+impl<V: Value, T: Transport<V>> PipelineCluster<V, T> {
+    /// Shared spawn plumbing: builds the per-node command channels,
+    /// starts the transport over them, then the node threads with the
+    /// transport's sending handles.
+    fn spawn_with<E>(
+        params: Params,
+        pipe_cfg: PipelineConfig,
+        tick: std::time::Duration,
+        make_transport: impl FnOnce(Vec<Sender<PipeCmd<V>>>) -> Result<T, E>,
+    ) -> Result<Self, E> {
         let n = params.n();
         let proposer = pipe_cfg.proposer;
         let start = Instant::now();
         let commits: Arc<Mutex<Vec<CommitRecord<V>>>> = Arc::new(Mutex::new(Vec::new()));
-        let (router_tx, router_rx) = unbounded::<RouterMsg<SlotMsg<V>>>();
         let mut cmd_txs = Vec::with_capacity(n);
         let mut cmd_rxs = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = bounded::<PipeCmd<V>>(4096);
+            // Unbounded on purpose: the TCP reactor delivers into these
+            // channels from its single thread, so one slow node on a
+            // bounded channel would block the reactor and freeze every
+            // link in the mesh. Depth is bounded in practice by the
+            // engines' timing windows — stale traffic ages out instead
+            // of accumulating.
+            let (tx, rx) = unbounded::<PipeCmd<V>>();
             cmd_txs.push(tx);
             cmd_rxs.push(rx);
         }
+        let transport = make_transport(cmd_txs.clone())?;
         let mut threads = Vec::new();
-        {
-            let cmd_txs = cmd_txs.clone();
-            threads.push(std::thread::spawn(move || {
-                router_loop(router_rx, cmd_txs, cfg, |from, msg| PipeCmd::Deliver {
-                    from,
-                    msg,
-                });
-            }));
-        }
         for (i, rx) in cmd_rxs.into_iter().enumerate() {
             let id = NodeId::new(i as u32);
-            let router_tx = router_tx.clone();
+            let tx = transport.tx();
             let commits = Arc::clone(&commits);
             let pipe_cfg_i = pipe_cfg.clone();
-            let cfg_i = cfg;
             threads.push(std::thread::spawn(move || {
-                pipe_node_loop(id, params, pipe_cfg_i, cfg_i, rx, router_tx, commits, start);
+                pipe_node_loop(id, params, pipe_cfg_i, tick, rx, tx, commits, start);
             }));
         }
-        PipelineCluster {
+        Ok(PipelineCluster {
             cmd_txs,
-            router_tx,
             commits,
             threads,
+            transport,
             proposer,
             n,
-        }
+        })
     }
 
     /// Number of nodes.
@@ -118,33 +262,41 @@ impl<V: Value> PipelineCluster<V> {
         self.n
     }
 
+    /// The running transport instance (reactor statistics, raw-byte
+    /// injection hooks on the TCP plane).
+    #[must_use]
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
     /// Enqueues `value` on the proposer's stream; it will be batched
     /// into the next open slot the window allows.
     ///
     /// # Errors
     ///
-    /// Fails if the proposer thread has shut down.
-    pub fn submit(&self, value: V) -> Result<(), &'static str> {
+    /// [`ClusterError::Shutdown`] if the proposer thread has exited
+    /// (previously a stringly-typed error callers could not match on).
+    pub fn submit(&self, value: V) -> Result<(), ClusterError> {
         self.cmd_txs[self.proposer.index()]
             .send(PipeCmd::Submit(value))
-            .map_err(|_| "proposer thread is gone")
+            .map_err(|_| ClusterError::Shutdown)
     }
 
     /// Injects a raw slot message with a forged sender (adversary
-    /// testing; delivered immediately, no link delay).
+    /// testing). On the in-process plane this bypasses link delay; on
+    /// the TCP plane it is stamped with the *claimed sender's own*
+    /// link keys — an insider Byzantine node, which may say anything
+    /// but can never forge another node's MAC.
     ///
     /// # Errors
     ///
-    /// Fails if the router has shut down.
-    pub fn inject(&self, from: NodeId, to: NodeId, msg: SlotMsg<V>) -> Result<(), &'static str> {
-        self.router_tx
-            .send(RouterMsg {
-                due: Instant::now(),
-                from,
-                dest: RouterDest::One(to),
-                msg: Arc::new(msg),
-            })
-            .map_err(|_| "router is gone")
+    /// [`ClusterError::Shutdown`] if the cluster is no longer live.
+    pub fn inject(&self, from: NodeId, to: NodeId, msg: SlotMsg<V>) -> Result<(), ClusterError> {
+        if self.threads.iter().any(JoinHandle::is_finished) {
+            return Err(ClusterError::Shutdown);
+        }
+        self.transport.tx().unicast(from, to, msg);
+        Ok(())
     }
 
     /// Snapshot of all commit records so far, in observation order.
@@ -165,39 +317,63 @@ impl<V: Value> PipelineCluster<V> {
 
     /// Waits (up to `timeout`) until `count` commit records exist
     /// across the cluster.
-    #[must_use]
-    pub fn wait_for_commits(&self, count: usize, timeout: std::time::Duration) -> bool {
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Shutdown`] as soon as any node thread has exited
+    /// (the count can no longer be reached — previously this blocked
+    /// for the full timeout and then reported a misleading plain
+    /// `false`); [`ClusterError::Timeout`] if the deadline passes
+    /// first.
+    pub fn wait_for_commits(
+        &self,
+        count: usize,
+        timeout: std::time::Duration,
+    ) -> Result<(), ClusterError> {
         let deadline = Instant::now() + timeout;
-        while Instant::now() < deadline {
+        loop {
             if self.commits.lock().len() >= count {
-                return true;
+                return Ok(());
+            }
+            if self.threads.iter().any(JoinHandle::is_finished) {
+                return Err(ClusterError::Shutdown);
+            }
+            if Instant::now() >= deadline {
+                return Err(ClusterError::Timeout);
             }
             std::thread::sleep(std::time::Duration::from_millis(2));
         }
-        self.commits.lock().len() >= count
     }
 
-    /// Stops all threads and joins them.
+    /// Stops all threads and joins them: node threads first (their
+    /// transport handles drop with them), then the transport's I/O
+    /// machinery.
     pub fn shutdown(self) {
-        for tx in &self.cmd_txs {
+        let PipelineCluster {
+            cmd_txs,
+            threads,
+            transport,
+            ..
+        } = self;
+        for tx in &cmd_txs {
             let _ = tx.send(PipeCmd::Shutdown);
         }
-        drop(self.router_tx);
-        drop(self.cmd_txs);
-        for t in self.threads {
+        drop(cmd_txs);
+        for t in threads {
             let _ = t.join();
         }
+        transport.shutdown();
     }
 }
 
 #[allow(clippy::too_many_arguments)]
-fn pipe_node_loop<V: Value>(
+fn pipe_node_loop<V: Value, Tx: TransportTx<V>>(
     id: NodeId,
     params: Params,
     pipe_cfg: PipelineConfig,
-    cfg: RuntimeConfig,
+    tick: std::time::Duration,
     rx: Receiver<PipeCmd<V>>,
-    router_tx: Sender<RouterMsg<SlotMsg<V>>>,
+    tx: Tx,
     commits: Arc<Mutex<Vec<CommitRecord<V>>>>,
     start: Instant,
 ) {
@@ -208,7 +384,6 @@ fn pipe_node_loop<V: Value>(
     let now_local = |start: Instant| {
         LocalTime::from_nanos(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX))
     };
-    let tick: std::time::Duration = cfg.tick.into();
     let mut next_tick = Instant::now() + tick;
     loop {
         let timeout = next_tick.saturating_duration_since(Instant::now());
@@ -232,24 +407,12 @@ fn pipe_node_loop<V: Value>(
         for o in out.drain(..) {
             match o {
                 PipeOutput::Broadcast(msg) => {
-                    // One channel send per broadcast; the router samples
-                    // the per-destination link delays when it fans out.
-                    let _ = router_tx.send(RouterMsg {
-                        due: Instant::now(),
-                        from: id,
-                        dest: RouterDest::All,
-                        msg: Arc::new(msg),
-                    });
+                    tx.broadcast(id, msg);
                 }
                 PipeOutput::Send(to, msg) => {
                     // Catch-up traffic is unicast: log-served replies go
                     // straight to the lagging peer.
-                    let _ = router_tx.send(RouterMsg {
-                        due: Instant::now(),
-                        from: id,
-                        dest: RouterDest::One(to),
-                        msg: Arc::new(msg),
-                    });
+                    tx.unicast(id, to, msg);
                 }
                 PipeOutput::WakeAt(at) => {
                     // Honor the precise wake-up by shortening the tick.
@@ -292,8 +455,9 @@ mod tests {
         for v in 0..STREAM {
             cluster.submit(500 + v).unwrap();
         }
-        assert!(
+        assert_eq!(
             cluster.wait_for_commits(4 * STREAM as usize, std::time::Duration::from_secs(20)),
+            Ok(()),
             "commits: {:?}",
             cluster.commits().len()
         );
@@ -343,6 +507,54 @@ mod tests {
             .unwrap();
         std::thread::sleep(std::time::Duration::from_millis(150));
         assert!(cluster.commits().is_empty());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn tcp_pipeline_cluster_serves_a_stream() {
+        let params = Params::from_d(4, 1, Duration::from_millis(20), 0).unwrap();
+        let pipe_cfg = PipelineConfig::new(NodeId::new(0), &params).with_window(4);
+        let cluster: PipelineCluster<u64, TcpTransport<u64>> = PipelineCluster::spawn_tcp(
+            params,
+            pipe_cfg,
+            Duration::from_millis(5),
+            WireConfig::from_seed(7),
+        )
+        .expect("loopback mesh");
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        for v in 0..STREAM {
+            cluster.submit(900 + v).unwrap();
+        }
+        assert_eq!(
+            cluster.wait_for_commits(4 * STREAM as usize, std::time::Duration::from_secs(20)),
+            Ok(()),
+            "commits: {:?}",
+            cluster.commits().len()
+        );
+        let logs = cluster.committed_logs();
+        for (i, log) in logs.iter().enumerate() {
+            assert_eq!(log.len(), STREAM as usize, "node {i} missing commits");
+            for (slot, (got_slot, got_val)) in log.iter().enumerate() {
+                assert_eq!(*got_slot, slot as u64, "node {i} out of slot order");
+                assert_eq!(**got_val, 900 + slot as u64, "node {i} wrong value");
+            }
+        }
+        let stats = cluster.transport().stats();
+        assert!(stats.frames_delivered > 0, "no frames crossed the wire");
+        assert_eq!(stats.rejected_mac, 0, "clean run rejected frames");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn wait_for_commits_reports_timeout_not_false() {
+        let params = Params::from_d(4, 1, Duration::from_millis(20), 0).unwrap();
+        let pipe_cfg = PipelineConfig::new(NodeId::new(0), &params);
+        let cluster: PipelineCluster<u64> =
+            PipelineCluster::spawn(params, pipe_cfg, RuntimeConfig::default());
+        assert_eq!(
+            cluster.wait_for_commits(1, std::time::Duration::from_millis(50)),
+            Err(ClusterError::Timeout)
+        );
         cluster.shutdown();
     }
 }

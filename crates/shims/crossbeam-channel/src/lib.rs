@@ -5,7 +5,7 @@
 use std::sync::mpsc;
 use std::time::Duration;
 
-pub use std::sync::mpsc::{RecvTimeoutError, SendError};
+pub use std::sync::mpsc::{RecvTimeoutError, SendError, TryRecvError};
 
 /// The sending half of a channel. Cloneable for both flavours.
 pub enum Sender<T> {
@@ -61,6 +61,16 @@ impl<T> Receiver<T> {
     /// Fails when all senders disconnected.
     pub fn recv(&self) -> Result<T, mpsc::RecvError> {
         self.inner.recv()
+    }
+
+    /// Receives without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] when the channel has nothing queued,
+    /// [`TryRecvError::Disconnected`] when all senders are gone.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.try_recv()
     }
 }
 

@@ -1,0 +1,469 @@
+//! Compact, versioned binary codec for the protocol wire messages.
+//!
+//! Layout conventions:
+//!
+//! * integers (`u32` ids, `u64` slots, rounds) travel as LEB128 varints —
+//!   one byte for the small ids that dominate real traffic;
+//! * every enum is a varint tag followed by its fields in declaration
+//!   order;
+//! * payload values implement [`WireValue`]; the crate ships impls for
+//!   `u64` (varint) and `Vec<u8>` (length-prefixed blob).
+//!
+//! **Decoding never panics.** Every read is bounds-checked and every
+//! length claim is validated against the bytes actually present before
+//! any allocation, so arbitrary garbage — truncations at any prefix,
+//! flipped bits, forged length fields — yields a [`DecodeError`], never
+//! a panic or an oversized allocation. The `codec_proptest` battery
+//! pins both directions (round-trip identity and no-panic on garbage).
+
+use core::fmt;
+use std::sync::Arc;
+
+use ssbyz_core::{BcastKind, IaKind, Msg, SlotMsg};
+use ssbyz_types::NodeId;
+
+/// Current codec version, carried in every frame header. Receivers
+/// reject frames from a different major version before touching the
+/// payload.
+pub const WIRE_VERSION: u8 = 1;
+
+/// A decode failure. All variants are recoverable: the input is simply
+/// not a valid message of the expected shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the value did.
+    Truncated,
+    /// A varint ran past 10 bytes (or overflowed 64 bits).
+    VarintOverflow,
+    /// An enum tag was out of range.
+    InvalidTag(u64),
+    /// A node id did not fit in `u32`.
+    IdOutOfRange(u64),
+    /// A length field claimed more bytes than the input holds.
+    LengthMismatch,
+    /// Bytes were left over after a complete message was read.
+    Trailing,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "input truncated"),
+            DecodeError::VarintOverflow => write!(f, "varint overflows u64"),
+            DecodeError::InvalidTag(t) => write!(f, "invalid enum tag {t}"),
+            DecodeError::IdOutOfRange(v) => write!(f, "node id {v} out of u32 range"),
+            DecodeError::LengthMismatch => write!(f, "length field exceeds available bytes"),
+            DecodeError::Trailing => write!(f, "trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Appends `v` as a LEB128 varint (1–10 bytes).
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint, advancing `buf` past it.
+///
+/// # Errors
+///
+/// [`DecodeError::Truncated`] if the input ends mid-varint,
+/// [`DecodeError::VarintOverflow`] past 10 bytes / 64 bits.
+pub fn get_varint(buf: &mut &[u8]) -> Result<u64, DecodeError> {
+    let mut v: u64 = 0;
+    for (i, &byte) in buf.iter().enumerate() {
+        if i == 10 {
+            return Err(DecodeError::VarintOverflow);
+        }
+        let low = u64::from(byte & 0x7f);
+        // The 10th byte may only contribute the final bit.
+        if i == 9 && low > 1 {
+            return Err(DecodeError::VarintOverflow);
+        }
+        v |= low << (7 * i);
+        if byte & 0x80 == 0 {
+            *buf = &buf[i + 1..];
+            return Ok(v);
+        }
+    }
+    Err(DecodeError::Truncated)
+}
+
+fn get_node_id(buf: &mut &[u8]) -> Result<NodeId, DecodeError> {
+    let raw = get_varint(buf)?;
+    u32::try_from(raw)
+        .map(NodeId::new)
+        .map_err(|_| DecodeError::IdOutOfRange(raw))
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32, DecodeError> {
+    let raw = get_varint(buf)?;
+    u32::try_from(raw).map_err(|_| DecodeError::InvalidTag(raw))
+}
+
+/// A payload type with a wire representation.
+///
+/// Implementations must be exact inverses (`decode ∘ encode = id`) and
+/// `decode_value` must never panic or allocate more than the input's
+/// length on any byte string.
+pub trait WireValue: Sized {
+    /// Appends this value's wire bytes to `out`.
+    fn encode_value(&self, out: &mut Vec<u8>);
+
+    /// Reads one value, advancing `buf` past it.
+    ///
+    /// # Errors
+    ///
+    /// A [`DecodeError`] when `buf` does not start with a valid value.
+    fn decode_value(buf: &mut &[u8]) -> Result<Self, DecodeError>;
+}
+
+impl WireValue for u64 {
+    fn encode_value(&self, out: &mut Vec<u8>) {
+        put_varint(out, *self);
+    }
+
+    fn decode_value(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        get_varint(buf)
+    }
+}
+
+impl WireValue for Vec<u8> {
+    fn encode_value(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.len() as u64);
+        out.extend_from_slice(self);
+    }
+
+    fn decode_value(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        let len = get_varint(buf)?;
+        // The claim is validated against the bytes actually present
+        // BEFORE allocating, so a forged length can never balloon
+        // memory past the (already frame-capped) input size.
+        let len = usize::try_from(len).map_err(|_| DecodeError::LengthMismatch)?;
+        if len > buf.len() {
+            return Err(DecodeError::LengthMismatch);
+        }
+        let (head, rest) = buf.split_at(len);
+        *buf = rest;
+        Ok(head.to_vec())
+    }
+}
+
+const MSG_INITIATOR: u64 = 0;
+const MSG_IA: u64 = 1;
+const MSG_BCAST: u64 = 2;
+
+const SLOT_SLOT: u64 = 0;
+const SLOT_CATCHUP_REQ: u64 = 1;
+const SLOT_CATCHUP_REPLY: u64 = 2;
+const SLOT_HEARTBEAT: u64 = 3;
+
+fn ia_kind_tag(k: IaKind) -> u64 {
+    match k {
+        IaKind::Support => 0,
+        IaKind::Approve => 1,
+        IaKind::Ready => 2,
+    }
+}
+
+fn ia_kind_from(tag: u64) -> Result<IaKind, DecodeError> {
+    match tag {
+        0 => Ok(IaKind::Support),
+        1 => Ok(IaKind::Approve),
+        2 => Ok(IaKind::Ready),
+        t => Err(DecodeError::InvalidTag(t)),
+    }
+}
+
+fn bcast_kind_tag(k: BcastKind) -> u64 {
+    match k {
+        BcastKind::Init => 0,
+        BcastKind::Echo => 1,
+        BcastKind::InitPrime => 2,
+        BcastKind::EchoPrime => 3,
+    }
+}
+
+fn bcast_kind_from(tag: u64) -> Result<BcastKind, DecodeError> {
+    match tag {
+        0 => Ok(BcastKind::Init),
+        1 => Ok(BcastKind::Echo),
+        2 => Ok(BcastKind::InitPrime),
+        3 => Ok(BcastKind::EchoPrime),
+        t => Err(DecodeError::InvalidTag(t)),
+    }
+}
+
+/// Appends the wire bytes of a one-shot protocol message.
+pub fn encode_msg<V: WireValue>(msg: &Msg<V>, out: &mut Vec<u8>) {
+    match msg {
+        Msg::Initiator { general, value } => {
+            put_varint(out, MSG_INITIATOR);
+            put_varint(out, u64::from(general.as_u32()));
+            value.encode_value(out);
+        }
+        Msg::Ia {
+            kind,
+            general,
+            value,
+        } => {
+            put_varint(out, MSG_IA);
+            put_varint(out, ia_kind_tag(*kind));
+            put_varint(out, u64::from(general.as_u32()));
+            value.encode_value(out);
+        }
+        Msg::Bcast {
+            kind,
+            general,
+            broadcaster,
+            value,
+            round,
+        } => {
+            put_varint(out, MSG_BCAST);
+            put_varint(out, bcast_kind_tag(*kind));
+            put_varint(out, u64::from(general.as_u32()));
+            put_varint(out, u64::from(broadcaster.as_u32()));
+            value.encode_value(out);
+            put_varint(out, u64::from(*round));
+        }
+    }
+}
+
+fn read_msg<V: WireValue>(buf: &mut &[u8]) -> Result<Msg<V>, DecodeError> {
+    match get_varint(buf)? {
+        MSG_INITIATOR => {
+            let general = get_node_id(buf)?;
+            let value = Arc::new(V::decode_value(buf)?);
+            Ok(Msg::Initiator { general, value })
+        }
+        MSG_IA => {
+            let kind = ia_kind_from(get_varint(buf)?)?;
+            let general = get_node_id(buf)?;
+            let value = Arc::new(V::decode_value(buf)?);
+            Ok(Msg::Ia {
+                kind,
+                general,
+                value,
+            })
+        }
+        MSG_BCAST => {
+            let kind = bcast_kind_from(get_varint(buf)?)?;
+            let general = get_node_id(buf)?;
+            let broadcaster = get_node_id(buf)?;
+            let value = Arc::new(V::decode_value(buf)?);
+            let round = get_u32(buf)?;
+            Ok(Msg::Bcast {
+                kind,
+                general,
+                broadcaster,
+                value,
+                round,
+            })
+        }
+        t => Err(DecodeError::InvalidTag(t)),
+    }
+}
+
+/// Decodes a one-shot protocol message; the input must contain exactly
+/// one message.
+///
+/// # Errors
+///
+/// A [`DecodeError`] on truncated, malformed, or trailing input. Never
+/// panics, whatever the bytes.
+pub fn decode_msg<V: WireValue>(mut buf: &[u8]) -> Result<Msg<V>, DecodeError> {
+    let msg = read_msg(&mut buf)?;
+    if buf.is_empty() {
+        Ok(msg)
+    } else {
+        Err(DecodeError::Trailing)
+    }
+}
+
+/// Appends the wire bytes of a slot-pipeline message.
+pub fn encode_slot_msg<V: WireValue>(msg: &SlotMsg<V>, out: &mut Vec<u8>) {
+    match msg {
+        SlotMsg::Slot {
+            slot,
+            attempt,
+            inner,
+        } => {
+            put_varint(out, SLOT_SLOT);
+            put_varint(out, *slot);
+            put_varint(out, u64::from(*attempt));
+            encode_msg(inner, out);
+        }
+        SlotMsg::CatchUpRequest { from } => {
+            put_varint(out, SLOT_CATCHUP_REQ);
+            put_varint(out, *from);
+        }
+        SlotMsg::CatchUpReply { slot, value } => {
+            put_varint(out, SLOT_CATCHUP_REPLY);
+            put_varint(out, *slot);
+            value.encode_value(out);
+        }
+        SlotMsg::Heartbeat { committed } => {
+            put_varint(out, SLOT_HEARTBEAT);
+            put_varint(out, *committed);
+        }
+    }
+}
+
+/// Decodes a slot-pipeline message; the input must contain exactly one
+/// message.
+///
+/// # Errors
+///
+/// A [`DecodeError`] on truncated, malformed, or trailing input. Never
+/// panics, whatever the bytes.
+pub fn decode_slot_msg<V: WireValue>(mut buf: &[u8]) -> Result<SlotMsg<V>, DecodeError> {
+    let buf = &mut buf;
+    let msg = match get_varint(buf)? {
+        SLOT_SLOT => {
+            let slot = get_varint(buf)?;
+            let attempt = get_u32(buf)?;
+            let inner = read_msg(buf)?;
+            SlotMsg::Slot {
+                slot,
+                attempt,
+                inner,
+            }
+        }
+        SLOT_CATCHUP_REQ => SlotMsg::CatchUpRequest {
+            from: get_varint(buf)?,
+        },
+        SLOT_CATCHUP_REPLY => {
+            let slot = get_varint(buf)?;
+            let value = Arc::new(V::decode_value(buf)?);
+            SlotMsg::CatchUpReply { slot, value }
+        }
+        SLOT_HEARTBEAT => SlotMsg::Heartbeat {
+            committed: get_varint(buf)?,
+        },
+        t => return Err(DecodeError::InvalidTag(t)),
+    };
+    if buf.is_empty() {
+        Ok(msg)
+    } else {
+        Err(DecodeError::Trailing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ] {
+            let mut out = Vec::new();
+            put_varint(&mut out, v);
+            let mut buf = out.as_slice();
+            assert_eq!(get_varint(&mut buf).unwrap(), v);
+            assert!(buf.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overlong() {
+        // 11 continuation bytes can never be a valid u64 varint.
+        let bytes = [0x80u8; 11];
+        let mut buf = &bytes[..];
+        assert_eq!(get_varint(&mut buf), Err(DecodeError::VarintOverflow));
+        // 10 bytes whose last byte carries more than the final bit
+        // overflows 64 bits.
+        let mut bytes = [0x80u8; 10];
+        bytes[9] = 0x02;
+        let mut buf = &bytes[..];
+        assert_eq!(get_varint(&mut buf), Err(DecodeError::VarintOverflow));
+    }
+
+    #[test]
+    fn msg_round_trip() {
+        let msgs: Vec<Msg<u64>> = vec![
+            Msg::Initiator {
+                general: NodeId::new(3),
+                value: Arc::new(u64::MAX),
+            },
+            Msg::Ia {
+                kind: IaKind::Approve,
+                general: NodeId::new(0),
+                value: Arc::new(0),
+            },
+            Msg::Bcast {
+                kind: BcastKind::EchoPrime,
+                general: NodeId::new(7),
+                broadcaster: NodeId::new(1),
+                value: Arc::new(42),
+                round: u32::MAX,
+            },
+        ];
+        for msg in msgs {
+            let mut out = Vec::new();
+            encode_msg(&msg, &mut out);
+            assert_eq!(decode_msg::<u64>(&out).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn slot_msg_round_trip_blob() {
+        let msg: SlotMsg<Vec<u8>> = SlotMsg::Slot {
+            slot: 9,
+            attempt: 2,
+            inner: Msg::Bcast {
+                kind: BcastKind::Init,
+                general: NodeId::new(0),
+                broadcaster: NodeId::new(0),
+                value: Arc::new(vec![0xde, 0xad, 0xbe, 0xef]),
+                round: 1,
+            },
+        };
+        let mut out = Vec::new();
+        encode_slot_msg(&msg, &mut out);
+        assert_eq!(decode_slot_msg::<Vec<u8>>(&out).unwrap(), msg);
+    }
+
+    #[test]
+    fn blob_length_is_validated_before_allocating() {
+        // Claims 2^40 bytes but holds 1: must error, not allocate.
+        let mut out = Vec::new();
+        put_varint(&mut out, 1u64 << 40);
+        out.push(0xaa);
+        let mut buf = out.as_slice();
+        assert_eq!(
+            Vec::<u8>::decode_value(&mut buf),
+            Err(DecodeError::LengthMismatch)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let msg: Msg<u64> = Msg::Initiator {
+            general: NodeId::new(1),
+            value: Arc::new(5),
+        };
+        let mut out = Vec::new();
+        encode_msg(&msg, &mut out);
+        out.push(0);
+        assert_eq!(decode_msg::<u64>(&out), Err(DecodeError::Trailing));
+    }
+}

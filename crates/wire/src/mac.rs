@@ -1,0 +1,255 @@
+//! Per-link keyed message authentication.
+//!
+//! The paper's model gives every node an authenticated channel to every
+//! other node; on a real wire that is a per-link symmetric MAC, the
+//! `WrapperMsg`/`verf_mac` discipline: the receiver verifies the tag
+//! over the raw frame bytes **before** parsing anything, so Byzantine
+//! spam costs one MAC evaluation and nothing else — no decode, no
+//! interner work, no engine dispatch.
+//!
+//! The construction is an HMAC-style nested hash over a hand-rolled
+//! 256-bit ARX compression (this build has no registry access, so no
+//! vetted crypto crates): `tag = H(k ⊕ opad ‖ H(k ⊕ ipad ‖ m))`,
+//! truncated to 16 bytes. It is **not cryptographically vetted** — it
+//! stands in for HMAC-SHA256 and is plenty to make the byte-corruption
+//! adversary's forgeries computationally negligible in tests; swap in a
+//! real HMAC before trusting it against a live attacker.
+
+use ssbyz_types::NodeId;
+
+/// MAC key length in bytes.
+pub const KEY_LEN: usize = 32;
+
+/// MAC tag length in bytes (a 128-bit truncation of the 256-bit hash).
+pub const TAG_LEN: usize = 16;
+
+/// A per-link symmetric MAC key.
+#[derive(Clone)]
+pub struct MacKey([u8; KEY_LEN]);
+
+impl MacKey {
+    /// Wraps raw key bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; KEY_LEN]) -> Self {
+        MacKey(bytes)
+    }
+
+    /// Derives the directed link key `k(from → to)` from a cluster
+    /// master secret. Each ordered pair gets an independent key, so a
+    /// frame recorded on one link can never verify on another.
+    #[must_use]
+    pub fn derive_link(master: &[u8; KEY_LEN], from: NodeId, to: NodeId) -> Self {
+        let mut h = Hasher::new();
+        h.update(master);
+        h.update(b"ssbyz-link-v1");
+        h.update(&from.as_u32().to_le_bytes());
+        h.update(&to.as_u32().to_le_bytes());
+        MacKey(h.finalize())
+    }
+}
+
+impl core::fmt::Debug for MacKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print key material.
+        f.write_str("MacKey(..)")
+    }
+}
+
+/// Computes the tag over the concatenation of `parts`.
+#[must_use]
+pub fn mac(key: &MacKey, parts: &[&[u8]]) -> [u8; TAG_LEN] {
+    let mut ikey = key.0;
+    for b in &mut ikey {
+        *b ^= 0x36;
+    }
+    let mut inner = Hasher::new();
+    inner.update(&ikey);
+    for p in parts {
+        inner.update(p);
+    }
+    let inner_digest = inner.finalize();
+
+    let mut okey = key.0;
+    for b in &mut okey {
+        *b ^= 0x5c;
+    }
+    let mut outer = Hasher::new();
+    outer.update(&okey);
+    outer.update(&inner_digest);
+    let digest = outer.finalize();
+
+    let mut tag = [0u8; TAG_LEN];
+    tag.copy_from_slice(&digest[..TAG_LEN]);
+    tag
+}
+
+/// Verifies `tag` over the concatenation of `parts`. The comparison
+/// does not short-circuit on the first mismatching byte.
+#[must_use]
+pub fn verify(key: &MacKey, parts: &[&[u8]], tag: &[u8]) -> bool {
+    if tag.len() != TAG_LEN {
+        return false;
+    }
+    let expect = mac(key, parts);
+    let mut diff = 0u8;
+    for (a, b) in expect.iter().zip(tag) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+/// Streaming 256-bit hash over an ARX state: 4 × u64 lanes, 32-byte
+/// blocks, a multiply-rotate-xor round function in the SipHash/
+/// SplitMix spirit, length-strengthened finalization.
+pub struct Hasher {
+    s: [u64; 4],
+    buf: [u8; 32],
+    fill: usize,
+    len: u64,
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher {
+    /// Fresh state (fixed IVs — all keying goes through the input).
+    #[must_use]
+    pub fn new() -> Self {
+        Hasher {
+            s: [
+                0x6a09_e667_f3bc_c908,
+                0xbb67_ae85_84ca_a73b,
+                0x3c6e_f372_fe94_f82b,
+                0xa54f_f53a_5f1d_36f1,
+            ],
+            buf: [0u8; 32],
+            fill: 0,
+            len: 0,
+        }
+    }
+
+    fn compress(&mut self) {
+        let mut w = [0u64; 4];
+        for (i, lane) in w.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&self.buf[i * 8..i * 8 + 8]);
+            *lane = u64::from_le_bytes(b);
+        }
+        let s = &mut self.s;
+        for lane in &w {
+            s[0] ^= lane;
+            for _ in 0..2 {
+                s[0] = s[0].wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(29);
+                s[1] = (s[1] ^ s[0]).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                s[2] = s[2].wrapping_add(s[1]).rotate_left(17) ^ s[3];
+                s[3] = s[3].wrapping_add(s[0]).wrapping_mul(0x94d0_49bb_1331_11eb);
+            }
+            s.rotate_left(1);
+        }
+    }
+
+    /// Absorbs `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        self.len = self.len.wrapping_add(bytes.len() as u64);
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let take = (32 - self.fill).min(rest.len());
+            self.buf[self.fill..self.fill + take].copy_from_slice(&rest[..take]);
+            self.fill += take;
+            rest = &rest[take..];
+            if self.fill == 32 {
+                self.compress();
+                self.fill = 0;
+            }
+        }
+    }
+
+    /// Length-strengthened final digest.
+    #[must_use]
+    pub fn finalize(mut self) -> [u8; KEY_LEN] {
+        // Pad the tail block with 0x80 then zeros, absorb, then absorb
+        // a final block carrying the total length (Merkle–Damgård
+        // strengthening against trivial extension collisions).
+        self.buf[self.fill] = 0x80;
+        for b in &mut self.buf[self.fill + 1..] {
+            *b = 0;
+        }
+        self.compress();
+        self.buf = [0u8; 32];
+        self.buf[..8].copy_from_slice(&self.len.to_le_bytes());
+        self.compress();
+        // Two blank rounds to diffuse the length block.
+        self.compress();
+        self.compress();
+        let mut out = [0u8; KEY_LEN];
+        for (i, lane) in self.s.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&lane.to_le_bytes());
+        }
+        out
+    }
+}
+
+/// One-shot hash of `parts`.
+#[must_use]
+pub fn hash(parts: &[&[u8]]) -> [u8; KEY_LEN] {
+    let mut h = Hasher::new();
+    for p in parts {
+        h.update(p);
+    }
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seed: u8) -> MacKey {
+        MacKey::from_bytes([seed; KEY_LEN])
+    }
+
+    #[test]
+    fn mac_is_deterministic_and_key_separated() {
+        let t1 = mac(&key(1), &[b"hello", b" world"]);
+        let t2 = mac(&key(1), &[b"hello world"]);
+        // Streaming over parts equals the concatenation.
+        assert_eq!(t1, t2);
+        assert_ne!(mac(&key(2), &[b"hello world"]), t1);
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = mac(&key(7), &[b"payload"]);
+        assert!(verify(&key(7), &[b"payload"], &tag));
+        assert!(!verify(&key(7), &[b"payloae"], &tag));
+        assert!(!verify(&key(8), &[b"payload"], &tag));
+        let mut flipped = tag;
+        flipped[0] ^= 1;
+        assert!(!verify(&key(7), &[b"payload"], &flipped));
+        assert!(!verify(&key(7), &[b"payload"], &tag[..8]));
+    }
+
+    #[test]
+    fn link_keys_are_directional() {
+        let master = [9u8; KEY_LEN];
+        let ab = MacKey::derive_link(&master, NodeId::new(0), NodeId::new(1));
+        let ba = MacKey::derive_link(&master, NodeId::new(1), NodeId::new(0));
+        assert_ne!(ab.0, ba.0);
+        let tag = mac(&ab, &[b"x"]);
+        assert!(!verify(&ba, &[b"x"], &tag));
+    }
+
+    #[test]
+    fn hash_separates_lengths_and_boundaries() {
+        // Same bytes, different message boundaries must still collide
+        // (hash is over the concatenation)…
+        assert_eq!(hash(&[b"ab", b"c"]), hash(&[b"abc"]));
+        // …but prefixes, extensions and block-boundary paddings differ.
+        assert_ne!(hash(&[b"abc"]), hash(&[b"ab"]));
+        assert_ne!(hash(&[b"abc"]), hash(&[b"abc\x80"]));
+        assert_ne!(hash(&[&[0u8; 32]]), hash(&[&[0u8; 64]]));
+        assert_ne!(hash(&[]), hash(&[&[0u8; 32]]));
+    }
+}

@@ -1,0 +1,251 @@
+//! Property battery for the wire codec.
+//!
+//! Two invariants, from `docs/WIRE.md`:
+//!
+//! 1. **Round-trip**: `decode ∘ encode` is the identity on every
+//!    well-formed [`Msg`] / [`SlotMsg`] — including maximum-size ids,
+//!    rounds, slots, and payload blobs;
+//! 2. **Totality**: `decode` never panics. Arbitrary byte strings and
+//!    every truncation prefix of a valid encoding must come back as
+//!    `Err(..)` (or, for the rare byte string that happens to parse, an
+//!    `Ok` value) — never a crash. The decoder runs *after* the MAC
+//!    gate on the real wire path, but it must stay total anyway:
+//!    defense in depth against an insider with valid link keys.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use ssbyz_core::{BcastKind, IaKind, Msg, SlotMsg};
+use ssbyz_types::NodeId;
+use ssbyz_wire::{decode_msg, decode_slot_msg, encode_msg, encode_slot_msg};
+
+/// Builds one `Msg<Vec<u8>>` from flattened random coordinates.
+fn build_msg(
+    shape: u8,
+    kind: u8,
+    general: u32,
+    broadcaster: u32,
+    round: u32,
+    blob: Vec<u8>,
+) -> Msg<Vec<u8>> {
+    let value = Arc::new(blob);
+    match shape % 3 {
+        0 => Msg::Initiator {
+            general: NodeId::new(general),
+            value,
+        },
+        1 => Msg::Ia {
+            kind: IaKind::ALL[kind as usize % IaKind::ALL.len()],
+            general: NodeId::new(general),
+            value,
+        },
+        _ => Msg::Bcast {
+            kind: BcastKind::ALL[kind as usize % BcastKind::ALL.len()],
+            general: NodeId::new(general),
+            broadcaster: NodeId::new(broadcaster),
+            value,
+            round,
+        },
+    }
+}
+
+/// Builds one `SlotMsg<Vec<u8>>` from flattened random coordinates.
+#[allow(clippy::too_many_arguments)]
+fn build_slot_msg(
+    variant: u8,
+    shape: u8,
+    kind: u8,
+    general: u32,
+    slot: u64,
+    attempt: u32,
+    blob: Vec<u8>,
+) -> SlotMsg<Vec<u8>> {
+    match variant % 4 {
+        0 => SlotMsg::Slot {
+            slot,
+            attempt,
+            inner: build_msg(shape, kind, general, general ^ 3, attempt, blob),
+        },
+        1 => SlotMsg::CatchUpRequest { from: slot },
+        2 => SlotMsg::CatchUpReply {
+            slot,
+            value: Arc::new(blob),
+        },
+        _ => SlotMsg::Heartbeat { committed: slot },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `decode_msg(encode_msg(m)) == m` for random messages.
+    #[test]
+    fn msg_round_trips(
+        shape in 0u8..3,
+        kind in 0u8..4,
+        general in 0u32..u32::MAX,
+        broadcaster in 0u32..u32::MAX,
+        round in 0u32..u32::MAX,
+        blob in prop::collection::vec(0u8..=255, 0..64),
+    ) {
+        let msg = build_msg(shape, kind, general, broadcaster, round, blob);
+        let mut bytes = Vec::new();
+        encode_msg(&msg, &mut bytes);
+        let back = decode_msg::<Vec<u8>>(&bytes).expect("round-trip decode");
+        prop_assert_eq!(back, msg);
+    }
+
+    /// `decode_slot_msg(encode_slot_msg(m)) == m` for random slot
+    /// messages, slots and attempts drawn across the whole u64/u32
+    /// range (varint edge widths included).
+    #[test]
+    fn slot_msg_round_trips(
+        variant in 0u8..4,
+        shape in 0u8..3,
+        kind in 0u8..4,
+        general in 0u32..u32::MAX,
+        slot in 0u64..u64::MAX,
+        attempt in 0u32..u32::MAX,
+        blob in prop::collection::vec(0u8..=255, 0..64),
+    ) {
+        let msg = build_slot_msg(variant, shape, kind, general, slot, attempt, blob);
+        let mut bytes = Vec::new();
+        encode_slot_msg(&msg, &mut bytes);
+        let back = decode_slot_msg::<Vec<u8>>(&bytes).expect("round-trip decode");
+        prop_assert_eq!(back, msg);
+    }
+
+    /// u64 payloads round-trip too (the bench/example value type).
+    #[test]
+    fn u64_payload_round_trips(
+        variant in 0u8..4,
+        shape in 0u8..3,
+        slot in 0u64..u64::MAX,
+        value in 0u64..u64::MAX,
+    ) {
+        let msg: SlotMsg<u64> = match variant % 4 {
+            0 => SlotMsg::Slot {
+                slot,
+                attempt: (value & 0xffff) as u32,
+                inner: match shape % 3 {
+                    0 => Msg::Initiator { general: NodeId::new(1), value: Arc::new(value) },
+                    1 => Msg::Ia { kind: IaKind::Ready, general: NodeId::new(2), value: Arc::new(value) },
+                    _ => Msg::Bcast {
+                        kind: BcastKind::Echo,
+                        general: NodeId::new(0),
+                        broadcaster: NodeId::new(3),
+                        value: Arc::new(value),
+                        round: 2,
+                    },
+                },
+            },
+            1 => SlotMsg::CatchUpRequest { from: slot },
+            2 => SlotMsg::CatchUpReply { slot, value: Arc::new(value) },
+            _ => SlotMsg::Heartbeat { committed: slot },
+        };
+        let mut bytes = Vec::new();
+        encode_slot_msg(&msg, &mut bytes);
+        prop_assert_eq!(decode_slot_msg::<u64>(&bytes).expect("round-trip"), msg);
+    }
+
+    /// Every truncation of a valid encoding decodes to `Err`, never a
+    /// panic, and never silently to the original message.
+    #[test]
+    fn truncations_error_cleanly(
+        variant in 0u8..4,
+        shape in 0u8..3,
+        kind in 0u8..4,
+        general in 0u32..u32::MAX,
+        slot in 0u64..u64::MAX,
+        attempt in 0u32..u32::MAX,
+        blob in prop::collection::vec(0u8..=255, 0..48),
+    ) {
+        let msg = build_slot_msg(variant, shape, kind, general, slot, attempt, blob);
+        let mut bytes = Vec::new();
+        encode_slot_msg(&msg, &mut bytes);
+        for cut in 0..bytes.len() {
+            // A strict prefix can never equal the full message: the
+            // codec has no padding and `Trailing` forbids slack.
+            if let Ok(back) = decode_slot_msg::<Vec<u8>>(&bytes[..cut]) {
+                prop_assert_ne!(back, msg.clone(), "truncation at {} decoded to the original", cut);
+            }
+        }
+    }
+
+    /// Arbitrary byte strings never panic the decoders.
+    #[test]
+    fn garbage_never_panics(
+        bytes in prop::collection::vec(0u8..=255, 0..256),
+    ) {
+        let _ = decode_msg::<Vec<u8>>(&bytes);
+        let _ = decode_msg::<u64>(&bytes);
+        let _ = decode_slot_msg::<Vec<u8>>(&bytes);
+        let _ = decode_slot_msg::<u64>(&bytes);
+    }
+
+    /// Byte strings that *start* valid but carry trailing garbage are
+    /// rejected (`Trailing`), so a frame can never smuggle two messages.
+    #[test]
+    fn trailing_bytes_are_rejected(
+        slot in 0u64..u64::MAX,
+        extra in prop::collection::vec(0u8..=255, 1..32),
+    ) {
+        let msg: SlotMsg<u64> = SlotMsg::Heartbeat { committed: slot };
+        let mut bytes = Vec::new();
+        encode_slot_msg(&msg, &mut bytes);
+        bytes.extend_from_slice(&extra);
+        prop_assert!(decode_slot_msg::<u64>(&bytes).is_err());
+    }
+}
+
+/// Deterministic max-size edges the random battery may not hit.
+#[test]
+fn extreme_values_round_trip() {
+    let big_blob = vec![0xabu8; 1 << 16];
+    let cases: Vec<SlotMsg<Vec<u8>>> = vec![
+        SlotMsg::Slot {
+            slot: u64::MAX,
+            attempt: u32::MAX,
+            inner: Msg::Bcast {
+                kind: BcastKind::EchoPrime,
+                general: NodeId::new(u32::MAX),
+                broadcaster: NodeId::new(u32::MAX),
+                value: Arc::new(big_blob.clone()),
+                round: u32::MAX,
+            },
+        },
+        SlotMsg::CatchUpRequest { from: u64::MAX },
+        SlotMsg::CatchUpReply {
+            slot: u64::MAX,
+            value: Arc::new(big_blob),
+        },
+        SlotMsg::Heartbeat {
+            committed: u64::MAX,
+        },
+        SlotMsg::CatchUpReply {
+            slot: 0,
+            value: Arc::new(Vec::new()),
+        },
+    ];
+    for msg in cases {
+        let mut bytes = Vec::new();
+        encode_slot_msg(&msg, &mut bytes);
+        assert_eq!(
+            decode_slot_msg::<Vec<u8>>(&bytes).expect("extreme round-trip"),
+            msg
+        );
+    }
+}
+
+/// A length prefix claiming more bytes than the buffer holds must not
+/// allocate or panic — the historical DoS footgun for length-prefixed
+/// codecs.
+#[test]
+fn hostile_length_prefix_is_rejected() {
+    // CatchUpReply tag, slot 0, then a varint length of ~u64::MAX.
+    let mut bytes = Vec::new();
+    bytes.push(2); // SLOT_CATCHUP_REPLY
+    bytes.push(0); // slot = 0
+    bytes.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01]);
+    assert!(decode_slot_msg::<Vec<u8>>(&bytes).is_err());
+}

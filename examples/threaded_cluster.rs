@@ -20,7 +20,9 @@ fn main() {
     cluster
         .initiate(NodeId::new(0), "attack at dawn".to_string())
         .expect("cluster alive");
-    assert!(cluster.wait_for_decisions(4, std::time::Duration::from_secs(5)));
+    cluster
+        .wait_for_decisions(4, std::time::Duration::from_secs(5))
+        .expect("agreement #1 completes");
     for (node, value) in cluster.decisions() {
         println!("  {node} decided {value:?}");
     }
@@ -31,7 +33,9 @@ fn main() {
     cluster
         .initiate(NodeId::new(2), "retreat at dusk".to_string())
         .expect("cluster alive");
-    assert!(cluster.wait_for_decisions(8, std::time::Duration::from_secs(5)));
+    cluster
+        .wait_for_decisions(8, std::time::Duration::from_secs(5))
+        .expect("agreement #2 completes");
     for e in cluster.events() {
         if let ssbyz::Event::Decided { general, value, .. } = &e.event {
             println!(

@@ -1,0 +1,174 @@
+//! Wire-transport throughput bench: wall-clock slots/s and commits/s
+//! for the slot pipeline at n = 7 / 16, on the in-process channel
+//! router and on the authenticated TCP loopback mesh. Unlike the
+//! simulated benches this measures real threads, real sockets, and real
+//! MAC arithmetic — numbers vary run to run with the host. Writes
+//! `BENCH_wire.json`.
+//!
+//! ```text
+//! cargo run --release --example wire_throughput            # full grid
+//! cargo run --release --example wire_throughput -- --smoke # CI smoke
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ssbyz::core::{Params, PipelineConfig};
+use ssbyz::runtime::{PipelineCluster, RuntimeConfig};
+use ssbyz::wire::{TcpTransport, Transport, WireConfig};
+use ssbyz::{Duration, NodeId};
+
+const SEED: u64 = 1;
+const WINDOW: u64 = 8;
+
+struct Row {
+    n: usize,
+    f: usize,
+    transport: &'static str,
+    d_ms: u64,
+    values: usize,
+    completed: bool,
+    span_ns: u64,
+    slots_per_sec: f64,
+    commits_per_sec: f64,
+}
+
+fn params_for(n: usize, f: usize, d_ms: u64) -> Params {
+    Params::from_d(n, f, Duration::from_millis(d_ms), 0).expect("valid n/f")
+}
+
+/// Drives `values` submissions through a freshly spawned cluster and
+/// measures wall-clock span from first submission to last commit.
+fn run_cell<T: Transport<u64>>(
+    transport: &'static str,
+    n: usize,
+    f: usize,
+    d_ms: u64,
+    values: usize,
+    cluster: PipelineCluster<u64, T>,
+) -> Row {
+    // Let the mesh settle (heartbeats flowing) before the clock starts.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let t0 = Instant::now();
+    for v in 0..values as u64 {
+        cluster.submit(1_000 + v).expect("cluster alive");
+    }
+    let completed = cluster
+        .wait_for_commits(n * values, std::time::Duration::from_secs(120))
+        .is_ok();
+    // First submission to last commit, wall clock (the wait loop adds
+    // at most its 2 ms poll period).
+    let span = t0.elapsed().max(std::time::Duration::from_micros(1));
+    let slots = cluster
+        .committed_logs()
+        .iter()
+        .map(Vec::len)
+        .min()
+        .unwrap_or(0);
+    let total = cluster.commits().len();
+    cluster.shutdown();
+    let span_ns = u64::try_from(span.as_nanos()).unwrap_or(u64::MAX).max(1);
+    let secs = span_ns as f64 / 1e9;
+    Row {
+        n,
+        f,
+        transport,
+        d_ms,
+        values,
+        completed,
+        span_ns,
+        slots_per_sec: slots as f64 / secs,
+        commits_per_sec: total as f64 / secs,
+    }
+}
+
+fn spawn_inproc(n: usize, f: usize, d_ms: u64) -> PipelineCluster<u64> {
+    let params = params_for(n, f, d_ms);
+    let pipe_cfg = PipelineConfig::new(NodeId::new(0), &params).with_window(WINDOW);
+    PipelineCluster::spawn(
+        params,
+        pipe_cfg,
+        RuntimeConfig {
+            seed: SEED,
+            ..RuntimeConfig::default()
+        },
+    )
+}
+
+fn spawn_tcp(n: usize, f: usize, d_ms: u64) -> PipelineCluster<u64, TcpTransport<u64>> {
+    let params = params_for(n, f, d_ms);
+    let pipe_cfg = PipelineConfig::new(NodeId::new(0), &params).with_window(WINDOW);
+    PipelineCluster::spawn_tcp(
+        params,
+        pipe_cfg,
+        Duration::from_millis(5),
+        WireConfig::from_seed(SEED),
+    )
+    .expect("loopback mesh")
+}
+
+fn print_row(r: &Row) {
+    println!(
+        "  n={:<3} f={:<3} {:<11} d={:<3}ms values={:<3} span={:>8.1}ms  {:>7.1} slots/s  {:>8.1} commits/s  {}",
+        r.n,
+        r.f,
+        r.transport,
+        r.d_ms,
+        r.values,
+        r.span_ns as f64 / 1e6,
+        r.slots_per_sec,
+        r.commits_per_sec,
+        if r.completed { "✓" } else { "✗" },
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    if smoke {
+        // CI smoke: a short stream must fully commit on both transports.
+        println!("wire-throughput smoke (n=4):");
+        let row = run_cell("in-process", 4, 1, 10, 8, spawn_inproc(4, 1, 10));
+        print_row(&row);
+        assert!(row.completed, "in-process stream must fully commit");
+        let row = run_cell("tcp", 4, 1, 10, 8, spawn_tcp(4, 1, 10));
+        print_row(&row);
+        assert!(row.completed, "tcp stream must fully commit");
+        println!("smoke passed: full stream committed on both transports ✓");
+        return;
+    }
+
+    // `d` is the protocol's assumed bound on delivery *plus processing*
+    // delay — it must hold for the deployment or the timing windows
+    // (anchor freshness ≤ 4d, quorum windows 2d..5d) abort executions
+    // and the proposer burns retry cycles. On a small host, 16 node
+    // threads sharing cores push wave-processing latency past 10 ms, so
+    // the n = 16 cell runs with the bound that actually holds there;
+    // each row reports the d it was measured under.
+    println!("wire-transport throughput grid (window={WINDOW}, wall clock):");
+    let mut rows: Vec<Row> = Vec::new();
+    for (n, f, d_ms, values) in [(7usize, 2usize, 10u64, 32usize), (16, 5, 40, 24)] {
+        let row = run_cell("in-process", n, f, d_ms, values, spawn_inproc(n, f, d_ms));
+        print_row(&row);
+        assert!(row.completed, "n={n} in-process stream must fully commit");
+        rows.push(row);
+        let row = run_cell("tcp", n, f, d_ms, values, spawn_tcp(n, f, d_ms));
+        print_row(&row);
+        assert!(row.completed, "n={n} tcp stream must fully commit");
+        rows.push(row);
+    }
+
+    let mut out = String::from("{\n  \"window\": ");
+    let _ = write!(out, "{WINDOW},\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"n\": {}, \"f\": {}, \"transport\": \"{}\", \"d_ms\": {}, \"values\": {}, \"completed\": {}, \"span_ns\": {}, \"slots_per_sec\": {:.1}, \"commits_per_sec\": {:.1}}}{sep}",
+            r.n, r.f, r.transport, r.d_ms, r.values, r.completed, r.span_ns, r.slots_per_sec, r.commits_per_sec,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_wire.json", &out).expect("write BENCH_wire.json");
+    println!("wrote BENCH_wire.json");
+}

@@ -17,6 +17,7 @@
 //! | [`baseline`] | `ssbyz-baseline` | time-driven lock-step comparator (TPS-87 style) |
 //! | [`pulse`] | `ssbyz-pulse` | pulse synchronization built atop the agreement |
 //! | [`runtime`] | `ssbyz-runtime` | threaded wall-clock cluster |
+//! | [`wire`] | `ssbyz-wire` | authenticated binary codec, MAC'd framing, TCP readiness-loop reactor |
 //! | [`harness`] | `ssbyz-harness` | scenarios, property checkers, experiment drivers |
 //!
 //! ## Quickstart (deterministic simulation)
@@ -50,7 +51,7 @@
 //! let params = Params::from_d(4, 1, Duration::from_millis(20), 0)?;
 //! let cluster: Cluster<u64> = Cluster::spawn(params, RuntimeConfig::default());
 //! cluster.initiate(NodeId::new(0), 7)?;
-//! assert!(cluster.wait_for_decisions(4, std::time::Duration::from_secs(5)));
+//! cluster.wait_for_decisions(4, std::time::Duration::from_secs(5))?;
 //! cluster.shutdown();
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -65,6 +66,7 @@ pub use ssbyz_harness as harness;
 pub use ssbyz_pulse as pulse;
 pub use ssbyz_runtime as runtime;
 pub use ssbyz_simnet as simnet;
+pub use ssbyz_wire as wire;
 
 pub use ssbyz_core::{Engine, Event, Msg, Output, Params};
 pub use ssbyz_types::{

@@ -15,8 +15,9 @@ fn concurrent_generals_wall_clock() {
     std::thread::sleep(std::time::Duration::from_millis(30));
     cluster.initiate(NodeId::new(0), 1).unwrap();
     cluster.initiate(NodeId::new(1), 2).unwrap();
-    assert!(
+    assert_eq!(
         cluster.wait_for_decisions(8, std::time::Duration::from_secs(5)),
+        Ok(()),
         "both agreements complete: {:?}",
         cluster.decisions()
     );
@@ -73,7 +74,9 @@ fn decisions_carry_timing() {
     std::thread::sleep(std::time::Duration::from_millis(30));
     let before = cluster.elapsed();
     cluster.initiate(NodeId::new(0), 5).unwrap();
-    assert!(cluster.wait_for_decisions(4, std::time::Duration::from_secs(5)));
+    cluster
+        .wait_for_decisions(4, std::time::Duration::from_secs(5))
+        .unwrap();
     for e in cluster.events() {
         if matches!(e.event, Event::Decided { .. }) {
             assert!(e.elapsed >= before, "decision precedes initiation");
