@@ -26,7 +26,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ssbyz_adversary::{QuorumStalker, RngEntropy};
 use ssbyz_core::corrupt::ScrambleConfig;
-use ssbyz_simnet::Partition;
+use ssbyz_simnet::{Partition, SimMode};
 use ssbyz_types::{Duration, NodeId, RealTime};
 
 use crate::adapter::{EngineProcess, TOKEN_WAKE};
@@ -247,20 +247,42 @@ impl RunningScenario {
 }
 
 /// Stabilization measurements for one fault burst.
+///
+/// Each burst is bracketed by **two** agreements: a *companion*
+/// initiated `2d` before the burst, so the fault lands on an agreement
+/// in flight (its `disrupted_*` numbers are where the families actually
+/// differ — a crash loses different messages than a healing cut), and
+/// the *probe* initiated a settle span after the burst, which must pass
+/// the full correct-General battery on the healed network.
 #[derive(Debug, Clone)]
 pub struct BurstReport {
     /// Real time of the burst.
     pub burst_at: RealTime,
     /// Real time of the probe initiation (`t0` of the battery).
     pub probe_t0: RealTime,
+    /// Real time of the companion initiation (`≈ burst_at − 2d`).
+    pub companion_t0: RealTime,
     /// Time from the burst to the first correct probe decision.
     pub first_decision_after: Option<Duration>,
     /// Time from the burst until *every* correct node decided the probe
     /// value — the all-correct quiescence point.
     pub all_correct_after: Option<Duration>,
+    /// Time from the burst to the first correct resolution (decide or
+    /// abort) of the companion agreement the burst disrupted.
+    pub disrupted_first_after: Option<Duration>,
+    /// Time from the burst until every correct node resolved the
+    /// companion — how long the disruption lingered. `None` while any
+    /// correct node never resolved it.
+    pub disrupted_all_after: Option<Duration>,
+    /// Correct companion decisions carrying the initiated value.
+    pub disrupted_decides: usize,
+    /// Correct companion aborts (⊥) — nodes the burst cost the value.
+    pub disrupted_aborts: usize,
     /// Containment radius: distinct correct nodes that emitted any
     /// (necessarily wrong or aborted) output between the burst and the
     /// probe window — fault residue that leaked into visible returns.
+    /// Companion outcomes are excluded: resolving the agreement the
+    /// burst disrupted is measured above, not residue.
     pub containment_radius: usize,
     /// Total such leaked outputs.
     pub wrong_outputs: usize,
@@ -273,6 +295,8 @@ pub struct BurstReport {
 pub struct StabilizationReport {
     /// Campaign family name.
     pub family: &'static str,
+    /// Simulation engine the cell ran on.
+    pub sim_mode: SimMode,
     /// Membership size.
     pub n: usize,
     /// Fault budget.
@@ -496,6 +520,62 @@ pub fn campaign_settle(params: &ssbyz_core::Params) -> Duration {
     params.delta_rmv() * 2u64 + params.delta_agr() + params.d() * 16u64
 }
 
+/// One campaign cell, fully specified: membership, fault family, burst
+/// count, simulation engine and an optional δ override (see
+/// [`clamped_delta`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignSpec {
+    /// Membership size.
+    pub n: usize,
+    /// Fault budget.
+    pub f: usize,
+    /// Seed (drives delays, drift and the fault RNG).
+    pub seed: u64,
+    /// Fault-burst family.
+    pub family: CampaignFamily,
+    /// Number of bursts.
+    pub bursts: usize,
+    /// Simulation engine to run on.
+    pub sim_mode: SimMode,
+    /// Overrides the assumed network bound δ (`None` keeps the
+    /// [`ScenarioConfig`] default).
+    pub delta: Option<Duration>,
+}
+
+impl CampaignSpec {
+    /// A sequential-engine cell with the default δ.
+    #[must_use]
+    pub fn new(n: usize, f: usize, seed: u64, family: CampaignFamily, bursts: usize) -> Self {
+        CampaignSpec {
+            n,
+            f,
+            seed,
+            family,
+            bursts,
+            sim_mode: SimMode::Sequential,
+            delta: None,
+        }
+    }
+}
+
+/// The assumed network bound δ, kept honest for `n` nodes on `workers`
+/// execution lanes. δ's companion π (the processing bound) budgets each
+/// node one message-handling step per millisecond, but a node touches
+/// `O(n)` messages per protocol step — so past roughly `64 × workers`
+/// nodes the default δ = 9 ms would silently promise more processing
+/// than the lanes can model. Returns the scaled δ and whether scaling
+/// kicked in (callers should surface a warning when it did).
+#[must_use]
+pub fn clamped_delta(n: usize, workers: usize) -> (Duration, bool) {
+    let base = ScenarioConfig::new(4, 1).delta;
+    let capacity = workers.max(1) * 64;
+    if n <= capacity {
+        return (base, false);
+    }
+    let factor = n.div_ceil(capacity) as u32;
+    (base * factor, true)
+}
+
 /// Runs one campaign cell: `bursts` fault bursts of `family` against an
 /// `(n, f)` membership, each followed by a probe agreement from the
 /// fault-free node 0, and returns the per-burst stabilization report.
@@ -512,7 +592,32 @@ pub fn run_campaign(
     family: CampaignFamily,
     bursts: usize,
 ) -> StabilizationReport {
-    let cfg = ScenarioConfig::new(n, f).with_seed(seed);
+    run_campaign_spec(&CampaignSpec::new(n, f, seed, family, bursts))
+}
+
+/// [`run_campaign`] with the engine and δ picked by a [`CampaignSpec`] —
+/// the sharded engine carries the same campaign to `n = 256` and beyond.
+///
+/// # Panics
+///
+/// Panics if `n < 4` or the `(n, f)` pair violates `n > 3f`.
+#[must_use]
+pub fn run_campaign_spec(spec: &CampaignSpec) -> StabilizationReport {
+    let CampaignSpec {
+        n,
+        f,
+        seed,
+        family,
+        bursts,
+        ..
+    } = *spec;
+    let mut cfg = ScenarioConfig::new(n, f).with_seed(seed);
+    if let Some(delta) = spec.delta {
+        cfg.delta = delta;
+        // The engine tick tracks d (≈ δ + π at small drift) so protocol
+        // deadlines stay one tick apart.
+        cfg.tick = cfg.params().expect("valid campaign config").d();
+    }
     let params = cfg.params().expect("valid campaign config");
     let d = params.d();
     let settle = campaign_settle(&params);
@@ -526,8 +631,23 @@ pub fn run_campaign(
     let probe_offsets: Vec<(Duration, Val)> = (0..bursts)
         .map(|k| (first + period * k as u64 + settle, 100 + k as Val))
         .collect();
+    // Companion initiations land 2d *before* each burst so the fault
+    // disrupts an agreement in flight. Values 500+k stay clear of the
+    // probes (100+k) and the stalker's 600–602 repertoire; the tightest
+    // spacing to a neighbouring initiation is `probe_tail − 2d ≥ Δ_agr +
+    // 12d > Δ_0 = 13d` (Δ_agr > d always), so [IG1] never refuses.
+    let companion_offsets: Vec<(Duration, Val)> = (0..bursts)
+        .map(|k| (first + period * k as u64 - d * 2u64, 500 + k as Val))
+        .collect();
+    let mut initiations = Vec::new();
+    for k in 0..bursts {
+        initiations.push(companion_offsets[k]);
+        initiations.push(probe_offsets[k]);
+    }
     let stalker = family == CampaignFamily::AdaptiveStorm;
-    let mut b = ScenarioBuilder::new(cfg).correct_with_initiations(probe_offsets.clone());
+    let mut b = ScenarioBuilder::new(cfg)
+        .sim_mode(spec.sim_mode)
+        .correct_with_initiations(initiations);
     for i in 1..n {
         if stalker && i == n - 1 {
             b = b.byzantine(Box::new(QuorumStalker::new(
@@ -541,7 +661,7 @@ pub fn run_campaign(
     }
     let mut sc = b.build();
     let mut rng = StdRng::seed_from_u64(seed ^ 0xFA17_FA17);
-    let clock0 = *sc.sim().clock(NodeId::new(0));
+    let clock0 = sc.sim().clock(NodeId::new(0));
     let base_local = clock0.local_at(RealTime::ZERO);
     let correct = sc.correct().to_vec();
 
@@ -573,13 +693,22 @@ pub fn run_campaign(
         let win_to = t0 + params.delta_agr() + d * 10u64;
         sc.run_with_faults(&schedule, win_to + d * 4u64, &mut rng);
 
+        let comp_t0 = clock0.real_of_local(base_local + companion_offsets[k].0);
         let res = sc.result();
         reports.push(measure_burst(
-            &res, burst_at, t0, win_from, win_to, *value, &params,
+            &res,
+            burst_at,
+            t0,
+            win_from,
+            win_to,
+            *value,
+            (companion_offsets[k].1, comp_t0),
+            &params,
         ));
     }
     StabilizationReport {
         family: family.name(),
+        sim_mode: spec.sim_mode,
         n,
         f,
         seed,
@@ -592,6 +721,7 @@ pub fn run_campaign(
 }
 
 /// Distills one burst's measurements out of the full run result.
+#[allow(clippy::too_many_arguments)]
 fn measure_burst(
     res: &ScenarioResult,
     burst_at: RealTime,
@@ -599,8 +729,11 @@ fn measure_burst(
     win_from: RealTime,
     win_to: RealTime,
     value: Val,
+    companion: (Val, RealTime),
     params: &ssbyz_core::Params,
 ) -> BurstReport {
+    let d = params.d();
+    let (comp_value, comp_t0) = companion;
     let probe = filter_window(res, win_from, win_to);
     let mut violations = Violations::default();
     violations.extend(checks::check_correct_general_run(
@@ -610,7 +743,50 @@ fn measure_burst(
         t0,
         slack(params.d()),
     ));
-    let (containment_radius, wrong_outputs) = checks::containment_radius(res, burst_at, win_from);
+
+    // A record belongs to the companion instance when it decided the
+    // companion value, or aborted an instance anchored at the companion
+    // initiation (±2d of drift/delivery slop).
+    let is_companion = |r: &&crate::scenario::DecisionRecord| {
+        r.general == NodeId::new(0)
+            && (r.value == Some(comp_value)
+                || (r.value.is_none()
+                    && r.tau_g_real >= comp_t0 - d * 2u64
+                    && r.tau_g_real <= comp_t0 + d * 2u64))
+    };
+    let comp_records: Vec<&crate::scenario::DecisionRecord> = res
+        .decisions
+        .iter()
+        .filter(|r| res.correct.contains(&r.node))
+        .filter(is_companion)
+        .collect();
+    let disrupted_first_after = comp_records
+        .iter()
+        .map(|r| r.real_at)
+        .min()
+        .map(|t| t.saturating_since(burst_at));
+    let all_resolved = res
+        .correct
+        .iter()
+        .all(|node| comp_records.iter().any(|r| r.node == *node));
+    let disrupted_all_after = if all_resolved {
+        comp_records
+            .iter()
+            .map(|r| r.real_at)
+            .max()
+            .map(|t| t.saturating_since(burst_at))
+    } else {
+        None
+    };
+    let disrupted_decides = comp_records.iter().filter(|r| r.value.is_some()).count();
+    let disrupted_aborts = comp_records.len() - disrupted_decides;
+
+    // Containment measures *residue*, so companion outcomes — resolving
+    // the agreement the burst deliberately disrupted — don't count.
+    let mut residue = res.clone();
+    residue.decisions.retain(|r| !is_companion(&r));
+    let (containment_radius, wrong_outputs) =
+        checks::containment_radius(&residue, burst_at, win_from);
     let probe_decides: Vec<&crate::scenario::DecisionRecord> = probe
         .decisions
         .iter()
@@ -639,8 +815,13 @@ fn measure_burst(
     BurstReport {
         burst_at,
         probe_t0: t0,
+        companion_t0: comp_t0,
         first_decision_after,
         all_correct_after,
+        disrupted_first_after,
+        disrupted_all_after,
+        disrupted_decides,
+        disrupted_aborts,
         containment_radius,
         wrong_outputs,
         violations: violations.0,
@@ -691,5 +872,46 @@ mod tests {
         let a = run_campaign(4, 1, 3, CampaignFamily::RepeatedScrambles, 1);
         let b = run_campaign(4, 1, 3, CampaignFamily::RepeatedScrambles, 1);
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    /// A whole campaign cell on the sharded engine — mid-run crashes,
+    /// partitions, scrambles, planted timers and all — is bit-identical
+    /// across worker-thread counts.
+    #[test]
+    fn sharded_campaign_is_thread_count_invariant() {
+        let mk = |threads: usize| {
+            let mut spec = CampaignSpec::new(7, 2, 5, CampaignFamily::RepeatedScrambles, 1);
+            spec.sim_mode = SimMode::Sharded(threads);
+            run_campaign_spec(&spec)
+        };
+        let a = mk(1);
+        let b = mk(4);
+        assert_eq!(
+            format!("{:?}", a.bursts),
+            format!("{:?}", b.bursts),
+            "sharded campaign diverged between 1 and 4 workers"
+        );
+        assert!(a.stabilized(), "violations: {:?}", a.violations());
+    }
+
+    /// Distinct fault families must leave distinct fingerprints under a
+    /// fixed seed. The companion agreement in flight across each burst
+    /// is what makes the difference visible: a crash and a healing cut
+    /// lose different messages, so the per-burst `disrupted_*` numbers
+    /// diverge even when both probes pass identically on the healed
+    /// network. (Regression: these two families once produced
+    /// bit-identical burst metrics at n = 7.)
+    #[test]
+    fn families_produce_distinct_traces() {
+        let a = run_campaign(7, 2, 1, CampaignFamily::CrashChurn, 2);
+        let b = run_campaign(7, 2, 1, CampaignFamily::HealingPartitions, 2);
+        assert_ne!(
+            format!("{:?}", a.bursts),
+            format!("{:?}", b.bursts),
+            "crash-churn and healing-partitions produced identical burst traces"
+        );
+        // The probes themselves must still both stabilize.
+        assert!(a.stabilized(), "crash-churn: {:?}", a.violations());
+        assert!(b.stabilized(), "healing-partitions: {:?}", b.violations());
     }
 }

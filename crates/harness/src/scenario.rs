@@ -12,8 +12,8 @@ use ssbyz_adversary::{u64_corruptor, u64_injector, RngEntropy};
 use ssbyz_core::corrupt::ScrambleConfig;
 use ssbyz_core::{Engine, Event, Msg, Params};
 use ssbyz_simnet::{
-    BroadcastMode, DriftClock, LinkConfig, Metrics, Process, SimBuilder, Simulation, StormConfig,
-    WaveMode,
+    AnySim, BroadcastMode, DriftClock, LinkConfig, Metrics, Process, RngMode, SimBuilder, SimMode,
+    StormConfig, WaveMode,
 };
 use ssbyz_types::{ConfigError, Duration, LocalTime, NodeId, RealTime};
 
@@ -121,6 +121,8 @@ pub struct ScenarioBuilder {
     boot_readings: Option<Vec<LocalTime>>,
     broadcast_mode: BroadcastMode,
     wave_mode: WaveMode,
+    sim_mode: SimMode,
+    rng_mode: RngMode,
 }
 
 impl ScenarioBuilder {
@@ -142,6 +144,8 @@ impl ScenarioBuilder {
             boot_readings: None,
             broadcast_mode: BroadcastMode::default(),
             wave_mode: WaveMode::default(),
+            sim_mode: SimMode::Sequential,
+            rng_mode: RngMode::Global,
         }
     }
 
@@ -160,6 +164,25 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn wave_mode(mut self, mode: WaveMode) -> Self {
         self.wave_mode = mode;
+        self
+    }
+
+    /// Selects the simulation engine: the sequential wheel (default) or
+    /// the sharded conservative-lookahead engine with a worker-thread
+    /// count. Sharded runs always use per-node RNG streams.
+    #[must_use]
+    pub fn sim_mode(mut self, mode: SimMode) -> Self {
+        self.sim_mode = mode;
+        self
+    }
+
+    /// Selects the RNG stream layout for *sequential* runs.
+    /// [`RngMode::PerNode`] makes a sequential run comparable to a
+    /// sharded one draw-for-draw; the default keeps the original global
+    /// stream so existing fixed-seed traces are untouched.
+    #[must_use]
+    pub fn rng_mode(mut self, mode: RngMode) -> Self {
+        self.rng_mode = mode;
         self
     }
 
@@ -265,6 +288,7 @@ impl ScenarioBuilder {
             ))
             .broadcast_mode(self.broadcast_mode)
             .wave_mode(self.wave_mode)
+            .rng_mode(self.rng_mode)
             .tagger(Msg::tag);
         if let Some(storm) = self.storm {
             builder = builder
@@ -315,7 +339,7 @@ impl ScenarioBuilder {
             builder = builder.node(process, clock);
         }
         RunningScenario {
-            sim: builder.build(),
+            sim: builder.build_mode(self.sim_mode),
             params: self.params,
             correct,
         }
@@ -419,9 +443,10 @@ impl ScenarioResult {
     }
 }
 
-/// A scenario wired into a live simulation.
+/// A scenario wired into a live simulation (either engine, behind
+/// [`AnySim`]).
 pub struct RunningScenario {
-    sim: Simulation<ScenarioMsg, NodeEvent<Val>>,
+    sim: AnySim<ScenarioMsg, NodeEvent<Val>>,
     params: Params,
     correct: Vec<NodeId>,
 }
@@ -441,13 +466,13 @@ impl RunningScenario {
 
     /// Mutable access to the underlying simulation (storm control, link
     /// blocks, down-time injection, external messages).
-    pub fn sim_mut(&mut self) -> &mut Simulation<ScenarioMsg, NodeEvent<Val>> {
+    pub fn sim_mut(&mut self) -> &mut AnySim<ScenarioMsg, NodeEvent<Val>> {
         &mut self.sim
     }
 
     /// Read access to the underlying simulation.
     #[must_use]
-    pub fn sim(&self) -> &Simulation<ScenarioMsg, NodeEvent<Val>> {
+    pub fn sim(&self) -> &AnySim<ScenarioMsg, NodeEvent<Val>> {
         &self.sim
     }
 

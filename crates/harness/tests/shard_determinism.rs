@@ -1,0 +1,148 @@
+//! Scenario-level fixed-seed determinism across the sharded engine's
+//! thread matrix: for every scenario shape (jittered links, draw-free
+//! fixed links, adversarial storm) and a mid-run fault burst applied
+//! through `FaultSchedule`, the full observation trace and metrics must
+//! be byte-identical for threads ∈ {1, 2, 4, 8}. The worker count is an
+//! execution detail — it must never leak into simulated behaviour.
+
+use ssbyz_core::corrupt::ScrambleConfig;
+use ssbyz_harness::{Fault, FaultSchedule, ScenarioBuilder, ScenarioConfig};
+use ssbyz_simnet::{SimMode, StormConfig};
+use ssbyz_types::{Duration, NodeId, RealTime};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Shape {
+    /// Default per-delivery jittered link delays (RNG on the hot path).
+    Jittered,
+    /// Fixed 250 µs links: every delivery instant is draw-free.
+    Fixed,
+    /// Early message storm: drops, corruptions, duplicates, injections.
+    Storm,
+}
+
+fn storm() -> StormConfig {
+    StormConfig {
+        until: RealTime::from_nanos(40_000_000),
+        drop_num: 1,
+        drop_den: 8,
+        corrupt_num: 1,
+        corrupt_den: 8,
+        dup_num: 1,
+        dup_den: 8,
+        max_delay: Duration::from_millis(4),
+        injection_period: Some(Duration::from_millis(3)),
+    }
+}
+
+/// A mid-run burst touching every fault arm the campaign uses: a live
+/// state scramble, a crash with recovery, a healing partition, a
+/// forward clock jump and a spell of link congestion.
+fn burst(at: RealTime, d: Duration) -> FaultSchedule {
+    FaultSchedule::new()
+        .at(
+            at,
+            Fault::Scramble {
+                node: NodeId::new(3),
+                cfg: ScrambleConfig::default(),
+            },
+        )
+        .at(
+            at + d,
+            Fault::Crash {
+                node: NodeId::new(5),
+                down_for: d * 6u64,
+            },
+        )
+        .at(
+            at + d,
+            Fault::Partition {
+                groups: vec![(0..6).map(NodeId::new).collect(), vec![NodeId::new(6)]],
+                heal_after: Some(d * 4u64),
+            },
+        )
+        .at(
+            at + d * 2u64,
+            Fault::ClockJump {
+                node: NodeId::new(4),
+                jump: d * 10u64,
+                new_rate_ppm: None,
+            },
+        )
+        .at(
+            at + d * 2u64,
+            Fault::DelayInflation {
+                num: 2,
+                den: 1,
+                lasts: d * 5u64,
+            },
+        )
+}
+
+/// Runs one 7-node scenario on the given engine and returns the full
+/// trace (Debug of every observation, in delivery order) plus metrics.
+fn run(seed: u64, shape: Shape, mode: SimMode) -> (Vec<String>, ssbyz_simnet::Metrics) {
+    let mut cfg = ScenarioConfig::new(7, 2).with_seed(seed);
+    if shape == Shape::Fixed {
+        cfg = cfg.with_actual_delays(Duration::from_micros(250), Duration::from_micros(250));
+    }
+    let d = cfg.params().expect("valid").d();
+
+    let mut b = ScenarioBuilder::new(cfg).sim_mode(mode);
+    if shape == Shape::Storm {
+        b = b.storm(storm());
+    }
+    let initiate_at = if shape == Shape::Storm {
+        Duration::from_millis(10)
+    } else {
+        d * 4u64
+    };
+    let mut sc = b
+        .correct_general(initiate_at, 41)
+        .correct()
+        .correct()
+        .correct()
+        .correct()
+        .correct()
+        .correct()
+        .build();
+
+    let burst_at = RealTime::ZERO + initiate_at + d * 2u64;
+    let horizon = RealTime::ZERO + initiate_at + d * 40u64;
+    sc.run_schedule(&burst(burst_at, d), horizon, seed);
+
+    let trace = sc
+        .sim()
+        .observations()
+        .iter()
+        .map(|o| format!("{o:?}"))
+        .collect();
+    (trace, sc.sim().metrics().clone())
+}
+
+/// The whole thread matrix must reproduce the single-shard trace
+/// bit for bit, for every shape, faults and all.
+#[test]
+fn thread_matrix_is_trace_invariant() {
+    for shape in [Shape::Jittered, Shape::Fixed, Shape::Storm] {
+        for seed in [1u64, 7] {
+            let (base_trace, base_metrics) = run(seed, shape, SimMode::Sharded(1));
+            assert!(
+                !base_trace.is_empty(),
+                "{shape:?} seed {seed}: scenario must produce observations"
+            );
+            for t in THREADS {
+                let (trace, metrics) = run(seed, shape, SimMode::Sharded(t));
+                assert_eq!(
+                    trace, base_trace,
+                    "{shape:?} seed {seed}: trace must not depend on thread count ({t} vs 1)"
+                );
+                assert_eq!(
+                    metrics, base_metrics,
+                    "{shape:?} seed {seed}: metrics must not depend on thread count ({t} vs 1)"
+                );
+            }
+        }
+    }
+}

@@ -24,6 +24,7 @@
 
 mod clock;
 mod network;
+mod par;
 mod process;
 mod sim;
 
@@ -35,7 +36,9 @@ pub use ssbyz_sched as sched;
 
 pub use clock::{DriftClock, PPM};
 pub use network::{LinkBlock, LinkConfig, Partition, StormConfig};
+pub use par::{AnySim, ShardedSim, SimMode};
 pub use process::{Ctx, Process};
 pub use sim::{
-    BroadcastMode, Corruptor, Injector, Metrics, Observation, SimBuilder, Simulation, WaveMode,
+    stream_seed, BroadcastMode, Corruptor, Injector, Metrics, Observation, RngMode, SimBuilder,
+    Simulation, WaveMode,
 };

@@ -48,6 +48,78 @@ pub struct Metrics {
     pub per_tag: BTreeMap<&'static str, u64>,
 }
 
+/// Which RNG stream layout the simulation draws from.
+///
+/// [`RngMode::Global`] (the default) is the original behaviour: one
+/// seeded stream consumed in event-processing order. Every draw then
+/// depends on the global interleaving of events, which is fine for a
+/// single wheel but unshardable. [`RngMode::PerNode`] gives each node
+/// its own stream (derived from the seed and the node's stable id via
+/// [`stream_seed`]) plus one auxiliary stream for storm injection:
+/// every draw is attributed to a node — routing draws to the sender,
+/// handler draws to the handling node — so the sequence each node sees
+/// depends only on that node's own event order. That is the keying the
+/// sharded simulator ([`crate::par`]) relies on: draws derive from
+/// stable ids, never from cross-node interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RngMode {
+    /// One global stream in event-processing order (the original route).
+    #[default]
+    Global,
+    /// One independent stream per node, plus an auxiliary stream for
+    /// storm injection. Required by (and forced on by) the sharded
+    /// simulator.
+    PerNode,
+}
+
+/// Derives the seed of an independent per-lane RNG stream from the
+/// simulation seed and a stable lane id (splitmix64 finalizer — the
+/// same mixer the offline `rand` shim builds on). Lane 0 is the
+/// auxiliary stream; node `i` uses lane `i + 1`.
+#[must_use]
+pub fn stream_seed(seed: u64, lane: u64) -> u64 {
+    let mut z = seed ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The concrete stream set behind an [`RngMode`].
+pub(crate) enum RngStreams {
+    Global(StdRng),
+    PerNode { nodes: Vec<StdRng>, aux: StdRng },
+}
+
+impl RngStreams {
+    pub(crate) fn new(mode: RngMode, seed: u64, n: usize) -> Self {
+        match mode {
+            RngMode::Global => RngStreams::Global(StdRng::seed_from_u64(seed)),
+            RngMode::PerNode => RngStreams::PerNode {
+                nodes: (0..n)
+                    .map(|i| StdRng::seed_from_u64(stream_seed(seed, i as u64 + 1)))
+                    .collect(),
+                aux: StdRng::seed_from_u64(stream_seed(seed, 0)),
+            },
+        }
+    }
+
+    /// The stream a draw attributed to `node` comes from.
+    pub(crate) fn stream(&mut self, node: NodeId) -> &mut StdRng {
+        match self {
+            RngStreams::Global(r) => r,
+            RngStreams::PerNode { nodes, .. } => &mut nodes[node.index()],
+        }
+    }
+
+    /// The stream non-node draws (storm injection) come from.
+    pub(crate) fn aux(&mut self) -> &mut StdRng {
+        match self {
+            RngStreams::Global(r) => r,
+            RngStreams::PerNode { aux, .. } => aux,
+        }
+    }
+}
+
 /// Corruptor hook: may rewrite a storm-hit message (or eat it).
 pub type Corruptor<M> = Box<dyn FnMut(M, &mut StdRng) -> Option<M> + Send>;
 
@@ -57,7 +129,7 @@ pub type Corruptor<M> = Box<dyn FnMut(M, &mut StdRng) -> Option<M> + Send>;
 /// a transient fault can leave in flight.
 pub type Injector<M> = Box<dyn FnMut(&mut StdRng, usize) -> (NodeId, NodeId, M) + Send>;
 
-enum EventKind<M> {
+pub(crate) enum EventKind<M> {
     /// Delivery of a (possibly broadcast-shared) payload to one node.
     Deliver {
         to: NodeId,
@@ -128,15 +200,15 @@ pub enum WaveMode {
     PerMessage,
 }
 
-struct NodeSlot<M, O> {
-    process: Box<dyn Process<M, O>>,
-    clock: DriftClock,
+pub(crate) struct NodeSlot<M, O> {
+    pub(crate) process: Box<dyn Process<M, O>>,
+    pub(crate) clock: DriftClock,
     /// Down (crashed / storm-disabled) until this real time.
-    down_until: Option<RealTime>,
+    pub(crate) down_until: Option<RealTime>,
     /// Pending timers keyed by `(token, real-due ns)`: the handle lets a
     /// reschedule cancel the wheel entry outright instead of leaving
     /// stale garbage, and makes identical re-requests no-ops.
-    timers: BTreeMap<(u64, u64), TimerHandle>,
+    pub(crate) timers: BTreeMap<(u64, u64), TimerHandle>,
 }
 
 /// Builder for a [`Simulation`].
@@ -149,6 +221,7 @@ pub struct SimBuilder<M, O> {
     tagger: Option<fn(&M) -> &'static str>,
     mode: BroadcastMode,
     wave_mode: WaveMode,
+    rng_mode: RngMode,
     nodes: Vec<NodeSlot<M, O>>,
 }
 
@@ -165,8 +238,16 @@ impl<M, O> SimBuilder<M, O> {
             tagger: None,
             mode: BroadcastMode::default(),
             wave_mode: WaveMode::default(),
+            rng_mode: RngMode::default(),
             nodes: Vec::new(),
         }
+    }
+
+    /// Selects the RNG stream layout (defaults to [`RngMode::Global`]).
+    #[must_use]
+    pub fn rng_mode(mut self, mode: RngMode) -> Self {
+        self.rng_mode = mode;
+        self
     }
 
     /// Selects the broadcast fan-out scheduling mode (defaults to
@@ -239,6 +320,7 @@ impl<M, O> SimBuilder<M, O> {
         // δ/d horizon): most deliveries then land within the first
         // levels, where insert and cancel are single bucket pushes.
         let queue = TimerWheel::for_span_hint(self.link.delay_max.as_nanos());
+        let n = self.nodes.len();
         let mut sim = Simulation {
             now: RealTime::ZERO,
             queue,
@@ -248,7 +330,7 @@ impl<M, O> SimBuilder<M, O> {
             blocks: Vec::new(),
             partition: None,
             delay_inflation: None,
-            rng: StdRng::seed_from_u64(self.seed),
+            rngs: RngStreams::new(self.rng_mode, self.seed, n),
             corruptor: self.corruptor,
             injector: self.injector,
             tagger: self.tagger,
@@ -317,29 +399,29 @@ impl<M, O> SimBuilder<M, O> {
 /// assert_eq!(sim.observations().len(), 2); // both nodes got the broadcast
 /// ```
 pub struct Simulation<M, O> {
-    now: RealTime,
+    pub(crate) now: RealTime,
     /// The hierarchical timer wheel holding every pending event
     /// (deliveries, timers, storm injections) in `(due, seq)` order.
-    queue: TimerWheel<EventKind<M>>,
-    nodes: Vec<NodeSlot<M, O>>,
-    link: LinkConfig,
-    storm: Option<StormConfig>,
-    blocks: Vec<LinkBlock>,
+    pub(crate) queue: TimerWheel<EventKind<M>>,
+    pub(crate) nodes: Vec<NodeSlot<M, O>>,
+    pub(crate) link: LinkConfig,
+    pub(crate) storm: Option<StormConfig>,
+    pub(crate) blocks: Vec<LinkBlock>,
     /// The partition currently in force, if any (fault injection).
-    partition: Option<Partition>,
+    pub(crate) partition: Option<Partition>,
     /// Link-delay inflation `(num, den, until)`: sampled delays are scaled
     /// by `num/den` while `now < until` (fault injection). Applied after
     /// the RNG draw so the draw sequence — and thus every downstream
     /// random choice — is identical with and without the fault.
-    delay_inflation: Option<(u64, u64, RealTime)>,
-    rng: StdRng,
+    pub(crate) delay_inflation: Option<(u64, u64, RealTime)>,
+    pub(crate) rngs: RngStreams,
     corruptor: Option<Corruptor<M>>,
     injector: Option<Injector<M>>,
-    tagger: Option<fn(&M) -> &'static str>,
-    observations: Vec<Observation<O>>,
-    metrics: Metrics,
+    pub(crate) tagger: Option<fn(&M) -> &'static str>,
+    pub(crate) observations: Vec<Observation<O>>,
+    pub(crate) metrics: Metrics,
     started: bool,
-    events_processed: u64,
+    pub(crate) events_processed: u64,
     /// Reused per-handler effect buffer: every dispatch borrows this Vec
     /// instead of allocating a fresh outbox per event.
     scratch_outbox: Vec<Effect<M, O>>,
@@ -355,7 +437,7 @@ pub struct Simulation<M, O> {
     /// allocates no fresh bitsets.
     bitset_pool: Vec<NodeBitSet>,
     /// How same-instant deliveries are dispatched.
-    wave_mode: WaveMode,
+    pub(crate) wave_mode: WaveMode,
     /// Pooled drain buffer for one coalesced instant: the contiguous run
     /// of same-due delivery entries popped off the wheel before
     /// destination-major dispatch.
@@ -570,6 +652,13 @@ impl<M: Clone, O> Simulation<M, O> {
         self.queue.occupancy()
     }
 
+    /// Runs every node's [`Process::on_start`] hook if that has not
+    /// happened yet (the sharded simulator calls this before taking the
+    /// wheel apart, so both modes share the exact start-up trace).
+    pub(crate) fn ensure_started(&mut self) {
+        self.start_if_needed();
+    }
+
     fn start_if_needed(&mut self) {
         if self.started {
             return;
@@ -580,9 +669,9 @@ impl<M: Clone, O> Simulation<M, O> {
             let mut outbox = std::mem::take(&mut self.scratch_outbox);
             {
                 let n = self.nodes.len();
+                let local = self.nodes[i].clock.local_at(self.now);
                 let slot = &mut self.nodes[i];
-                let local = slot.clock.local_at(self.now);
-                let rng = &mut self.rng;
+                let rng = self.rngs.stream(node);
                 let mut words = move || rng.next_u64();
                 let mut ctx = Ctx {
                     me: node,
@@ -654,9 +743,9 @@ impl<M: Clone, O> Simulation<M, O> {
         let mut outbox = std::mem::take(&mut self.scratch_outbox);
         {
             let n = self.nodes.len();
+            let local = self.nodes[to.index()].clock.local_at(at);
             let slot = &mut self.nodes[to.index()];
-            let local = slot.clock.local_at(at);
-            let rng = &mut self.rng;
+            let rng = self.rngs.stream(to);
             let mut words = move || rng.next_u64();
             let mut ctx = Ctx {
                 me: to,
@@ -685,9 +774,9 @@ impl<M: Clone, O> Simulation<M, O> {
         let mut outbox = std::mem::take(&mut self.scratch_outbox);
         {
             let n = self.nodes.len();
+            let local = self.nodes[to.index()].clock.local_at(at);
             let slot = &mut self.nodes[to.index()];
-            let local = slot.clock.local_at(at);
-            let rng = &mut self.rng;
+            let rng = self.rngs.stream(to);
             let mut words = move || rng.next_u64();
             let mut ctx = Ctx {
                 me: to,
@@ -807,9 +896,9 @@ impl<M: Clone, O> Simulation<M, O> {
         let mut outbox = std::mem::take(&mut self.scratch_outbox);
         {
             let n = self.nodes.len();
+            let local = self.nodes[node.index()].clock.local_at(self.now);
             let slot = &mut self.nodes[node.index()];
-            let local = slot.clock.local_at(self.now);
-            let rng = &mut self.rng;
+            let rng = self.rngs.stream(node);
             let mut words = move || rng.next_u64();
             let mut ctx = Ctx {
                 me: node,
@@ -859,9 +948,9 @@ impl<M: Clone, O> Simulation<M, O> {
                 let mut outbox = std::mem::take(&mut self.scratch_outbox);
                 {
                     let n = self.nodes.len();
+                    let local = self.nodes[node.index()].clock.local_at(at);
                     let slot = &mut self.nodes[node.index()];
-                    let local = slot.clock.local_at(at);
-                    let rng = &mut self.rng;
+                    let rng = self.rngs.stream(node);
                     let mut words = move || rng.next_u64();
                     let mut ctx = Ctx {
                         me: node,
@@ -884,7 +973,10 @@ impl<M: Clone, O> Simulation<M, O> {
                     (self.injector.as_mut(), storm.injection_period)
                 {
                     let n = self.nodes.len();
-                    let (from, to, msg) = injector(&mut self.rng, n);
+                    // Injection draws come from the auxiliary stream (the
+                    // global stream in `RngMode::Global`): they belong to
+                    // the network fault model, not to any node.
+                    let (from, to, msg) = injector(self.rngs.aux(), n);
                     self.metrics.injected += 1;
                     self.push(
                         at,
@@ -896,7 +988,7 @@ impl<M: Clone, O> Simulation<M, O> {
                     );
                     // Jittered re-arm (±50%).
                     let base = period.as_nanos().max(1);
-                    let jitter = self.rng.gen_range(base / 2..=base + base / 2);
+                    let jitter = self.rngs.aux().gen_range(base / 2..=base + base / 2);
                     self.push(at + Duration::from_nanos(jitter), EventKind::Injection);
                 }
             }
@@ -1001,12 +1093,18 @@ impl<M: Clone, O> Simulation<M, O> {
             }
             let storm_active = self.storm.is_some_and(|s| s.active_at(self.now));
             if !storm_active {
-                let due = self.now + self.sample_delay(self.link.delay_min, self.link.delay_max);
+                let due =
+                    self.now + self.sample_delay(from, self.link.delay_min, self.link.delay_max);
                 Self::batch_insert(&mut batches, &mut self.bitset_pool, due, to);
                 continue;
             }
             let storm = self.storm.expect("checked");
-            if storm.drop_den > 0 && self.rng.gen_ratio(storm.drop_num, storm.drop_den) {
+            if storm.drop_den > 0
+                && self
+                    .rngs
+                    .stream(from)
+                    .gen_ratio(storm.drop_num, storm.drop_den)
+            {
                 self.metrics.dropped += 1;
                 continue;
             }
@@ -1018,10 +1116,15 @@ impl<M: Clone, O> Simulation<M, O> {
             // payload. (Unicast sends in `route` keep the real
             // try-unwrap, where the delivery can be the sole holder.)
             let mut private: Option<Arc<M>> = None;
-            if storm.corrupt_den > 0 && self.rng.gen_ratio(storm.corrupt_num, storm.corrupt_den) {
+            if storm.corrupt_den > 0
+                && self
+                    .rngs
+                    .stream(from)
+                    .gen_ratio(storm.corrupt_num, storm.corrupt_den)
+            {
                 if let Some(corruptor) = self.corruptor.as_mut() {
                     let owned = (*shared).clone();
-                    match corruptor(owned, &mut self.rng) {
+                    match corruptor(owned, self.rngs.stream(from)) {
                         Some(m) => {
                             self.metrics.corrupted += 1;
                             private = Some(Arc::new(m));
@@ -1037,9 +1140,14 @@ impl<M: Clone, O> Simulation<M, O> {
                     continue;
                 }
             }
-            if storm.dup_den > 0 && self.rng.gen_ratio(storm.dup_num, storm.dup_den) {
+            if storm.dup_den > 0
+                && self
+                    .rngs
+                    .stream(from)
+                    .gen_ratio(storm.dup_num, storm.dup_den)
+            {
                 self.metrics.duplicated += 1;
-                let at = self.now + self.sample_delay(Duration::ZERO, storm.max_delay);
+                let at = self.now + self.sample_delay(from, Duration::ZERO, storm.max_delay);
                 let payload = private.clone().unwrap_or_else(|| Arc::clone(&shared));
                 // Preserve the per-destination (due, seq) interleaving:
                 // everything batched so far must sit before this push.
@@ -1053,7 +1161,7 @@ impl<M: Clone, O> Simulation<M, O> {
                     },
                 );
             }
-            let due = self.now + self.sample_delay(Duration::ZERO, storm.max_delay);
+            let due = self.now + self.sample_delay(from, Duration::ZERO, storm.max_delay);
             match private {
                 Some(p) => {
                     self.flush_batches(from, &shared, &mut batches);
@@ -1156,18 +1264,28 @@ impl<M: Clone, O> Simulation<M, O> {
         let mut payload = msg;
         let delay = if storm_active {
             let storm = self.storm.expect("checked");
-            if storm.drop_den > 0 && self.rng.gen_ratio(storm.drop_num, storm.drop_den) {
+            if storm.drop_den > 0
+                && self
+                    .rngs
+                    .stream(from)
+                    .gen_ratio(storm.drop_num, storm.drop_den)
+            {
                 self.metrics.dropped += 1;
                 return;
             }
-            if storm.corrupt_den > 0 && self.rng.gen_ratio(storm.corrupt_num, storm.corrupt_den) {
+            if storm.corrupt_den > 0
+                && self
+                    .rngs
+                    .stream(from)
+                    .gen_ratio(storm.corrupt_num, storm.corrupt_den)
+            {
                 if let Some(corruptor) = self.corruptor.as_mut() {
                     // Corruption is the one storm path that needs an owned
                     // message: unwrap the Arc when this delivery is its
                     // only holder, deep-clone otherwise (rare — only when
                     // corruption hits a broadcast copy).
                     let owned = Arc::try_unwrap(payload).unwrap_or_else(|shared| (*shared).clone());
-                    match corruptor(owned, &mut self.rng) {
+                    match corruptor(owned, self.rngs.stream(from)) {
                         Some(m) => {
                             self.metrics.corrupted += 1;
                             payload = Arc::new(m);
@@ -1183,9 +1301,14 @@ impl<M: Clone, O> Simulation<M, O> {
                     return;
                 }
             }
-            if storm.dup_den > 0 && self.rng.gen_ratio(storm.dup_num, storm.dup_den) {
+            if storm.dup_den > 0
+                && self
+                    .rngs
+                    .stream(from)
+                    .gen_ratio(storm.dup_num, storm.dup_den)
+            {
                 self.metrics.duplicated += 1;
-                let d = self.sample_delay(Duration::ZERO, storm.max_delay);
+                let d = self.sample_delay(from, Duration::ZERO, storm.max_delay);
                 let at = self.now + d;
                 self.push(
                     at,
@@ -1196,9 +1319,9 @@ impl<M: Clone, O> Simulation<M, O> {
                     },
                 );
             }
-            self.sample_delay(Duration::ZERO, storm.max_delay)
+            self.sample_delay(from, Duration::ZERO, storm.max_delay)
         } else {
-            self.sample_delay(self.link.delay_min, self.link.delay_max)
+            self.sample_delay(from, self.link.delay_min, self.link.delay_max)
         };
         let at = self.now + delay;
         self.push(
@@ -1211,13 +1334,16 @@ impl<M: Clone, O> Simulation<M, O> {
         );
     }
 
-    fn sample_delay(&mut self, min: Duration, max: Duration) -> Duration {
+    /// Samples a link delay for a message sent by `from` — jitter draws
+    /// are attributed to the sender's stream, which in `RngMode::Global`
+    /// is the one global stream (byte-identical to the pre-stream code).
+    fn sample_delay(&mut self, from: NodeId, min: Duration, max: Duration) -> Duration {
         let raw = if min == max {
             min
         } else {
             let lo = min.as_nanos();
             let hi = max.as_nanos();
-            Duration::from_nanos(self.rng.gen_range(lo..=hi))
+            Duration::from_nanos(self.rngs.stream(from).gen_range(lo..=hi))
         };
         // Delay-inflation fault: scale after the draw so the random
         // sequence is unchanged by the fault being active.

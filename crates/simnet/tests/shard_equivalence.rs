@@ -1,0 +1,400 @@
+//! A/B battery for the sharded conservative-lookahead simulator.
+//!
+//! Two tiers, mirroring the wave-coalescing precedent:
+//!
+//! 1. **Thread-count invariance (bit-identical).** `Sharded(k)` for any
+//!    `k` must produce the *exact same* observation log and metrics as
+//!    `Sharded(1)` from the same seed: windows are global, deliveries
+//!    merge at the `(due, sender, seq)` barrier order, RNG streams are
+//!    per-node, and global effects always defer to the barrier — nothing
+//!    depends on the shard count.
+//! 2. **Sequential parity (multiset).** Versus the sequential golden
+//!    model in `RngMode::PerNode`, the sharded engine preserves the
+//!    observation multiset per `(real time, node)` and every metric
+//!    exactly; only same-instant orderings *across* nodes may differ
+//!    (the barrier orders equal-due arrivals by sender id rather than by
+//!    global send sequence).
+//!
+//! Shapes cover jittered and fixed delays, crashes, link blocks, full
+//! storms (drop/corrupt/duplicate/inject — run on the sequential engine
+//! until the storm ends, then decomposed), per-node handler RNG draws,
+//! and mid-run harness faults applied between `run_until` calls.
+
+use proptest::prelude::*;
+use ssbyz_simnet::{
+    Ctx, DriftClock, LinkConfig, Metrics, Observation, Partition, Process, RngMode, ShardedSim,
+    SimBuilder, Simulation, StormConfig,
+};
+use ssbyz_types::{Duration, NodeId, RealTime};
+
+const T_BEAT: u64 = 1;
+
+type Obs = (u32, u64);
+
+/// Same broadcast-amplification process as the fan-out battery, plus an
+/// optional per-node RNG draw in the timer handler (the one place the
+/// determinism contract allows draws) so the per-node stream keying is
+/// exercised, not just the routing draws.
+struct Beater {
+    period: Duration,
+    beats: u32,
+    fired: u32,
+    amplify_below: u64,
+    use_rng: bool,
+}
+
+impl Process<u64, Obs> for Beater {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64, Obs>) {
+        ctx.set_timer_after(self.period, T_BEAT);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u64, Obs>, from: NodeId, msg: &u64) {
+        ctx.observe((from.index() as u32, *msg));
+        if *msg < self.amplify_below {
+            ctx.broadcast(msg + 10_000_000);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, u64, Obs>, token: u64) {
+        if token != T_BEAT {
+            return;
+        }
+        let mut beat = ((ctx.me().index() as u64) << 32 | u64::from(self.fired)) + 1_000_000;
+        if self.use_rng {
+            beat ^= ctx.rand_below(16);
+        }
+        ctx.broadcast(beat);
+        self.fired += 1;
+        if self.fired < self.beats {
+            ctx.set_timer_after(self.period, T_BEAT);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Shape {
+    n: usize,
+    seed: u64,
+    jitter_us: u64,
+    crashes: usize,
+    block: bool,
+    storm: bool,
+    use_rng: bool,
+}
+
+fn builder(shape: &Shape) -> SimBuilder<u64, Obs> {
+    let delay_min = Duration::from_micros(300);
+    let delay_max = delay_min + Duration::from_micros(shape.jitter_us);
+    let mut b = SimBuilder::new(shape.seed).link(LinkConfig::uniform(delay_min, delay_max));
+    if shape.storm {
+        b = b
+            .storm(StormConfig {
+                until: RealTime::from_nanos(4_000_000),
+                drop_num: 1,
+                drop_den: 4,
+                corrupt_num: 1,
+                corrupt_den: 8,
+                dup_num: 1,
+                dup_den: 8,
+                max_delay: Duration::from_millis(2),
+                injection_period: Some(Duration::from_micros(700)),
+            })
+            .corruptor(Box::new(|m, rng| {
+                use rand::RngCore;
+                let roll = rng.next_u64();
+                if roll % 5 == 0 {
+                    None
+                } else {
+                    Some(m ^ (roll % 64))
+                }
+            }))
+            .injector(Box::new(|rng, n| {
+                use rand::RngCore;
+                let from = NodeId::new((rng.next_u64() % n as u64) as u32);
+                let to = NodeId::new((rng.next_u64() % n as u64) as u32);
+                (from, to, 42_000_000 + rng.next_u64() % 100)
+            }));
+    }
+    for _ in 0..shape.n {
+        b = b.node(
+            Box::new(Beater {
+                period: Duration::from_millis(1),
+                beats: 4,
+                fired: 0,
+                amplify_below: 1_500_000,
+                use_rng: shape.use_rng,
+            }),
+            DriftClock::ideal(),
+        );
+    }
+    b
+}
+
+fn apply_static_faults(sharded: &mut ShardedSim<u64, Obs>, shape: &Shape) {
+    for i in 0..shape.crashes.min(shape.n.saturating_sub(1)) {
+        sharded.set_down_until(
+            NodeId::new((shape.n - 1 - i) as u32),
+            RealTime::from_nanos(5_000_000),
+        );
+    }
+    if shape.block && shape.n >= 2 {
+        sharded.block_link(
+            NodeId::new(0),
+            NodeId::new(1),
+            RealTime::from_nanos(5_000_000),
+        );
+    }
+}
+
+fn run_sharded(shape: &Shape, threads: usize) -> (Vec<Observation<Obs>>, Metrics) {
+    let mut sim = builder(shape).build_sharded(threads);
+    apply_static_faults(&mut sim, shape);
+    sim.run_until(RealTime::from_nanos(12_000_000));
+    (sim.observations().to_vec(), sim.metrics().clone())
+}
+
+fn run_sequential(shape: &Shape) -> (Vec<Observation<Obs>>, Metrics) {
+    let mut sim: Simulation<u64, Obs> = builder(shape).rng_mode(RngMode::PerNode).build();
+    for i in 0..shape.crashes.min(shape.n.saturating_sub(1)) {
+        sim.set_down_until(
+            NodeId::new((shape.n - 1 - i) as u32),
+            RealTime::from_nanos(5_000_000),
+        );
+    }
+    if shape.block && shape.n >= 2 {
+        sim.block_link(
+            NodeId::new(0),
+            NodeId::new(1),
+            RealTime::from_nanos(5_000_000),
+        );
+    }
+    sim.run_until(RealTime::from_nanos(12_000_000));
+    (sim.observations().to_vec(), sim.metrics().clone())
+}
+
+/// Canonical multiset order: `(real, node, payload)`.
+fn canon(mut obs: Vec<Observation<Obs>>) -> Vec<Observation<Obs>> {
+    obs.sort_by_key(|o| (o.real.as_nanos(), o.node.index(), o.event));
+    obs
+}
+
+fn check_thread_invariance(shape: &Shape) {
+    let (obs1, met1) = run_sharded(shape, 1);
+    for threads in [2, 4, 8] {
+        let (obs_k, met_k) = run_sharded(shape, threads);
+        assert_eq!(
+            obs1, obs_k,
+            "observation log diverged at threads={threads} for {shape:?}"
+        );
+        assert_eq!(
+            met1, met_k,
+            "metrics diverged at threads={threads} for {shape:?}"
+        );
+    }
+}
+
+fn check_sequential_parity(shape: &Shape) {
+    let (obs_seq, met_seq) = run_sequential(shape);
+    let (obs_sh, met_sh) = run_sharded(shape, 4);
+    assert_eq!(
+        canon(obs_seq),
+        canon(obs_sh),
+        "observation multiset diverged from sequential for {shape:?}"
+    );
+    assert_eq!(
+        met_seq, met_sh,
+        "metrics diverged from sequential for {shape:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tier 1: `Sharded(k)` is bit-identical to `Sharded(1)` — full
+    /// observation log and metrics — across jitter, crashes, blocks,
+    /// handler draws, and storms with injection.
+    #[test]
+    fn sharded_is_thread_count_invariant(
+        n in 2usize..12,
+        seed in 0u64..5_000,
+        jitter_us in 0u64..1_500,
+        fixed_delay in any::<bool>(),
+        crashes in 0usize..3,
+        block in any::<bool>(),
+        storm in any::<bool>(),
+        use_rng in any::<bool>(),
+    ) {
+        let jitter_us = if fixed_delay { 0 } else { jitter_us };
+        check_thread_invariance(&Shape { n, seed, jitter_us, crashes, block, storm, use_rng });
+    }
+
+    /// Tier 2: versus the sequential golden model (per-node streams),
+    /// the `(real, node, payload)` observation multiset and every metric
+    /// match exactly.
+    #[test]
+    fn sharded_matches_sequential_golden_model(
+        n in 2usize..12,
+        seed in 0u64..5_000,
+        jitter_us in 0u64..1_500,
+        fixed_delay in any::<bool>(),
+        crashes in 0usize..3,
+        block in any::<bool>(),
+        storm in any::<bool>(),
+        use_rng in any::<bool>(),
+    ) {
+        let jitter_us = if fixed_delay { 0 } else { jitter_us };
+        check_sequential_parity(&Shape { n, seed, jitter_us, crashes, block, storm, use_rng });
+    }
+}
+
+/// Mid-run harness faults between `run_until` calls — crash/recover,
+/// partition install/heal, delay deflation (which shrinks the lookahead
+/// window), planted and cancelled timers — stay thread-count invariant
+/// and match the sequential engine as a multiset.
+#[test]
+fn mid_run_faults_are_thread_count_invariant() {
+    let shape = Shape {
+        n: 9,
+        seed: 77,
+        jitter_us: 400,
+        crashes: 0,
+        block: false,
+        storm: false,
+        use_rng: true,
+    };
+    #[allow(clippy::too_many_arguments)]
+    fn drive<S>(
+        mut sim: S,
+        run: impl Fn(&mut S, u64),
+        crash: impl Fn(&mut S, u32, u64),
+        recover: impl Fn(&mut S, u32),
+        partition: impl Fn(&mut S, Option<Partition>),
+        inflate: impl Fn(&mut S, u64, u64, u64),
+        plant: impl Fn(&mut S, u32, u64, u64),
+        cancel: impl Fn(&mut S, u32, u64),
+    ) -> S {
+        run(&mut sim, 2_000_000);
+        crash(&mut sim, 2, 1_500_000);
+        partition(
+            &mut sim,
+            Some(Partition::split(
+                9,
+                &[
+                    NodeId::new(0),
+                    NodeId::new(1),
+                    NodeId::new(2),
+                    NodeId::new(3),
+                ],
+            )),
+        );
+        run(&mut sim, 4_000_000);
+        partition(&mut sim, None);
+        inflate(&mut sim, 1, 2, 7_000_000);
+        plant(&mut sim, 5, 300_000, T_BEAT);
+        cancel(&mut sim, 6, T_BEAT);
+        run(&mut sim, 8_000_000);
+        recover(&mut sim, 2);
+        run(&mut sim, 14_000_000);
+        sim
+    }
+
+    let sharded = |threads: usize| {
+        let sim = builder(&shape).build_sharded(threads);
+        let sim = drive(
+            sim,
+            |s, t| s.run_until(RealTime::from_nanos(t)),
+            |s, n, d| s.crash_node(NodeId::new(n), Duration::from_nanos(d)),
+            |s, n| s.recover_node(NodeId::new(n)),
+            |s, p| s.set_partition(p),
+            |s, num, den, until| s.inflate_delays(num, den, RealTime::from_nanos(until)),
+            |s, n, after, tok| s.plant_timer(NodeId::new(n), Duration::from_nanos(after), tok),
+            |s, n, tok| {
+                s.cancel_node_timer(NodeId::new(n), tok);
+            },
+        );
+        (sim.observations().to_vec(), sim.metrics().clone())
+    };
+    let (obs1, met1) = sharded(1);
+    for threads in [2, 4, 8] {
+        let (obs_k, met_k) = sharded(threads);
+        assert_eq!(obs1, obs_k, "mid-run faults diverged at threads={threads}");
+        assert_eq!(met1, met_k);
+    }
+
+    let seq = {
+        let sim: Simulation<u64, Obs> = builder(&shape).rng_mode(RngMode::PerNode).build();
+        let sim = drive(
+            sim,
+            |s, t| s.run_until(RealTime::from_nanos(t)),
+            |s, n, d| s.crash_node(NodeId::new(n), Duration::from_nanos(d)),
+            |s, n| s.recover_node(NodeId::new(n)),
+            |s, p| s.set_partition(p),
+            |s, num, den, until| s.inflate_delays(num, den, RealTime::from_nanos(until)),
+            |s, n, after, tok| s.plant_timer(NodeId::new(n), Duration::from_nanos(after), tok),
+            |s, n, tok| {
+                s.cancel_node_timer(NodeId::new(n), tok);
+            },
+        );
+        (sim.observations().to_vec(), sim.metrics().clone())
+    };
+    assert_eq!(
+        canon(seq.0),
+        canon(obs1),
+        "mid-run faults diverged from sequential"
+    );
+    assert_eq!(seq.1, met1);
+}
+
+/// Fixed delays, no storm, no handler draws: nothing ever draws, so the
+/// sequential default (`RngMode::Global`) and the sharded engine must
+/// agree too — the basis for scenario-level parity in the harness.
+#[test]
+fn draw_free_scenarios_match_the_global_stream_default() {
+    let shape = Shape {
+        n: 8,
+        seed: 3,
+        jitter_us: 0,
+        crashes: 1,
+        block: true,
+        storm: false,
+        use_rng: false,
+    };
+    let mut seq: Simulation<u64, Obs> = builder(&shape).build(); // default Global
+    for i in 0..1 {
+        seq.set_down_until(
+            NodeId::new((shape.n - 1 - i) as u32),
+            RealTime::from_nanos(5_000_000),
+        );
+    }
+    seq.block_link(
+        NodeId::new(0),
+        NodeId::new(1),
+        RealTime::from_nanos(5_000_000),
+    );
+    seq.run_until(RealTime::from_nanos(12_000_000));
+    let (obs_sh, met_sh) = run_sharded(&shape, 4);
+    assert_eq!(canon(seq.observations().to_vec()), canon(obs_sh));
+    assert_eq!(seq.metrics(), &met_sh);
+}
+
+/// The parallelism accounting is populated and self-consistent.
+#[test]
+fn critical_path_accounting_is_populated() {
+    let shape = Shape {
+        n: 16,
+        seed: 9,
+        jitter_us: 0,
+        crashes: 0,
+        block: false,
+        storm: false,
+        use_rng: false,
+    };
+    let mut sim = builder(&shape).build_sharded(4);
+    sim.run_until(RealTime::from_nanos(12_000_000));
+    assert!(sim.windows_run() > 0);
+    assert!(sim.windowed_events() > 0);
+    assert!(sim.critical_events() > 0);
+    assert!(sim.critical_events() <= sim.windowed_events());
+    let p = sim.parallelism();
+    assert!(p >= 1.0, "parallelism bound below 1: {p}");
+}

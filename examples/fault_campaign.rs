@@ -1,9 +1,12 @@
 //! Fault-injection campaign: repeated mid-run fault bursts — crash
 //! churn, healing partitions, state scrambles, adaptive storms — each
-//! followed by a probe agreement that must pass the full property
-//! battery. Measures time-to-stabilize and containment radius per burst
+//! bracketed by a companion agreement the burst disrupts and a probe
+//! agreement that must pass the full property battery. Measures
+//! time-to-stabilize, disruption decay and containment radius per burst
 //! and writes `BENCH_stabilization.json` (deterministic per seed, byte
-//! identical across re-runs).
+//! identical across re-runs). The `n = 256` cell runs on the sharded
+//! engine; its assumed δ is auto-scaled when the membership outgrows
+//! the processing bound the default δ models (and says so).
 //!
 //! ```text
 //! cargo run --release --example fault_campaign            # full grid
@@ -12,7 +15,10 @@
 
 use std::fmt::Write as _;
 
-use ssbyz::harness::faults::{run_campaign, CampaignFamily, StabilizationReport};
+use ssbyz::harness::faults::{
+    clamped_delta, run_campaign_spec, CampaignFamily, CampaignSpec, StabilizationReport,
+};
+use ssbyz::simnet::SimMode;
 use ssbyz::Duration;
 
 const SEED: u64 = 1;
@@ -21,11 +27,19 @@ fn fmt_opt(d: Option<Duration>) -> String {
     d.map_or_else(|| "null".into(), |d| d.as_nanos().to_string())
 }
 
+fn engine_name(mode: SimMode) -> String {
+    match mode {
+        SimMode::Sequential => "sequential".into(),
+        SimMode::Sharded(t) => format!("sharded-{t}"),
+    }
+}
+
 fn render_row(out: &mut String, report: &StabilizationReport) {
     let _ = write!(
         out,
-        "    {{\n      \"family\": \"{}\",\n      \"n\": {},\n      \"f\": {},\n      \"seed\": {},\n      \"d_ns\": {},\n      \"delta_agr_ns\": {},\n      \"delta_stb_ns\": {},\n      \"settle_ns\": {},\n      \"max_stabilization_ns\": {},\n      \"max_containment\": {},\n      \"stabilized\": {},\n      \"bursts\": [\n",
+        "    {{\n      \"family\": \"{}\",\n      \"engine\": \"{}\",\n      \"n\": {},\n      \"f\": {},\n      \"seed\": {},\n      \"d_ns\": {},\n      \"delta_agr_ns\": {},\n      \"delta_stb_ns\": {},\n      \"settle_ns\": {},\n      \"max_stabilization_ns\": {},\n      \"max_containment\": {},\n      \"stabilized\": {},\n      \"bursts\": [\n",
         report.family,
+        engine_name(report.sim_mode),
         report.n,
         report.f,
         report.seed,
@@ -43,13 +57,21 @@ fn render_row(out: &mut String, report: &StabilizationReport) {
         } else {
             ","
         };
+        // Absolute instants carry the `_ns` suffix alone; spans since
+        // the burst carry `_after_ns` (the old `first_decision_ns` name
+        // made a span look comparable to the absolute `probe_t0_ns`).
         let _ = writeln!(
             out,
-            "        {{\"burst_at_ns\": {}, \"probe_t0_ns\": {}, \"first_decision_ns\": {}, \"all_correct_ns\": {}, \"containment_radius\": {}, \"wrong_outputs\": {}, \"violations\": {}}}{sep}",
+            "        {{\"burst_at_ns\": {}, \"probe_t0_ns\": {}, \"companion_t0_ns\": {}, \"first_decision_after_ns\": {}, \"all_correct_after_ns\": {}, \"disrupted_first_after_ns\": {}, \"disrupted_all_after_ns\": {}, \"disrupted_decides\": {}, \"disrupted_aborts\": {}, \"containment_radius\": {}, \"wrong_outputs\": {}, \"violations\": {}}}{sep}",
             b.burst_at.as_nanos(),
             b.probe_t0.as_nanos(),
+            b.companion_t0.as_nanos(),
             fmt_opt(b.first_decision_after),
             fmt_opt(b.all_correct_after),
+            fmt_opt(b.disrupted_first_after),
+            fmt_opt(b.disrupted_all_after),
+            b.disrupted_decides,
+            b.disrupted_aborts,
             b.containment_radius,
             b.wrong_outputs,
             b.violations.len(),
@@ -58,11 +80,37 @@ fn render_row(out: &mut String, report: &StabilizationReport) {
     let _ = write!(out, "      ]\n    }}");
 }
 
-fn run_cell(n: usize, f: usize, family: CampaignFamily, bursts: usize) -> StabilizationReport {
-    let report = run_campaign(n, f, SEED, family, bursts);
+/// Builds the cell spec, clamping δ when `n` outgrows what the engine's
+/// execution lanes can honestly process under the default bound.
+fn spec_for(
+    n: usize,
+    f: usize,
+    family: CampaignFamily,
+    bursts: usize,
+    mode: SimMode,
+) -> CampaignSpec {
+    let workers = match mode {
+        SimMode::Sequential => 1,
+        SimMode::Sharded(t) => t.max(1),
+    };
+    let (delta, scaled) = clamped_delta(n, workers);
+    let mut spec = CampaignSpec::new(n, f, SEED, family, bursts);
+    spec.sim_mode = mode;
+    if scaled {
+        eprintln!(
+            "  note: n={n} on {workers} lane(s) outgrows the default δ's processing bound; scaling δ to {delta}"
+        );
+        spec.delta = Some(delta);
+    }
+    spec
+}
+
+fn run_cell(spec: &CampaignSpec) -> StabilizationReport {
+    let report = run_campaign_spec(spec);
     println!(
-        "  {:<20} n={:<3} f={:<3} bursts={}  stabilize≤{:<12} containment≤{}  {}",
+        "  {:<20} {:<12} n={:<4} f={:<3} bursts={}  stabilize≤{:<12} containment≤{}  {}",
         report.family,
+        engine_name(report.sim_mode),
         report.n,
         report.f,
         report.bursts.len(),
@@ -83,15 +131,36 @@ fn main() {
 
     if smoke {
         // CI smoke: one crash-churn burst and one mid-run scramble burst
-        // at n = 7 must stabilize with zero safety violations.
-        println!("fault-campaign smoke (n=7, seed={SEED}):");
-        let churn = run_cell(7, 2, CampaignFamily::CrashChurn, 1);
-        let scramble = run_cell(7, 2, CampaignFamily::RepeatedScrambles, 1);
-        for report in [&churn, &scramble] {
+        // at n = 7, plus one sharded crash-churn burst at n = 256, must
+        // all stabilize with zero safety violations.
+        println!("fault-campaign smoke (seed={SEED}):");
+        let churn = run_cell(&spec_for(
+            7,
+            2,
+            CampaignFamily::CrashChurn,
+            1,
+            SimMode::Sequential,
+        ));
+        let scramble = run_cell(&spec_for(
+            7,
+            2,
+            CampaignFamily::RepeatedScrambles,
+            1,
+            SimMode::Sequential,
+        ));
+        let big = run_cell(&spec_for(
+            256,
+            85,
+            CampaignFamily::CrashChurn,
+            1,
+            SimMode::Sharded(4),
+        ));
+        for report in [&churn, &scramble, &big] {
             assert!(
                 report.stabilized(),
-                "{} must stabilize: {:?}",
+                "{} (n={}) must stabilize: {:?}",
                 report.family,
+                report.n,
                 report.violations()
             );
             assert!(
@@ -107,9 +176,18 @@ fn main() {
     let mut rows: Vec<StabilizationReport> = Vec::new();
     for (n, f) in [(7usize, 2usize), (16, 5), (64, 21)] {
         for family in CampaignFamily::ALL {
-            rows.push(run_cell(n, f, family, 2));
+            rows.push(run_cell(&spec_for(n, f, family, 2, SimMode::Sequential)));
         }
     }
+    // The n = 256 whole-sim cell rides the sharded engine — out of reach
+    // for the sequential wheel in reasonable wall-clock.
+    rows.push(run_cell(&spec_for(
+        256,
+        85,
+        CampaignFamily::CrashChurn,
+        1,
+        SimMode::Sharded(4),
+    )));
 
     let stabilized = rows.iter().filter(|r| r.stabilized()).count();
     println!("\n{stabilized}/{} cells stabilized", rows.len());

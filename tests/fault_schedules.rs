@@ -100,7 +100,7 @@ fn run_one(seed: u64) -> (checks::Violations, Duration, ssbyz::core::Params) {
         b = b.correct();
     }
     let mut sc = b.build();
-    let clock0 = *sc.sim().clock(NodeId::new(0));
+    let clock0 = sc.sim().clock(NodeId::new(0));
     let t0 = clock0.real_of_local(clock0.local_at(RealTime::ZERO) + probe_off);
 
     let mut rng = StdRng::seed_from_u64(seed ^ 0xFA17_5EED);
